@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every experiment of the paper.
+
+   Part 1 (Bechamel): one micro-benchmark per experiment family, measuring
+   the wall-clock cost of the artifact it exercises — the E8 comparison
+   (Algorithm 2's vector timestamps vs Algorithm 4's Lamport clocks vs the
+   atomic baseline) across register sizes, the adversary rounds of E1/E2,
+   the checkers of E3-E5, the ABD workload of E6 and the A' composition of
+   E7.
+
+   Part 2: the full experiment battery E1-E8 (paper-shaped tables with
+   claim / expected / measured / PASS), as indexed in DESIGN.md and
+   recorded in EXPERIMENTS.md.
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+
+(* ----- helpers to run small simulations inside a benchmark fn -------------- *)
+
+let run_mwmr_ops ~make ~write ~read ~n ~ops () =
+  let sched = Core.Sched.create ~seed:7L () in
+  let r = make sched in
+  let done_ = ref false in
+  Core.Sched.spawn sched ~pid:1 (fun () ->
+      for k = 1 to ops do
+        write r 1 k;
+        ignore (read r 1)
+      done;
+      done_ := true);
+  while not !done_ do
+    ignore (Core.Sched.step sched ~pid:1)
+  done;
+  ignore n
+
+let alg2_ops n ops () =
+  run_mwmr_ops ~n ~ops
+    ~make:(fun sched -> Core.wsl_mwmr sched ~name:"R" ~n ~init:0)
+    ~write:(fun r p v -> Core.Wsl_register.write r ~proc:p v)
+    ~read:(fun r p -> Core.Wsl_register.read r ~proc:p)
+    ()
+
+let alg4_ops n ops () =
+  run_mwmr_ops ~n ~ops
+    ~make:(fun sched -> Core.lamport_mwmr sched ~name:"R" ~n ~init:0)
+    ~write:(fun r p v -> Core.Lamport_register.write r ~proc:p v)
+    ~read:(fun r p -> Core.Lamport_register.read r ~proc:p)
+    ()
+
+let atomic_ops ops () =
+  let sched = Core.Sched.create ~seed:7L () in
+  let r =
+    Core.adversarial_register sched ~name:"R" ~init:(Core.Value.Int 0)
+      ~mode:Core.Adv_register.Atomic
+  in
+  let done_ = ref false in
+  Core.Sched.spawn sched ~pid:1 (fun () ->
+      for k = 1 to ops do
+        Core.Adv_register.write r ~proc:1 (Core.Value.Int k);
+        ignore (Core.Adv_register.read r ~proc:1)
+      done;
+      done_ := true);
+  while not !done_ do
+    ignore (Core.Sched.step sched ~pid:1)
+  done
+
+(* a fixed random Alg2 run reused by the checker benchmarks *)
+let checker_run =
+  lazy
+    (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2 ~reads_per_proc:2
+       ~seed:5L)
+
+let tests =
+  [
+    (* --- E1: a Theorem-6 adversary round --------------------------------- *)
+    Test.make ~name:"e1/thm6-adversary-5-rounds"
+      (Staged.stage (fun () ->
+           ignore (Core.Adversary.run_linearizable ~n:5 ~rounds:5 ~seed:17L)));
+    (* --- E2: a full WSL game (gate) to termination ------------------------ *)
+    Test.make ~name:"e2/wsl-game-to-termination"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed:23L ())));
+    (* --- E8: per-op cost of the register constructions ------------------- *)
+    Test.make ~name:"e8/atomic-20ops" (Staged.stage (atomic_ops 20));
+    Test.make ~name:"e8/alg4-n4-20ops" (Staged.stage (alg4_ops 4 20));
+    Test.make ~name:"e8/alg2-n4-20ops" (Staged.stage (alg2_ops 4 20));
+    Test.make ~name:"e8/alg4-n16-20ops" (Staged.stage (alg4_ops 16 20));
+    Test.make ~name:"e8/alg2-n16-20ops" (Staged.stage (alg2_ops 16 20));
+    (* --- E3: Algorithm 3 (the WSL function) on a recorded run ------------- *)
+    Test.make ~name:"e3/alg3-linearize"
+      (Staged.stage (fun () ->
+           let run = Lazy.force checker_run in
+           ignore
+             (Core.Wsl_function.linearize run.Core.Scenario.trace ~obj:"R")));
+    (* --- E5: the exact linearizability checker ---------------------------- *)
+    Test.make ~name:"e5/lincheck-12ops"
+      (Staged.stage (fun () ->
+           let run = Lazy.force checker_run in
+           ignore
+             (Core.Lincheck.check ~init:(Core.Value.Int 0)
+                run.Core.Scenario.history)));
+    (* --- E4: the history-tree refutation ----------------------------------- *)
+    Test.make ~name:"e4/fig4-tree-refutation"
+      (Staged.stage (fun () -> ignore (Core.Scenario.fig4 ())));
+    (* --- E6: one ABD workload under random asynchrony ---------------------- *)
+    Test.make ~name:"e6/abd-workload"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Abd_runs.execute { Core.Abd_runs.default with seed = 9L })));
+    (* --- E7: A' end-to-end (gate + consensus) ------------------------------ *)
+    Test.make ~name:"e7/cor9-live"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Cor9.run_live
+                { n = 4; gate_rounds = 40; consensus_max_rounds = 200; seed = 3L }
+                ~inputs:(fun pid -> pid mod 2))));
+    (* --- E9: the mixed-mode ablation game ----------------------------------- *)
+    Test.make ~name:"e9/ablation-r1-lin-aux-wsl"
+      (Staged.stage (fun () ->
+           ignore (Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:5 ~seed:61L)));
+    (* --- E10: multi-writer ABD workload + counterexample --------------------- *)
+    Test.make ~name:"e10/mwabd-workload"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
+                ~readers:[ 2 ] ~reads_each:2 ~seed:11L)));
+    Test.make ~name:"e10/mwabd-tree-refutation"
+      (Staged.stage (fun () -> ignore (Core.Mwabd_scenario.run ())));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"rlin" ~fmt:"%s %s" tests)
+  in
+  List.map (fun i -> Analyze.all ols i raw) instances
+
+let () =
+  print_endline "=== Part 1: micro-benchmarks (Bechamel, monotonic clock) ===";
+  (match benchmark () with
+  | [ tbl ] ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Printf.printf "%-36s %16s %10s\n" "benchmark" "ns/run" "r^2";
+      List.iter
+        (fun (name, ols) ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%16.0f" e
+            | _ -> Printf.sprintf "%16s" "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%10.4f" r
+            | None -> Printf.sprintf "%10s" "-"
+          in
+          Printf.printf "%-36s %s %s\n" name est r2)
+        rows
+  | _ -> assert false);
+  print_endline "";
+  print_endline "=== Part 2: experiment battery (paper-shaped tables) ===";
+  Experiments.run_all ~quick:false Format.std_formatter

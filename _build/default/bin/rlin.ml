@@ -1,0 +1,279 @@
+(* Command-line driver for the reproduction of "On Register Linearizability
+   and Termination" (PODC 2021).
+
+   Subcommands:
+     rlin experiments [--quick]        run the E1-E10 battery
+     rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
+     rlin fig3 | rlin fig4             replay the paper's figures
+     rlin abd ...                      run an ABD workload and check it
+     rlin mwabd                        multi-writer ABD + its non-WSL refutation
+     rlin chaos --mode MODE            chaos adversary vs the exact checker
+     rlin consensus ...                run Corollary 9's A'
+*)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed (determines coins, schedules, workloads)." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg default =
+  let doc = "Number of processes." in
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
+
+(* ----- experiments --------------------------------------------------------- *)
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller run counts (seconds).")
+  in
+  let run quick =
+    Experiments.run_all ~quick Format.std_formatter;
+    if List.for_all (fun r -> r.Experiments.pass) (Experiments.all ~quick:true)
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the full experiment battery (E1-E10), one per paper artifact.")
+    Term.(const run $ quick)
+
+(* ----- game ----------------------------------------------------------------- *)
+
+let mode_conv =
+  let parse = function
+    | "atomic" -> Ok Core.Adv_register.Atomic
+    | "wsl" | "write-strong" -> Ok Core.Adv_register.Write_strong
+    | "lin" | "linearizable" -> Ok Core.Adv_register.Linearizable
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (atomic|wsl|lin)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Core.Adv_register.Atomic -> "atomic"
+      | Core.Adv_register.Write_strong -> "wsl"
+      | Core.Adv_register.Linearizable -> "lin")
+  in
+  Arg.conv (parse, print)
+
+let mode_conv_term =
+  Arg.(
+    value
+    & opt mode_conv Core.Adv_register.Linearizable
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Register mode: atomic, wsl or lin.")
+
+let game_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Core.Adv_register.Write_strong
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Register mode: atomic, wsl (write strongly-linearizable) or \
+                lin (merely linearizable; runs the Theorem-6 adversary).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"R" ~doc:"Round budget / adversary rounds.")
+  in
+  let run mode rounds n seed =
+    (match mode with
+    | Core.Adv_register.Linearizable ->
+        let res = Core.Adversary.run_linearizable ~n ~rounds ~seed in
+        Printf.printf
+          "Theorem-6 adversary, %d rounds driven: terminated=%b, every \
+           process in round %d\n"
+          rounds res.Core.Game_alg1.terminated res.Core.Game_alg1.max_round
+    | Core.Adv_register.Write_strong ->
+        let res = Core.Adversary.run_write_strong ~n ~max_rounds:rounds ~seed () in
+        Printf.printf
+          "same adversary vs WSL registers: terminated=%b at round %d\n"
+          res.Core.Game_alg1.terminated res.Core.Game_alg1.max_round
+    | Core.Adv_register.Atomic ->
+        let cfg =
+          { Core.Game_alg1.default with n; max_rounds = rounds; seed }
+        in
+        let res = Core.Game_alg1.run_random cfg ~max_steps:(rounds * n * 200) in
+        Printf.printf "atomic registers, random scheduler: terminated=%b at round %d\n"
+          res.Core.Game_alg1.terminated res.Core.Game_alg1.max_round);
+    0
+  in
+  Cmd.v
+    (Cmd.info "game"
+       ~doc:"Run Algorithm 1 (the termination game) under a register mode.")
+    Term.(const run $ mode $ rounds $ n_arg 5 $ seed_arg)
+
+(* ----- figures --------------------------------------------------------------- *)
+
+let fig3_cmd =
+  let run () =
+    let f3 = Core.Scenario.fig3 () in
+    print_endline "Figure 3: three concurrent writes under Algorithm 2";
+    print_string (Core.Timeline.render f3.Core.Scenario.history);
+    Printf.printf "write order committed at w2's completion (t=%d): [%s]\n"
+      f3.Core.Scenario.t_w2
+      (String.concat "; " (List.map string_of_int f3.Core.Scenario.ws_at_t));
+    Printf.printf "final write order: [%s]\n"
+      (String.concat "; " (List.map string_of_int f3.Core.Scenario.final_ws));
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Replay Figure 3 (on-line ordering of concurrent writes).")
+    Term.(const run $ const ())
+
+let fig4_cmd =
+  let run () =
+    let f4 = Core.Scenario.fig4 () in
+    print_endline "Figure 4: the Theorem-13 counterexample on Algorithm 4";
+    print_endline "G:";
+    print_string (Core.Timeline.render f4.Core.Scenario.g);
+    print_endline "H1 (forces w1 < w2):";
+    print_string (Core.Timeline.render f4.Core.Scenario.h1);
+    print_endline "H2 (forces w2 < w1):";
+    print_string (Core.Timeline.render f4.Core.Scenario.h2);
+    Printf.printf
+      "write strong-linearization impossible on {G -> H1, H2}: %b\n"
+      f4.Core.Scenario.wsl_impossible;
+    if f4.Core.Scenario.wsl_impossible then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Replay Figure 4 (Algorithm 4 is not WSL).")
+    Term.(const run $ const ())
+
+(* ----- abd ------------------------------------------------------------------- *)
+
+let abd_cmd =
+  let writes =
+    Arg.(value & opt int 5 & info [ "writes" ] ~docv:"K" ~doc:"Writer operations.")
+  in
+  let crash =
+    Arg.(
+      value & opt (list int) []
+      & info [ "crash" ] ~docv:"NODES" ~doc:"Comma-separated nodes to crash.")
+  in
+  let run n writes crash seed =
+    let w =
+      {
+        Core.Abd_runs.n;
+        writes;
+        readers = [ 1; 2 ];
+        reads_each = writes - 1;
+        crash;
+        seed;
+      }
+    in
+    let run = Core.Abd_runs.execute w in
+    print_string (Core.Timeline.render run.Core.Abd_runs.history);
+    match Core.Abd_runs.check run with
+    | Ok () ->
+        print_endline "check: linearizable and write strongly-linearizable";
+        0
+    | Error e ->
+        Printf.printf "check FAILED: %s\n" e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "abd" ~doc:"Run an ABD workload in the message-passing simulator.")
+    Term.(const run $ n_arg 5 $ writes $ crash $ seed_arg)
+
+(* ----- consensus ------------------------------------------------------------- *)
+
+let consensus_cmd =
+  let blocked =
+    Arg.(
+      value & flag
+      & info [ "blocked" ]
+          ~doc:"Run the blocked variant (linearizable gate + adversary).")
+  in
+  let run n blocked seed =
+    let cfg =
+      { Core.Cor9.n; gate_rounds = 30; consensus_max_rounds = 300; seed }
+    in
+    if blocked then begin
+      let o = Core.Cor9.run_blocked cfg in
+      Printf.printf "gate blocked forever: %b (no process started consensus)\n"
+        o.Core.Cor9.blocked;
+      if o.Core.Cor9.blocked then 0 else 1
+    end
+    else begin
+      let o = Core.Cor9.run_live cfg ~inputs:(fun pid -> pid mod 2) in
+      let decided =
+        List.filter (fun (_, d) -> d <> None)
+          o.Core.Cor9.consensus.Core.Rand_consensus.decisions
+      in
+      Printf.printf
+        "gate opened at round %d; %d/%d decided; agreement=%b validity=%b\n"
+        o.Core.Cor9.game.Core.Game_alg1.max_round (List.length decided) n
+        o.Core.Cor9.consensus.Core.Rand_consensus.agreed
+        o.Core.Cor9.consensus.Core.Rand_consensus.valid;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Run Corollary 9's A' (gate + consensus).")
+    Term.(const run $ n_arg 5 $ blocked $ seed_arg)
+
+(* ----- mwabd ------------------------------------------------------------------ *)
+
+let mwabd_cmd =
+  let run seed =
+    let run =
+      Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
+        ~readers:[ 2 ] ~reads_each:3 ~seed
+    in
+    print_string (Core.Timeline.render run.Core.Abd_runs.history);
+    Printf.printf "linearizable: %b
+"
+      (Core.Lincheck.check ~init:(Core.Value.Int 0) run.Core.Abd_runs.history);
+    let sc = Core.Mwabd_scenario.run () in
+    Printf.printf
+      "write strong-linearization impossible on the delivery-order tree: %b
+"
+      sc.Core.Mwabd_scenario.wsl_impossible;
+    if sc.Core.Mwabd_scenario.wsl_impossible then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "mwabd"
+       ~doc:"Run a multi-writer ABD workload and its non-WSL counterexample.")
+    Term.(const run $ seed_arg)
+
+(* ----- chaos ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run mode seed =
+    let o = Core.Scenario.Chaos.run ~mode ~n_procs:3 ~ops_per_proc:4 ~seed in
+    print_string (Core.Timeline.render o.Core.Scenario.Chaos.history);
+    Printf.printf
+      "edits attempted %d (refused %d); history linearizable: %b
+"
+      o.Core.Scenario.Chaos.attempted_edits o.Core.Scenario.Chaos.refused_edits
+      (Core.Lincheck.check ~init:(Core.Value.Int 0)
+         o.Core.Scenario.Chaos.history);
+    0
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Drive a register with the chaos adversary and check the history.")
+    Term.(const run $ mode_conv_term $ seed_arg)
+
+(* ----- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "Reproduction of 'On Register Linearizability and Termination' (PODC 2021)."
+  in
+  let info = Cmd.info "rlin" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            experiments_cmd;
+            game_cmd;
+            fig3_cmd;
+            fig4_cmd;
+            abd_cmd;
+            mwabd_cmd;
+            chaos_cmd;
+            consensus_cmd;
+          ]))

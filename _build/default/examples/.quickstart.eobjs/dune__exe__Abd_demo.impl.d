@@ -1,0 +1,1 @@
+examples/abd_demo.ml: Core List Printf String

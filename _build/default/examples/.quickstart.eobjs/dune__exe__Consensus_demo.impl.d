@@ -1,0 +1,1 @@
+examples/consensus_demo.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/counterexample_demo.mli:

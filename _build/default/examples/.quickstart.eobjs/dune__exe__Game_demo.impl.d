@@ -1,0 +1,1 @@
+examples/game_demo.ml: Core Format List Printf

@@ -1,0 +1,1 @@
+lib/clocks/vector.ml: Array Format Int List

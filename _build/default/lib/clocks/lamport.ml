@@ -1,0 +1,25 @@
+type t = { sq : int; pid : int }
+
+let make ~sq ~pid =
+  if sq < 0 then invalid_arg "Lamport.make: negative sequence number";
+  if pid < 1 then invalid_arg "Lamport.make: pid must be >= 1";
+  { sq; pid }
+
+let initial ~pid = make ~sq:0 ~pid
+let bump ~max_sq ~pid = make ~sq:(max_sq + 1) ~pid
+
+let compare a b =
+  match Int.compare a.sq b.sq with 0 -> Int.compare a.pid b.pid | c -> c
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let max a b = if compare a b >= 0 then a else b
+
+let max_list = function
+  | [] -> invalid_arg "Lamport.max_list: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let is_initial ts = ts.sq = 0
+let pp fmt ts = Format.fprintf fmt "@[<h>\u{27E8}%d,%d\u{27E9}@]" ts.sq ts.pid
+let to_string ts = Format.asprintf "%a" pp ts

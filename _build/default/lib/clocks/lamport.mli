@@ -1,0 +1,47 @@
+(** Lamport timestamps [⟨sq, pid⟩] as used by Algorithm 4 of the paper
+    (a linearizable — but not write strongly-linearizable — MWMR register
+    construction from SWMR registers).
+
+    A timestamp pairs a sequence number [sq] with the id [pid] of the process
+    that created it.  Timestamps are compared lexicographically: first by
+    sequence number, then by process id.  This yields a total order
+    (Observation: distinct writes by distinct processes always compare
+    unequal, because their [pid]s differ). *)
+
+type t = private { sq : int; pid : int }
+(** A Lamport timestamp.  [sq >= 0] and [pid >= 1] by construction. *)
+
+val make : sq:int -> pid:int -> t
+(** [make ~sq ~pid] builds a timestamp.
+    @raise Invalid_argument if [sq < 0] or [pid < 1]. *)
+
+val initial : pid:int -> t
+(** [initial ~pid] is [⟨0, pid⟩], the timestamp stored in [Val[pid]] at
+    initialization time (line "initialized to (0, ⟨0,i⟩)" of Algorithm 4). *)
+
+val bump : max_sq:int -> pid:int -> t
+(** [bump ~max_sq ~pid] is [⟨max_sq + 1, pid⟩] — the new timestamp formed on
+    line 4–5 of Algorithm 4 after reading a maximum sequence number
+    [max_sq] from the [Val[-]] registers. *)
+
+val compare : t -> t -> int
+(** Lexicographic comparison: by [sq], then by [pid]. *)
+
+val equal : t -> t -> bool
+
+val lt : t -> t -> bool
+(** [lt a b] iff [a] is strictly smaller than [b] lexicographically. *)
+
+val le : t -> t -> bool
+
+val max : t -> t -> t
+(** Lexicographic maximum. *)
+
+val max_list : t list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val is_initial : t -> bool
+(** [is_initial ts] iff [ts.sq = 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,95 @@
+type entry = Fin of int | Inf
+
+type t = entry array
+(* Invariant: length >= 1; all finite entries are >= 0. *)
+
+let dim v = Array.length v
+
+let all_inf n =
+  if n < 1 then invalid_arg "Vector.all_inf: dimension must be >= 1";
+  Array.make n Inf
+
+let zero n =
+  if n < 1 then invalid_arg "Vector.zero: dimension must be >= 1";
+  Array.make n (Fin 0)
+
+let check_entry = function
+  | Fin x when x < 0 -> invalid_arg "Vector: negative component"
+  | _ -> ()
+
+let of_list = function
+  | [] -> invalid_arg "Vector.of_list: empty"
+  | l ->
+      List.iter check_entry l;
+      Array.of_list l
+
+let of_ints l = of_list (List.map (fun x -> Fin x) l)
+
+let get v i =
+  if i < 1 || i > Array.length v then invalid_arg "Vector.get: index";
+  v.(i - 1)
+
+let entry_compare a b =
+  match (a, b) with
+  | Inf, Inf -> 0
+  | Inf, Fin _ -> 1
+  | Fin _, Inf -> -1
+  | Fin x, Fin y -> Int.compare x y
+
+let set v i x =
+  if i < 1 || i > Array.length v then invalid_arg "Vector.set: index";
+  if x < 0 then invalid_arg "Vector.set: negative component";
+  (match v.(i - 1) with
+  | Inf -> ()
+  | Fin old ->
+      if x > old then
+        invalid_arg "Vector.set: components may only decrease from Inf");
+  let v' = Array.copy v in
+  v'.(i - 1) <- Fin x;
+  v'
+
+let compare a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Vector.compare: dimension mismatch";
+  let rec go i =
+    if i = n then 0
+    else
+      match entry_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+
+let max_list = function
+  | [] -> invalid_arg "Vector.max_list: empty list"
+  | x :: xs -> List.fold_left (fun acc v -> if compare v acc > 0 then v else acc) x xs
+
+let is_complete v = Array.for_all (function Fin _ -> true | Inf -> false) v
+let is_zero v = Array.for_all (function Fin 0 -> true | _ -> false) v
+
+let componentwise_le a b =
+  let n = Array.length a in
+  if n <> Array.length b then
+    invalid_arg "Vector.componentwise_le: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if entry_compare a.(i) b.(i) > 0 then ok := false
+  done;
+  !ok
+
+let to_list = Array.to_list
+
+let pp_entry fmt = function
+  | Inf -> Format.pp_print_string fmt "\u{221E}"
+  | Fin x -> Format.pp_print_int fmt x
+
+let pp fmt v =
+  Format.fprintf fmt "[@[<h>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       pp_entry)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

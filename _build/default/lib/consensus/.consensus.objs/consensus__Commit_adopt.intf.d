@@ -1,0 +1,1 @@
+lib/consensus/commit_adopt.mli: Simkit

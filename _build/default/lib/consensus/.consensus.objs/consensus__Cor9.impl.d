@@ -1,0 +1,1 @@
+lib/consensus/cor9.ml: Game Int64 List Option Rand_consensus Registers Simkit

@@ -1,0 +1,1 @@
+lib/consensus/cor9.mli: Game Rand_consensus

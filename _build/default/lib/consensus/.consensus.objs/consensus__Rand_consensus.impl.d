@@ -1,0 +1,1 @@
+lib/consensus/rand_consensus.ml: Commit_adopt Hashtbl Int64 List Printf Simkit

@@ -1,0 +1,56 @@
+module Swmr = Registers.Swmr
+
+type verdict = Commit of int | Adopt of int | Flip
+
+type t = {
+  n : int;
+  a : int option Swmr.t array; (* first-round announcements *)
+  b : (bool * int) option Swmr.t array; (* (clean, value) *)
+}
+
+let create ~sched ~name ~n =
+  ignore sched;
+  if n < 1 then invalid_arg "Commit_adopt.create: n must be >= 1";
+  {
+    n;
+    a =
+      Array.init n (fun i ->
+          Swmr.create ~writer:(i + 1)
+            ~name:(Printf.sprintf "%s.A[%d]" name (i + 1))
+            None);
+    b =
+      Array.init n (fun i ->
+          Swmr.create ~writer:(i + 1)
+            ~name:(Printf.sprintf "%s.B[%d]" name (i + 1))
+            None);
+  }
+
+let propose t ~proc v =
+  if proc < 1 || proc > t.n then invalid_arg "Commit_adopt.propose: bad proc";
+  (* round 1: announce and scan *)
+  Swmr.write t.a.(proc - 1) ~proc (Some v);
+  let clean = ref true in
+  for i = 1 to t.n do
+    match Swmr.read t.a.(i - 1) with
+    | Some u when u <> v -> clean := false
+    | _ -> ()
+  done;
+  (* round 2: announce cleanliness and scan *)
+  Swmr.write t.b.(proc - 1) ~proc (Some (!clean, v));
+  let all_clean = ref true in
+  let some_clean = ref None in
+  let seen_any = ref false in
+  for i = 1 to t.n do
+    match Swmr.read t.b.(i - 1) with
+    | None -> ()
+    | Some (c, u) ->
+        seen_any := true;
+        if c then (if !some_clean = None then some_clean := Some u)
+        else all_clean := false;
+        if u <> v then all_clean := false
+  done;
+  ignore !seen_any;
+  match (!all_clean, !some_clean) with
+  | true, Some w -> Commit w
+  | _, Some w -> Adopt w
+  | _, None -> Flip

@@ -1,0 +1,37 @@
+(** Wait-free commit–adopt (Gafni 1998) from SWMR registers.
+
+    Commit–adopt is the safety half of the standard randomized-consensus
+    recipe "repeat: commit-adopt; coin".  Each process proposes a value
+    and obtains a verdict:
+
+    - [Commit v]: the process may decide [v]; every other process is
+      guaranteed to obtain [Commit v] or [Adopt v] from the same instance;
+    - [Adopt v]: the process must carry [v] into the next round;
+    - [Flip]: no constraint — the process may choose its next value
+      freely (the consensus loop flips a local coin, which is what makes
+      the combined algorithm randomized).
+
+    Two rounds of SWMR announcements implement it:
+    + announce the proposal in [A[i]]; scan [A]: if every announced value
+      equals yours, mark your second announcement "clean";
+    + announce [(clean, v)] in [B[i]]; scan [B]: all clean and equal →
+      commit; some clean [w] → adopt [w]; none clean → adopt your own.
+
+    This object is deterministic and wait-free; termination of the
+    consensus loop comes from the coin, and its safety from here —
+    which is why the tests assert agreement on {e every} schedule,
+    adversarial or not. *)
+
+type verdict =
+  | Commit of int  (** decide; everyone else gets this value too *)
+  | Adopt of int  (** a clean announcement was seen: carry this value *)
+  | Flip  (** no clean announcement seen: the caller may randomize *)
+
+type t
+
+val create : sched:Simkit.Sched.t -> name:string -> n:int -> t
+(** One instance for processes 1…n (fresh per consensus round). *)
+
+val propose : t -> proc:int -> int -> verdict
+(** Run the two announcement rounds.  Must be called at most once per
+    process per instance, from that process's fiber. *)

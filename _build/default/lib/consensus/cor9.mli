@@ -1,0 +1,39 @@
+(** Corollary 9 of the paper: from any randomized algorithm 𝒜 solving a
+    task T, build 𝒜′ = "run Algorithm 1; upon returning, run 𝒜".  Then
+
+    + 𝒜′ uses three extra shared registers (Algorithm 1's [R1], [R2], [C]);
+    + if those registers are merely linearizable, a strong adversary
+      prevents 𝒜′ from terminating — the gate never opens, so the task
+      code never even starts;
+    + if they are write strongly-linearizable, 𝒜′ terminates with
+      probability 1 and solves T.
+
+    Here 𝒜 is the randomized consensus of {!Rand_consensus}; the
+    composition reuses the Theorem-6 adversary via {!Game.Thm6.play_round}
+    on both sides, so the {e only} difference between the blocked and the
+    live run is the register mode — precisely the paper's claim. *)
+
+type cfg = {
+  n : int;  (** processes (>= 3); consensus runs among all [n] *)
+  gate_rounds : int;
+      (** rounds to drive the adversary for (blocked case) / cap (live case) *)
+  consensus_max_rounds : int;
+  seed : int64;
+}
+
+type outcome = {
+  game : Game.Alg1.result;
+  consensus : Rand_consensus.result;
+  blocked : bool;  (** true iff no process ever started 𝒜 *)
+}
+
+val run_blocked : cfg -> outcome
+(** 𝒜′ with [Linearizable] registers under the Theorem-6 adversary:
+    after [gate_rounds] rounds every process is still inside Algorithm 1
+    and no consensus fiber has taken a single step
+    ([blocked = true], all decisions [None]). *)
+
+val run_live : cfg -> inputs:(int -> int) -> outcome
+(** 𝒜′ with [Write_strong] registers under the same adversary: the gate
+    opens almost surely; every process then decides, and agreement/
+    validity hold ([blocked = false]). *)

@@ -1,0 +1,57 @@
+(** The experiment suite: one entry per figure/theorem of the paper
+    (E1–E8 in DESIGN.md).  Each [run_*] function executes the experiment
+    and returns a printable report; {!run_all} prints the whole battery
+    in the shape recorded in EXPERIMENTS.md.
+
+    [quick] variants use smaller run counts (used by `dune runtest`);
+    the full battery is what `dune exec bench/main.exe` and
+    `rlin experiments` print. *)
+
+type report = {
+  id : string;  (** e.g. "E1" *)
+  claim : string;  (** the paper's claim being probed *)
+  expected : string;  (** the shape the paper predicts *)
+  measured : string;  (** what this run measured *)
+  pass : bool;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val e1_nontermination : quick:bool -> report
+(** Theorem 6 / Figures 1–2: survival under the adversary. *)
+
+val e2_wsl_termination : quick:bool -> report
+(** Theorem 7: geometric termination with WSL registers. *)
+
+val e3_alg2_wsl : quick:bool -> report
+(** Theorem 10 / Figure 3: Algorithm 2 runs are write strongly-
+    linearizable, witnessed on-line by Algorithm 3. *)
+
+val e4_fig4_counterexample : quick:bool -> report
+(** Theorem 13 / Figure 4: no WSL function for Algorithm 4. *)
+
+val e5_alg4_linearizable : quick:bool -> report
+(** Theorem 12: Algorithm 4 runs are linearizable. *)
+
+val e6_abd : quick:bool -> report
+(** Theorem 14 / §6: ABD is linearizable and write strongly-linearizable,
+    under crashes. *)
+
+val e7_cor9 : quick:bool -> report
+(** Corollary 9: the gate blocks or opens with the register mode. *)
+
+val e8_cost : quick:bool -> report
+(** §5 "harder than": per-operation step cost of Algorithm 2 (vector
+    timestamps) vs Algorithm 4 (Lamport clocks), growing with n. *)
+
+val e9_ablation : quick:bool -> report
+(** Ablation (DESIGN.md §5): only [R1]'s mode matters — swapping the modes
+    of [R2]/[C] changes nothing, pinning Theorem 7's mechanism on the
+    on-line ordering of [R1]'s writes. *)
+
+val e10_mwabd : quick:bool -> report
+(** Extension: multi-writer ABD is linearizable but not write
+    strongly-linearizable — Figure 4 transposed to message passing. *)
+
+val all : quick:bool -> report list
+val run_all : quick:bool -> Format.formatter -> unit

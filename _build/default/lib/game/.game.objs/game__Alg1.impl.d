@@ -1,0 +1,1 @@
+lib/game/alg1.ml: Array Fun Hashtbl History Int64 List Option Printf Registers Simkit

@@ -1,0 +1,1 @@
+lib/game/alg1.mli: Registers Simkit

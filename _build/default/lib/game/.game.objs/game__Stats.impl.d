@@ -1,0 +1,1 @@
+lib/game/stats.ml: Alg1 Array Format Int64 List Registers Stdlib Thm6

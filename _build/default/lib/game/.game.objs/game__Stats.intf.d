@@ -1,0 +1,1 @@
+lib/game/stats.mli: Alg1 Format

@@ -1,0 +1,1 @@
+lib/game/thm6.ml: Alg1 History Int64 List Option Printf Registers Simkit

@@ -1,0 +1,1 @@
+lib/game/thm6.mli: Alg1 Registers

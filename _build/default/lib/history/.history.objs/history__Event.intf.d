@@ -1,0 +1,1 @@
+lib/history/event.pp.mli: Format Op Ppx_deriving_runtime Value

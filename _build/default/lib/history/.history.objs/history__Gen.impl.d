@@ -1,0 +1,1 @@
+lib/history/gen.pp.ml: Event Format Hashtbl Hist List Op QCheck Value

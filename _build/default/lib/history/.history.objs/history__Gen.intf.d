@@ -1,0 +1,1 @@
+lib/history/gen.pp.mli: Hist Op QCheck Value

@@ -1,0 +1,1 @@
+lib/history/hist.pp.ml: Array Event Format Hashtbl Int List Op Option Printf String Value

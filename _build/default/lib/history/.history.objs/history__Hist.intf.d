@@ -1,0 +1,1 @@
+lib/history/hist.pp.mli: Event Format Op Value

@@ -1,0 +1,1 @@
+lib/history/op.pp.ml: Format Int Option Ppx_deriving_runtime Value

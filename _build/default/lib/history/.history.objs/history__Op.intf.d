@@ -1,0 +1,1 @@
+lib/history/op.pp.mli: Format Ppx_deriving_runtime Value

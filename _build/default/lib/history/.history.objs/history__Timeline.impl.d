@@ -1,0 +1,1 @@
+lib/history/timeline.pp.ml: Buffer Bytes Format Hist Int List Op Printf String Value

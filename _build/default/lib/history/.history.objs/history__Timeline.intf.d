@@ -1,0 +1,1 @@
+lib/history/timeline.pp.mli: Hist Op

@@ -1,0 +1,1 @@
+lib/history/value.pp.ml: Clocks Format Ppx_deriving_runtime

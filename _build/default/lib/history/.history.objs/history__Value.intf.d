@@ -1,0 +1,1 @@
+lib/history/value.pp.mli: Clocks Format Ppx_deriving_runtime

@@ -1,0 +1,35 @@
+(** QCheck generators of register histories, used by the property-based
+    tests of the linearizability checkers.
+
+    Two families:
+    - {!atomic_history} produces histories that are linearizable {e by
+      construction} (they are recorded from a simulated run over an atomic
+      register, so the identity order is a witness);
+    - {!arbitrary_history} produces well-formed but otherwise unconstrained
+      histories (reads return arbitrary previously-written-or-initial
+      values), which may or may not be linearizable — useful for
+      differential testing of the decision procedures. *)
+
+type spec = {
+  n_procs : int;
+  n_ops : int;
+  obj : string;
+  init : Value.t;
+  distinct_writes : bool;
+      (** when true, every write carries a fresh value — the regime in
+          which the paper's algorithms operate (Observation 24) *)
+}
+
+val default_spec : spec
+
+val atomic_history : spec -> Hist.t QCheck.Gen.t
+(** Linearizable by construction; the generator also guarantees at least
+    one write when [n_ops > 1]. *)
+
+val atomic_history_with_witness : spec -> (Hist.t * Op.t list) QCheck.Gen.t
+(** Same, returning the linearization order used during generation. *)
+
+val arbitrary_history : spec -> Hist.t QCheck.Gen.t
+
+val arb_atomic : spec -> Hist.t QCheck.arbitrary
+val arb_arbitrary : spec -> Hist.t QCheck.arbitrary

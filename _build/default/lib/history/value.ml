@@ -1,0 +1,20 @@
+type t =
+  | Bot
+  | Int of int
+  | Pair of int * int
+  | VecStamped of int * (Clocks.Vector.t[@equal Clocks.Vector.equal] [@compare Clocks.Vector.compare] [@printer Clocks.Vector.pp])
+  | LamStamped of int * (Clocks.Lamport.t[@equal Clocks.Lamport.equal] [@compare Clocks.Lamport.compare] [@printer Clocks.Lamport.pp])
+[@@deriving eq, ord]
+
+let pp fmt = function
+  | Bot -> Format.pp_print_string fmt "\u{22A5}"
+  | Int n -> Format.pp_print_int fmt n
+  | Pair (a, b) -> Format.fprintf fmt "[%d,%d]" a b
+  | VecStamped (v, ts) -> Format.fprintf fmt "(%d,%a)" v Clocks.Vector.pp ts
+  | LamStamped (v, ts) -> Format.fprintf fmt "(%d,%a)" v Clocks.Lamport.pp ts
+
+let show t = Format.asprintf "%a" pp t
+let to_string = show
+let bot = Bot
+let int n = Int n
+let pair a b = Pair (a, b)

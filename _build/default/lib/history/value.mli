@@ -1,0 +1,26 @@
+(** Values held by the registers modelled in this library.
+
+    The paper's algorithms store a small zoo of values in registers:
+    [⊥] (Algorithm 1, lines 19–20), pairs [[i, j]] (Algorithm 1, line 3),
+    plain integers (register [R2]; coin results in [C]), and
+    timestamped payloads (Algorithms 2 and 4).  Rather than parameterize
+    every checker over a value type, we use one concrete sum type with
+    structural equality — checkers only ever need equality and printing. *)
+
+type t =
+  | Bot  (** the paper's [⊥] *)
+  | Int of int
+  | Pair of int * int  (** the paper's [[i, j]] tuples *)
+  | VecStamped of int * Clocks.Vector.t
+      (** a value tagged with a vector timestamp (Algorithm 2 payloads) *)
+  | LamStamped of int * Clocks.Lamport.t
+      (** a value tagged with a Lamport timestamp (Algorithm 4 payloads) *)
+[@@deriving eq, ord]
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val to_string : t -> string
+
+val bot : t
+val int : int -> t
+val pair : int -> int -> t

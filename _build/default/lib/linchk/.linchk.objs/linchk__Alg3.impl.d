@@ -1,0 +1,1 @@
+lib/linchk/alg3.ml: Clocks Hashtbl History Int List Option Printf Simkit String

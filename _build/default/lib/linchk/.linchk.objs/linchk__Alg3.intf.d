@@ -1,0 +1,1 @@
+lib/linchk/alg3.mli: History Simkit

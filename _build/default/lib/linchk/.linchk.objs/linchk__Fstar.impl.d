@@ -1,0 +1,1 @@
+lib/linchk/fstar.ml: Array History Int List Printf

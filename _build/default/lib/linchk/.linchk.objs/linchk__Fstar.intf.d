@@ -1,0 +1,1 @@
+lib/linchk/fstar.mli: History

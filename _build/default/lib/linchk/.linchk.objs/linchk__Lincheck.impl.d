@@ -1,0 +1,1 @@
+lib/linchk/lincheck.ml: Array Hashtbl History List Option Printf

@@ -1,0 +1,1 @@
+lib/linchk/lincheck.mli: History

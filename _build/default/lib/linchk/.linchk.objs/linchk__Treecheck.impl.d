@@ -1,0 +1,1 @@
+lib/linchk/treecheck.ml: History Lincheck List Option

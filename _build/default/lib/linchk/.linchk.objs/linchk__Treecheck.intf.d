@@ -1,0 +1,1 @@
+lib/linchk/treecheck.mli: History

@@ -1,0 +1,213 @@
+module V = History.Value
+module Op = History.Op
+module Hist = History.Hist
+
+exception Too_large
+
+type prepped = {
+  ops : Op.t array; (* pending reads removed *)
+  pred : int array; (* bitmask of ops that must precede op i *)
+  complete_mask : int;
+  init : V.t;
+}
+
+let prep ~init h =
+  (match Hist.objects h with
+  | [] | [ _ ] -> ()
+  | objs ->
+      invalid_arg
+        (Printf.sprintf "Lincheck: history spans %d objects; project first"
+           (List.length objs)));
+  let ops =
+    Hist.ops h
+    |> List.filter (fun (o : Op.t) -> Op.is_write o || Op.is_complete o)
+    |> Array.of_list
+  in
+  let n = Array.length ops in
+  if n > 62 then raise Too_large;
+  Array.iter
+    (fun (o : Op.t) ->
+      if Op.is_read o && Op.is_complete o && Option.is_none o.result then
+        invalid_arg
+          (Printf.sprintf "Lincheck: completed read #%d has no recorded result"
+             o.id))
+    ops;
+  let pred = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j <> i && Op.precedes ops.(j) ops.(i) then
+        pred.(i) <- pred.(i) lor (1 lsl j)
+    done
+  done;
+  let complete_mask = ref 0 in
+  Array.iteri (fun i o -> if Op.is_complete o then complete_mask := !complete_mask lor (1 lsl i)) ops;
+  { ops; pred; complete_mask = !complete_mask; init }
+
+(* The scope of a forced id prefix: the selected subsequence of the
+   linearization (e.g. all ops, only writes, only reads) must follow the
+   prefix.  This implements the paper's §7 generalization — strong
+   linearizability with respect to a subset O of operations. *)
+type scope = Op.t -> bool
+
+let all_ops : scope = fun _ -> true
+let writes_only : scope = Op.is_write
+
+(* Core decision DFS with failure memoization.  [forced] is an id list the
+   (write) subsequence of the linearization must start with. *)
+let decide p ~forced ~scope =
+  let n = Array.length p.ops in
+  let forced = Array.of_list forced in
+  let module Key = struct
+    type t = int * int * V.t (* mask, forced-cursor, value *)
+
+    let equal (m1, c1, v1) (m2, c2, v2) = m1 = m2 && c1 = c2 && V.equal v1 v2
+    let hash (m, c, v) = Hashtbl.hash (m, c, V.show v)
+  end in
+  let module Memo = Hashtbl.Make (Key) in
+  let failed = Memo.create 256 in
+  let rec go mask cursor value path =
+    if
+      p.complete_mask land mask = p.complete_mask
+      && cursor = Array.length forced
+    then Some (List.rev path)
+    else if Memo.mem failed (mask, cursor, value) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let idx = !i in
+        incr i;
+        if mask land (1 lsl idx) = 0 && p.pred.(idx) land mask = p.pred.(idx)
+        then begin
+          let o = p.ops.(idx) in
+          let allowed_by_forced, cursor' =
+            if cursor < Array.length forced && scope o then
+              if o.id = forced.(cursor) then (true, cursor + 1)
+              else (false, cursor)
+            else (true, cursor)
+          in
+          if allowed_by_forced then
+            match o.kind with
+            | Op.Write v -> (
+                match go (mask lor (1 lsl idx)) cursor' v (o :: path) with
+                | Some _ as r -> result := r
+                | None -> ())
+            | Op.Read -> (
+                match o.result with
+                | Some r when V.equal r value -> (
+                    match
+                      go (mask lor (1 lsl idx)) cursor' value (o :: path)
+                    with
+                    | Some _ as res -> result := res
+                    | None -> ())
+                | _ -> ())
+        end
+      done;
+      if !result = None then Memo.replace failed (mask, cursor, value) ();
+      !result
+    end
+  in
+  go 0 0 p.init []
+
+let witness ~init h =
+  let p = prep ~init h in
+  decide p ~forced:[] ~scope:all_ops
+
+let check ~init h = Option.is_some (witness ~init h)
+
+let check_multi ~init_of h =
+  List.for_all
+    (fun obj -> check ~init:(init_of obj) (Hist.project h ~obj))
+    (Hist.objects h)
+
+(* Enumeration (no memoization: we need all solutions, bounded by limit). *)
+let enum p ~forced ~scope ~limit ~collect =
+  let n = Array.length p.ops in
+  let forced = Array.of_list forced in
+  let out = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let emit path =
+    let sol = List.rev path in
+    let key = collect sol in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := sol :: !out;
+      incr count
+    end
+  in
+  let rec go mask cursor value path =
+    if !count >= limit then ()
+    else begin
+      if
+        p.complete_mask land mask = p.complete_mask
+        && cursor = Array.length forced
+      then emit path;
+      (* keep extending: pending writes may still be appended, and other
+         interleavings explored *)
+      for idx = 0 to n - 1 do
+        if
+          !count < limit
+          && mask land (1 lsl idx) = 0
+          && p.pred.(idx) land mask = p.pred.(idx)
+        then begin
+          let o = p.ops.(idx) in
+          let allowed_by_forced, cursor' =
+            if cursor < Array.length forced && scope o then
+              if o.id = forced.(cursor) then (true, cursor + 1)
+              else (false, cursor)
+            else (true, cursor)
+          in
+          if allowed_by_forced then
+            match o.kind with
+            | Op.Write v -> go (mask lor (1 lsl idx)) cursor' v (o :: path)
+            | Op.Read -> (
+                match o.result with
+                | Some r when V.equal r value ->
+                    go (mask lor (1 lsl idx)) cursor' value (o :: path)
+                | _ -> ())
+        end
+      done
+    end
+  in
+  go 0 0 p.init [];
+  List.rev !out
+
+let ids ops = List.map (fun (o : Op.t) -> o.id) ops
+let write_ids ops = ids (List.filter Op.is_write ops)
+
+let enumerate ~init h ~limit =
+  let p = prep ~init h in
+  enum p ~forced:[] ~scope:all_ops ~limit ~collect:ids
+
+let sel_ids sel ops = ids (List.filter sel ops)
+
+let enumerate_write_orders ~init h ~limit =
+  let p = prep ~init h in
+  enum p ~forced:[] ~scope:writes_only ~limit ~collect:write_ids
+  |> List.map (List.filter Op.is_write)
+
+let check_with_forced_write_prefix ~init h ~prefix =
+  let p = prep ~init h in
+  Option.is_some (decide p ~forced:prefix ~scope:writes_only)
+
+let check_with_forced_prefix ~init h ~prefix =
+  let p = prep ~init h in
+  Option.is_some (decide p ~forced:prefix ~scope:all_ops)
+
+let check_with_forced_subset_prefix ~init h ~sel ~prefix =
+  let p = prep ~init h in
+  Option.is_some (decide p ~forced:prefix ~scope:sel)
+
+let write_orders_extending ~init h ~prefix ~limit =
+  let p = prep ~init h in
+  enum p ~forced:prefix ~scope:writes_only ~limit ~collect:write_ids
+  |> List.map (List.filter Op.is_write)
+  |> List.map ids
+  |> List.sort_uniq compare
+
+let subset_orders_extending ~init h ~sel ~prefix ~limit =
+  let p = prep ~init h in
+  enum p ~forced:prefix ~scope:sel ~limit ~collect:(sel_ids sel)
+  |> List.map (fun l -> sel_ids sel l)
+  |> List.sort_uniq compare

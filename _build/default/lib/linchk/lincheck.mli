@@ -1,0 +1,94 @@
+(** Decision procedure for linearizability of register histories
+    (Definition 2 of the paper).
+
+    The checker performs a memoized depth-first search over the states
+    (set of linearized operations, current register value): at each step it
+    may linearize any operation all of whose real-time predecessors are
+    already linearized, provided a completed read returns the current
+    value.  Complete operations must eventually be linearized; pending
+    operations may be linearized (writes take effect, reads are dropped —
+    including a pending read never enables an otherwise-impossible
+    linearization, so dropping them is complete for decision purposes).
+
+    This is exact and terminating for finite histories; the search is
+    exponential in the number of concurrent operations in the worst case
+    but fast for the history sizes the experiments produce (the memo key
+    is the pair (done-set, last-written value), which collapses most of
+    the permutation space).
+
+    Histories with more than 62 operations on one object are rejected
+    ({!Too_large}) — the experiments stay far below this. *)
+
+exception Too_large
+
+val check : init:History.Value.t -> History.Hist.t -> bool
+(** [check ~init h]: is the single-object history [h] linearizable with
+    initial register value [init]?
+    @raise Invalid_argument if [h] spans several objects. *)
+
+val witness : init:History.Value.t -> History.Hist.t -> History.Op.t list option
+(** A linearization order, if one exists.  Pending writes that the witness
+    chose to linearize appear in place; pending reads never appear. *)
+
+val check_multi : init_of:(string -> History.Value.t) -> History.Hist.t -> bool
+(** Check each object's projection independently.  (Linearizability is a
+    local property — Herlihy & Wing, Theorem 1 — so a multi-object history
+    of registers is linearizable iff each per-object projection is.) *)
+
+val enumerate :
+  init:History.Value.t ->
+  History.Hist.t ->
+  limit:int ->
+  History.Op.t list list
+(** Up to [limit] distinct linearizations (used by the history-tree
+    checkers in {!Treecheck}). *)
+
+val enumerate_write_orders :
+  init:History.Value.t ->
+  History.Hist.t ->
+  limit:int ->
+  History.Op.t list list
+(** The distinct {e write subsequences} of linearizations of [h], each
+    returned once (used by the write strong-linearizability tree check). *)
+
+val check_with_forced_write_prefix :
+  init:History.Value.t -> History.Hist.t -> prefix:int list -> bool
+(** Is there a linearization whose write subsequence starts with exactly
+    the given op ids, in order?  (Used to test extendability of a parent's
+    committed write order — property (P) of Definition 4.) *)
+
+val check_with_forced_prefix :
+  init:History.Value.t -> History.Hist.t -> prefix:int list -> bool
+(** Is there a linearization whose full op sequence starts with exactly the
+    given op ids?  (Property (P) of Definition 3.) *)
+
+val write_orders_extending :
+  init:History.Value.t ->
+  History.Hist.t ->
+  prefix:int list ->
+  limit:int ->
+  int list list
+(** Distinct write-order id sequences of linearizations of [h] extending
+    [prefix], up to [limit]. *)
+
+val check_with_forced_subset_prefix :
+  init:History.Value.t ->
+  History.Hist.t ->
+  sel:(History.Op.t -> bool) ->
+  prefix:int list ->
+  bool
+(** §7 of the paper generalizes write strong-linearizability to strong
+    linearizability {e with respect to a subset O of operations}: only the
+    O-subsequence of the linearization must be fixed on-line.  This asks
+    whether a linearization exists whose [sel]-subsequence starts with
+    exactly the given op ids. *)
+
+val subset_orders_extending :
+  init:History.Value.t ->
+  History.Hist.t ->
+  sel:(History.Op.t -> bool) ->
+  prefix:int list ->
+  limit:int ->
+  int list list
+(** Distinct [sel]-subsequence id orders of linearizations of [h] extending
+    [prefix]. *)

@@ -1,0 +1,81 @@
+module Hist = History.Hist
+
+type tree = { hist : Hist.t; children : tree list }
+
+let node hist children =
+  List.iter
+    (fun c ->
+      if not (Hist.is_prefix hist ~of_:c.hist) then
+        invalid_arg "Treecheck.node: child does not extend parent")
+    children;
+  { hist; children }
+
+let chain = function
+  | [] -> invalid_arg "Treecheck.chain: empty"
+  | hs ->
+      let rec build = function
+        | [] -> assert false
+        | [ h ] -> node h []
+        | h :: rest -> node h [ build rest ]
+      in
+      build hs
+
+let of_prefixes h = chain (Hist.prefixes h)
+
+(* Search: assign to each node a linearization whose (write) sequence
+   extends the parent's committed (write) prefix.  We enumerate the
+   distinct candidate orders at each node (bounded) and recurse. *)
+
+let enum_limit = 4096
+
+let rec solve_sub ~init ~sel t ~prefix =
+  (* candidate [sel]-subsequence orders of this node extending [prefix] *)
+  let cands =
+    Lincheck.subset_orders_extending ~init t.hist ~sel ~prefix
+      ~limit:enum_limit
+  in
+  let rec try_cands = function
+    | [] -> None
+    | w :: rest -> (
+        match solve_children_sub ~init ~sel t.children ~prefix:w with
+        | Some subs -> Some ((t.hist, w) :: subs)
+        | None -> try_cands rest)
+  in
+  try_cands cands
+
+and solve_children_sub ~init ~sel children ~prefix =
+  match children with
+  | [] -> Some []
+  | c :: rest -> (
+      match solve_sub ~init ~sel c ~prefix with
+      | None -> None
+      | Some sub -> (
+          match solve_children_sub ~init ~sel rest ~prefix with
+          | None -> None
+          | Some subs -> Some (sub @ subs)))
+
+let subset_strong_witness ~init ~sel t = solve_sub ~init ~sel t ~prefix:[]
+let subset_strong ~init ~sel t = Option.is_some (subset_strong_witness ~init ~sel t)
+let write_strong_witness ~init t = subset_strong_witness ~init ~sel:History.Op.is_write t
+let write_strong ~init t = Option.is_some (write_strong_witness ~init t)
+let read_strong ~init t = subset_strong ~init ~sel:History.Op.is_read t
+
+(* Full strong linearizability: same search over full op sequences. *)
+let rec solve_s ~init t ~prefix =
+  let cands =
+    Lincheck.enumerate ~init t.hist ~limit:enum_limit
+    |> List.map (List.map (fun (o : History.Op.t) -> o.id))
+    |> List.filter (fun seq ->
+           let rec starts_with p s =
+             match (p, s) with
+             | [], _ -> true
+             | _, [] -> false
+             | x :: p', y :: s' -> x = y && starts_with p' s'
+           in
+           starts_with prefix seq)
+  in
+  List.exists
+    (fun seq -> List.for_all (fun c -> solve_s ~init c ~prefix:seq) t.children)
+    cands
+
+let strong ~init t = solve_s ~init t ~prefix:[]

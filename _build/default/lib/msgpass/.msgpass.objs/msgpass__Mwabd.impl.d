@@ -1,0 +1,1 @@
+lib/msgpass/mwabd.ml: Array History Int Net Simkit

@@ -1,0 +1,1 @@
+lib/msgpass/mwabd.mli: Net Simkit

@@ -1,0 +1,1 @@
+lib/msgpass/mwabd_scenario.ml: History Linchk List Mwabd Net Printf Simkit

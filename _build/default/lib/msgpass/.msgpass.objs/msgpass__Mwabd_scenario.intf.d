@@ -1,0 +1,1 @@
+lib/msgpass/mwabd_scenario.mli: History

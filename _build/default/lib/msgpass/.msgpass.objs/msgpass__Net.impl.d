@@ -1,0 +1,1 @@
+lib/msgpass/net.ml: Hashtbl List Queue Simkit

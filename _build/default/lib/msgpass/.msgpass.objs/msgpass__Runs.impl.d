@@ -1,0 +1,1 @@
+lib/msgpass/runs.ml: Abd History Int64 Linchk List Mwabd Net Simkit

@@ -1,0 +1,140 @@
+module V = History.Value
+module Op = History.Op
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+
+type msg =
+  | Write_req of { ts : int; v : int }
+  | Write_ack of { ts : int }
+  | Read_req of { rid : int; reader : int }
+  | Read_reply of { rid : int; ts : int; v : int }
+  | Wb_req of { rid : int; ts : int; v : int }
+  | Wb_ack of { rid : int }
+
+type replica = { mutable ts : int; mutable v : int }
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  n_ : int;
+  writer_ : int;
+  net : msg Net.t;
+  replicas : replica array;
+  mutable wseq : int; (* writer's sequence number *)
+  mutable rseq : int; (* fresh read ids *)
+}
+
+let server_pid ~node = 100 + node
+
+let server t node () =
+  let me = server_pid ~node in
+  let rep = t.replicas.(node) in
+  while true do
+    match Net.recv t.net ~pid:me with
+    | Write_req { ts; v } ->
+        if ts > rep.ts then begin
+          rep.ts <- ts;
+          rep.v <- v
+        end;
+        Net.send t.net ~src:me ~dst:t.writer_ (Write_ack { ts })
+    | Read_req { rid; reader } ->
+        Net.send t.net ~src:me ~dst:reader
+          (Read_reply { rid; ts = rep.ts; v = rep.v })
+    | Wb_req { rid; ts; v } ->
+        if ts > rep.ts then begin
+          rep.ts <- ts;
+          rep.v <- v
+        end;
+        (* reply to whichever client is waiting on this rid *)
+        Net.send t.net ~src:me ~dst:(rid / 1_000_000) (Wb_ack { rid })
+    | Write_ack _ | Read_reply _ | Wb_ack _ ->
+        (* client-bound message misrouted to a server: impossible by
+           construction *)
+        assert false
+  done
+
+let create ~sched ~name ~n ~writer ~init =
+  if n < 2 then invalid_arg "Abd.create: n must be >= 2";
+  if n >= 100 then invalid_arg "Abd.create: n must be < 100";
+  if writer < 0 || writer >= n then invalid_arg "Abd.create: writer out of range";
+  let t =
+    {
+      sched;
+      name_ = name;
+      n_ = n;
+      writer_ = writer;
+      net = Net.create ~sched ~n:200;
+      replicas = Array.init n (fun _ -> { ts = 0; v = init });
+      wseq = 0;
+      rseq = 0;
+    }
+  in
+  for node = 0 to n - 1 do
+    Sched.spawn sched ~pid:(server_pid ~node) (server t node)
+  done;
+  t
+
+let net t = t.net
+let name t = t.name_
+let n t = t.n_
+let writer t = t.writer_
+let majority t = (t.n_ / 2) + 1
+
+let broadcast_servers t ~src payload =
+  for node = 0 to t.n_ - 1 do
+    Net.send t.net ~src ~dst:(server_pid ~node) payload
+  done
+
+let write t v =
+  let tr = Sched.trace t.sched in
+  let op_id =
+    Trace.invoke tr ~proc:t.writer_ ~obj:t.name_ ~kind:(Op.Write (V.Int v))
+  in
+  t.wseq <- t.wseq + 1;
+  let ts = t.wseq in
+  broadcast_servers t ~src:t.writer_ (Write_req { ts; v });
+  (* collect a majority of fresh acks *)
+  let acks = ref 0 in
+  while !acks < majority t do
+    match Net.recv t.net ~pid:t.writer_ with
+    | Write_ack { ts = ts' } when ts' = ts -> incr acks
+    | _ -> () (* stale ack from an earlier operation *)
+  done;
+  Trace.respond tr ~op_id ~result:None
+
+let read t ~reader =
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
+  t.rseq <- t.rseq + 1;
+  let rid = (reader * 1_000_000) + t.rseq in
+  broadcast_servers t ~src:reader (Read_req { rid; reader });
+  (* phase 1: majority of replies; keep the largest timestamp *)
+  let got = ref 0 in
+  let best_ts = ref (-1) and best_v = ref 0 in
+  while !got < majority t do
+    match Net.recv t.net ~pid:reader with
+    | Read_reply { rid = rid'; ts; v } when rid' = rid ->
+        incr got;
+        if ts > !best_ts then begin
+          best_ts := ts;
+          best_v := v
+        end
+    | _ -> ()
+  done;
+  (* phase 2: write back to a majority *)
+  broadcast_servers t ~src:reader (Wb_req { rid; ts = !best_ts; v = !best_v });
+  let acked = ref 0 in
+  while !acked < majority t do
+    match Net.recv t.net ~pid:reader with
+    | Wb_ack { rid = rid' } when rid' = rid -> incr acked
+    | _ -> ()
+  done;
+  Trace.respond tr ~op_id ~result:(Some (V.Int !best_v));
+  !best_v
+
+let crash_node t ~node =
+  Sched.crash t.sched ~pid:(server_pid ~node);
+  (match Sched.status t.sched ~pid:node with
+  | exception Invalid_argument _ -> () (* client fiber never spawned *)
+  | _ -> Sched.crash t.sched ~pid:node);
+  Net.drop_to t.net ~dst:(server_pid ~node)

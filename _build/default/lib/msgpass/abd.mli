@@ -1,0 +1,57 @@
+(** The ABD register (Attiya, Bar-Noy, Dolev 1995): a linearizable SWMR
+    register in an asynchronous message-passing system where fewer than
+    half of the nodes may crash.
+
+    The paper's §6 discusses ABD as the canonical bridge between
+    message-passing and shared-memory systems, notes that it is {e not}
+    strongly linearizable [20], and proves (Theorem 14) that — like every
+    linearizable SWMR implementation — it {e is} write strongly-
+    linearizable.  Experiment E6 runs this implementation under random
+    asynchrony and crashes, checks every produced history for
+    linearizability, and applies the [f*] construction of Theorem 14 to
+    every prefix chain to confirm the write-prefix property.
+
+    Protocol (one writer, [n] nodes, majorities of size [⌊n/2⌋+1]):
+    - {b write(v)}: the writer increments its local sequence number [ts],
+      broadcasts [Write_req(ts, v)], and returns once a majority of nodes
+      acknowledged storing the pair;
+    - {b read()}: the reader broadcasts a query, collects a majority of
+      (ts, v) replies, selects the pair with the largest [ts], {e writes
+      it back} to a majority (the famous "readers must write" phase —
+      without it two sequential reads could observe new-then-old), and
+      returns [v].
+
+    Each node runs a server fiber (pid [100 + node]) holding its replica
+    and a client fiber (pid [node]) issuing operations. *)
+
+type t
+
+type msg
+(** Protocol messages (abstract; exposed so callers can thread the
+    register's network into a delivery policy). *)
+
+val net : t -> msg Net.t
+
+val create :
+  sched:Simkit.Sched.t -> name:string -> n:int -> writer:int -> init:int -> t
+(** [n >= 2] nodes ([< 100]); spawns the [n] server fibers.  Client code
+    runs in the node fibers the caller spawns. *)
+
+val name : t -> string
+val n : t -> int
+val writer : t -> int
+val majority : t -> int
+
+val write : t -> int -> unit
+(** Writer-client operation; must run in fiber [writer].
+    @raise Invalid_argument from a non-writer fiber's pid. *)
+
+val read : t -> reader:int -> int
+(** Reader-client operation; must run in fiber [reader]. *)
+
+val crash_node : t -> node:int -> unit
+(** Crash a node's server (and its client fiber if spawned): it stops
+    acknowledging.  The caller is responsible for keeping a majority
+    alive. *)
+
+val server_pid : node:int -> int

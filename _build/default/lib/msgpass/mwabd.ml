@@ -1,0 +1,142 @@
+module V = History.Value
+module Op = History.Op
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+
+(* timestamps ⟨sq, pid⟩, compared lexicographically *)
+let ts_compare (sq1, p1) (sq2, p2) =
+  match Int.compare sq1 sq2 with 0 -> Int.compare p1 p2 | c -> c
+
+type msg =
+  | Ts_req of { rid : int }
+  | Ts_reply of { rid : int; sq : int }
+  | Write_req of { wid : int; sq : int; pid : int; v : int }
+  | Write_ack of { wid : int }
+  | Read_req of { rid : int }
+  | Read_reply of { rid : int; sq : int; pid : int; v : int }
+  | Wb_req of { rid : int; sq : int; pid : int; v : int }
+  | Wb_ack of { rid : int }
+
+type replica = { mutable sq : int; mutable pid : int; mutable v : int }
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  n_ : int;
+  net : msg Net.t;
+  replicas : replica array;
+  mutable seq : int; (* fresh request ids *)
+}
+
+let server_pid ~node = 100 + node
+let client_of rid = rid / 1_000_000
+
+let server t node () =
+  let me = server_pid ~node in
+  let rep = t.replicas.(node) in
+  while true do
+    match Net.recv t.net ~pid:me with
+    | Ts_req { rid } ->
+        Net.send t.net ~src:me ~dst:(client_of rid) (Ts_reply { rid; sq = rep.sq })
+    | Write_req { wid; sq; pid; v } ->
+        if ts_compare (sq, pid) (rep.sq, rep.pid) > 0 then begin
+          rep.sq <- sq;
+          rep.pid <- pid;
+          rep.v <- v
+        end;
+        Net.send t.net ~src:me ~dst:(client_of wid) (Write_ack { wid })
+    | Read_req { rid } ->
+        Net.send t.net ~src:me ~dst:(client_of rid)
+          (Read_reply { rid; sq = rep.sq; pid = rep.pid; v = rep.v })
+    | Wb_req { rid; sq; pid; v } ->
+        if ts_compare (sq, pid) (rep.sq, rep.pid) > 0 then begin
+          rep.sq <- sq;
+          rep.pid <- pid;
+          rep.v <- v
+        end;
+        Net.send t.net ~src:me ~dst:(client_of rid) (Wb_ack { rid })
+    | Ts_reply _ | Write_ack _ | Read_reply _ | Wb_ack _ -> assert false
+  done
+
+let create ~sched ~name ~n ~init =
+  if n < 2 then invalid_arg "Mwabd.create: n must be >= 2";
+  if n >= 100 then invalid_arg "Mwabd.create: n must be < 100";
+  let t =
+    {
+      sched;
+      name_ = name;
+      n_ = n;
+      net = Net.create ~sched ~n:200;
+      replicas = Array.init n (fun node -> { sq = 0; pid = node; v = init });
+      seq = 0;
+    }
+  in
+  for node = 0 to n - 1 do
+    Sched.spawn sched ~pid:(server_pid ~node) (server t node)
+  done;
+  t
+
+let net t = t.net
+let majority t = (t.n_ / 2) + 1
+
+let broadcast_servers t ~src payload =
+  for node = 0 to t.n_ - 1 do
+    Net.send t.net ~src ~dst:(server_pid ~node) payload
+  done
+
+let fresh_rid t ~client =
+  t.seq <- t.seq + 1;
+  (client * 1_000_000) + t.seq
+
+let write t ~proc v =
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
+  (* phase 1: query a majority for sequence numbers *)
+  let rid = fresh_rid t ~client:proc in
+  broadcast_servers t ~src:proc (Ts_req { rid });
+  let got = ref 0 and max_sq = ref 0 in
+  while !got < majority t do
+    match Net.recv t.net ~pid:proc with
+    | Ts_reply { rid = rid'; sq } when rid' = rid ->
+        incr got;
+        if sq > !max_sq then max_sq := sq
+    | _ -> ()
+  done;
+  (* phase 2: push (v, ⟨max+1, proc⟩) to a majority *)
+  let wid = fresh_rid t ~client:proc in
+  broadcast_servers t ~src:proc
+    (Write_req { wid; sq = !max_sq + 1; pid = proc; v });
+  let acks = ref 0 in
+  while !acks < majority t do
+    match Net.recv t.net ~pid:proc with
+    | Write_ack { wid = wid' } when wid' = wid -> incr acks
+    | _ -> ()
+  done;
+  Trace.respond tr ~op_id ~result:None
+
+let read t ~reader =
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
+  let rid = fresh_rid t ~client:reader in
+  broadcast_servers t ~src:reader (Read_req { rid });
+  let got = ref 0 in
+  let best = ref (-1, -1, 0) in
+  while !got < majority t do
+    match Net.recv t.net ~pid:reader with
+    | Read_reply { rid = rid'; sq; pid; v } when rid' = rid ->
+        incr got;
+        let bsq, bpid, _ = !best in
+        if ts_compare (sq, pid) (bsq, bpid) > 0 then best := (sq, pid, v)
+    | _ -> ()
+  done;
+  let sq, pid, v = !best in
+  let wbid = fresh_rid t ~client:reader in
+  broadcast_servers t ~src:reader (Wb_req { rid = wbid; sq; pid; v });
+  let acked = ref 0 in
+  while !acked < majority t do
+    match Net.recv t.net ~pid:reader with
+    | Wb_ack { rid = rid' } when rid' = wbid -> incr acked
+    | _ -> ()
+  done;
+  Trace.respond tr ~op_id ~result:(Some (V.Int v));
+  v

@@ -1,0 +1,98 @@
+type 'a msg = { src : int; dst : int; payload : 'a }
+
+type 'a t = {
+  sched : Simkit.Sched.t;
+  n : int;
+  mutable flight : 'a msg list; (* oldest first *)
+  mailboxes : (int, 'a Queue.t) Hashtbl.t;
+}
+
+let create ~sched ~n =
+  if n < 1 then invalid_arg "Net.create: n must be >= 1";
+  { sched; n; flight = []; mailboxes = Hashtbl.create 16 }
+
+let mailbox t pid =
+  match Hashtbl.find_opt t.mailboxes pid with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.mailboxes pid q;
+      q
+
+let send t ~src ~dst payload =
+  t.flight <- t.flight @ [ { src; dst; payload } ]
+
+let broadcast t ~src payload =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst payload
+  done
+
+let try_recv t ~pid =
+  let q = mailbox t pid in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let recv t ~pid =
+  let rec wait () =
+    match try_recv t ~pid with
+    | Some m -> m
+    | None ->
+        Simkit.Fiber.yield ();
+        wait ()
+  in
+  wait ()
+
+let in_flight t = List.length t.flight
+let mailbox_size t ~pid = Queue.length (mailbox t pid)
+
+let deliver_nth t i =
+  let rec go k acc = function
+    | [] -> invalid_arg "Net.deliver_nth"
+    | m :: rest ->
+        if k = i then begin
+          t.flight <- List.rev_append acc rest;
+          Queue.push m.payload (mailbox t m.dst)
+        end
+        else go (k + 1) (m :: acc) rest
+  in
+  go 0 [] t.flight
+
+let deliver_one t ~rng =
+  match t.flight with
+  | [] -> false
+  | l ->
+      deliver_nth t (Simkit.Rng.int rng (List.length l));
+      true
+
+let deliver_now t ~dst =
+  let rec idx k = function
+    | [] -> None
+    | m :: _ when m.dst = dst -> Some k
+    | _ :: rest -> idx (k + 1) rest
+  in
+  match idx 0 t.flight with
+  | None -> false
+  | Some i ->
+      deliver_nth t i;
+      true
+
+let deliver_from t ~src ~dst =
+  let rec idx k = function
+    | [] -> None
+    | m :: _ when m.dst = dst && m.src = src -> Some k
+    | _ :: rest -> idx (k + 1) rest
+  in
+  match idx 0 t.flight with
+  | None -> false
+  | Some i ->
+      deliver_nth t i;
+      true
+
+let deliver_all t =
+  List.iter (fun m -> Queue.push m.payload (mailbox t m.dst)) t.flight;
+  t.flight <- []
+
+let drop_to t ~dst = t.flight <- List.filter (fun m -> m.dst <> dst) t.flight
+
+let auto_deliver_policy t ~rng inner s =
+  if in_flight t > 0 && Simkit.Rng.bool rng then ignore (deliver_one t ~rng);
+  inner s

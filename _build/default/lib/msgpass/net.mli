@@ -1,0 +1,62 @@
+(** An asynchronous message-passing network on top of the simulator.
+
+    Messages are reliable but arbitrarily delayed and reordered: a send
+    enqueues the message as {e in-flight}; it becomes receivable only once
+    the delivery policy moves it to the destination's mailbox.  Receivers
+    block (yield) until their mailbox is non-empty.  Crash faults come from
+    {!Simkit.Sched.crash} — a crashed process simply stops taking steps,
+    and its mail accumulates unread.
+
+    The default {!auto_deliver} policy delivers a uniformly random
+    in-flight message between process steps, giving the random asynchrony
+    the ABD experiments use; adversarial tests can instead call
+    {!deliver_now}/{!deliver_where} to impose specific delivery orders. *)
+
+type 'a t
+
+val create : sched:Simkit.Sched.t -> n:int -> 'a t
+(** Network among processes (fiber pids) [0 … n-1] and their server
+    fibers; any pid registered with the scheduler may send/receive. *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Enqueue in-flight (no yield: sending is part of the current step). *)
+
+val broadcast : 'a t -> src:int -> 'a -> unit
+(** Send to all n base processes, including [src] (self-delivery is via
+    the network too, keeping the quorum logic uniform). *)
+
+val recv : 'a t -> pid:int -> 'a
+(** Block (yield) until a delivered message for [pid] exists; dequeue the
+    oldest.  Must be called within a fiber. *)
+
+val try_recv : 'a t -> pid:int -> 'a option
+(** Non-blocking variant (no yield). *)
+
+val in_flight : 'a t -> int
+(** Number of undelivered messages. *)
+
+val mailbox_size : 'a t -> pid:int -> int
+
+val deliver_one : 'a t -> rng:Simkit.Rng.t -> bool
+(** Move one uniformly random in-flight message to its mailbox; [false]
+    if none are in flight. *)
+
+val deliver_now : 'a t -> dst:int -> bool
+(** Deliver the oldest in-flight message addressed to [dst]. *)
+
+val deliver_from : 'a t -> src:int -> dst:int -> bool
+(** Deliver the oldest in-flight message from [src] to [dst] — the
+    fine-grained control the scripted adversarial scenarios need. *)
+
+val deliver_all : 'a t -> unit
+(** Flush every in-flight message (used to end experiments cleanly). *)
+
+val drop_to : 'a t -> dst:int -> unit
+(** Discard all in-flight messages addressed to [dst] — used with
+    {!Simkit.Sched.crash} to model a crashed node whose links die too. *)
+
+val auto_deliver_policy :
+  'a t -> rng:Simkit.Rng.t -> Simkit.Sched.policy -> Simkit.Sched.policy
+(** Wrap a scheduling policy: before each decision, with probability ~1/2
+    deliver a random in-flight message.  Keeps the network flowing under
+    any process-scheduling policy. *)

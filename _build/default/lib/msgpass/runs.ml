@@ -1,0 +1,111 @@
+module V = History.Value
+module Sched = Simkit.Sched
+
+type workload = {
+  n : int;
+  writes : int;
+  readers : int list;
+  reads_each : int;
+  crash : int list;
+  seed : int64;
+}
+
+let default =
+  { n = 5; writes = 4; readers = [ 1; 2 ]; reads_each = 3; crash = []; seed = 1L }
+
+type run = { history : History.Hist.t; completed : bool; steps : int }
+
+let execute w =
+  if List.length w.crash >= (w.n + 1) / 2 then
+    invalid_arg "Runs.execute: crash set must be a strict minority";
+  if List.mem 0 w.crash then invalid_arg "Runs.execute: cannot crash the writer";
+  List.iter
+    (fun c ->
+      if List.mem c w.readers then
+        invalid_arg "Runs.execute: crashed nodes cannot be readers")
+    w.crash;
+  let sched = Sched.create ~seed:w.seed () in
+  let reg = Abd.create ~sched ~name:"ABD" ~n:w.n ~writer:0 ~init:0 in
+  let first_write_done = ref false in
+  let remaining = ref (1 + List.length w.readers) in
+  let finish () = decr remaining in
+  Sched.spawn sched ~pid:0 (fun () ->
+      for k = 1 to w.writes do
+        Abd.write reg (100 + k);
+        if k = 1 then first_write_done := true
+      done;
+      finish ());
+  List.iter
+    (fun r ->
+      Sched.spawn sched ~pid:r (fun () ->
+          for _ = 1 to w.reads_each do
+            ignore (Abd.read reg ~reader:r)
+          done;
+          finish ()))
+    w.readers;
+  let rng = Simkit.Rng.create (Int64.logxor w.seed 0x9E3779B9L) in
+  let crashed = ref false in
+  let base_policy s =
+    (* crash the chosen minority once the run is underway *)
+    if (not !crashed) && !first_write_done then begin
+      crashed := true;
+      List.iter (fun node -> Abd.crash_node reg ~node) w.crash
+    end;
+    if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
+  in
+  let policy = Net.auto_deliver_policy (Abd.net reg) ~rng base_policy in
+  let max_steps =
+    (w.writes + (List.length w.readers * w.reads_each)) * w.n * 600
+  in
+  let steps = Sched.run sched ~policy ~max_steps in
+  {
+    history =
+      History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"ABD";
+    completed = !remaining = 0;
+    steps;
+  }
+
+(* multi-writer workload over the Mwabd register: several writer clients
+   with globally distinct values, plus readers, random asynchrony *)
+let execute_mw ~n ~writers ~writes_each ~readers ~reads_each ~seed =
+  let sched = Sched.create ~seed () in
+  let reg = Mwabd.create ~sched ~name:"MW" ~n ~init:0 in
+  let remaining = ref (List.length writers + List.length readers) in
+  List.iter
+    (fun wnode ->
+      Sched.spawn sched ~pid:wnode (fun () ->
+          for k = 1 to writes_each do
+            Mwabd.write reg ~proc:wnode ((1000 * (wnode + 1)) + k)
+          done;
+          decr remaining))
+    writers;
+  List.iter
+    (fun rnode ->
+      Sched.spawn sched ~pid:rnode (fun () ->
+          for _ = 1 to reads_each do
+            ignore (Mwabd.read reg ~reader:rnode)
+          done;
+          decr remaining))
+    readers;
+  let rng = Simkit.Rng.create (Int64.logxor seed 0x7E57AB1EL) in
+  let policy s =
+    if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
+  in
+  let policy = Net.auto_deliver_policy (Mwabd.net reg) ~rng policy in
+  let ops = (List.length writers * writes_each) + (List.length readers * reads_each) in
+  let steps = Sched.run sched ~policy ~max_steps:(ops * n * 800) in
+  {
+    history =
+      History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"MW";
+    completed = !remaining = 0;
+    steps;
+  }
+
+let check run =
+  if not run.completed then Error "run did not complete"
+  else if not (Linchk.Lincheck.check ~init:(V.Int 0) run.history) then
+    Error "history is not linearizable"
+  else
+    match Linchk.Fstar.wsl_function ~init:(V.Int 0) run.history with
+    | Ok _ -> Ok ()
+    | Error e -> Error ("f* write-prefix property failed: " ^ e)

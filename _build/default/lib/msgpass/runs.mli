@@ -1,0 +1,41 @@
+(** Workload drivers for the ABD experiments (E6). *)
+
+type workload = {
+  n : int;  (** nodes *)
+  writes : int;  (** operations by the writer *)
+  readers : int list;  (** client nodes issuing reads *)
+  reads_each : int;
+  crash : int list;  (** nodes crashed mid-run (must keep a majority) *)
+  seed : int64;
+}
+
+val default : workload
+
+type run = {
+  history : History.Hist.t;  (** the ABD register's history *)
+  completed : bool;  (** all client fibers finished *)
+  steps : int;
+}
+
+val execute : workload -> run
+(** Spawn the writer/reader clients, crash the requested minority after
+    the first write completes, and drive everything with a random
+    scheduler + random message delivery until the clients finish.
+    @raise Invalid_argument if the crash set is not a minority or contains
+    the writer (the writer must survive to finish its workload). *)
+
+val execute_mw :
+  n:int ->
+  writers:int list ->
+  writes_each:int ->
+  readers:int list ->
+  reads_each:int ->
+  seed:int64 ->
+  run
+(** Multi-writer workload over the {!Mwabd} register (no crashes); write
+    values are globally distinct so the exact checker applies. *)
+
+val check : run -> (unit, string) result
+(** Verify the run's history is linearizable (Lincheck) and that the
+    [f*] construction of Theorem 14 yields monotone write orders on every
+    prefix (write strong-linearizability, Fstar). *)

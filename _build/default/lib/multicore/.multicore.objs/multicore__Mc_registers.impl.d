@@ -1,0 +1,1 @@
+lib/multicore/mc_registers.ml: Array Atomic Domain History Int Linchk List Mclog

@@ -1,0 +1,1 @@
+lib/multicore/mclog.ml: Atomic History Int List

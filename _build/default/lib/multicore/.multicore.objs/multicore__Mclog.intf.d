@@ -1,0 +1,1 @@
+lib/multicore/mclog.mli: History

@@ -1,0 +1,152 @@
+module V = History.Value
+module Op = History.Op
+
+(* lexicographic comparison of equal-length int arrays *)
+let lex_compare (a : int array) (b : int array) =
+  let n = Array.length a in
+  let rec go i =
+    if i = n then 0
+    else match Int.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+module Alg2 = struct
+  type t = {
+    log : Mclog.t;
+    name : string;
+    n : int;
+    vals : (int * int array) Atomic.t array;
+  }
+
+  let create ~log ~name ~n ~init =
+    if n < 1 then invalid_arg "Mc.Alg2.create: n must be >= 1";
+    {
+      log;
+      name;
+      n;
+      vals = Array.init n (fun _ -> Atomic.make (init, Array.make n 0));
+    }
+
+  let check_proc t proc =
+    if proc < 1 || proc > t.n then invalid_arg "Mc.Alg2: proc out of range"
+
+  let write t ~proc v =
+    check_proc t proc;
+    let op_id =
+      Mclog.invoke t.log ~proc ~obj:t.name ~kind:(Op.Write (V.Int v))
+    in
+    (* lines 1–7: build the vector timestamp one component at a time *)
+    let new_ts = Array.make t.n 0 in
+    for i = 1 to t.n do
+      let _, ts_i = Atomic.get t.vals.(i - 1) in
+      new_ts.(i - 1) <- (if i = proc then ts_i.(i - 1) + 1 else ts_i.(i - 1))
+    done;
+    (* line 8 *)
+    Atomic.set t.vals.(proc - 1) (v, new_ts);
+    Mclog.respond t.log ~op_id ~result:None
+
+  let read t ~proc =
+    check_proc t proc;
+    let op_id = Mclog.invoke t.log ~proc ~obj:t.name ~kind:Op.Read in
+    let best = ref (Atomic.get t.vals.(0)) in
+    for i = 2 to t.n do
+      let (_, ts) as p = Atomic.get t.vals.(i - 1) in
+      if lex_compare ts (snd !best) > 0 then best := p
+    done;
+    let v = fst !best in
+    Mclog.respond t.log ~op_id ~result:(Some (V.Int v));
+    v
+end
+
+module Alg4 = struct
+  type t = {
+    log : Mclog.t;
+    name : string;
+    n : int;
+    vals : (int * (int * int)) Atomic.t array; (* (v, (sq, pid)) *)
+  }
+
+  let create ~log ~name ~n ~init =
+    if n < 1 then invalid_arg "Mc.Alg4.create: n must be >= 1";
+    {
+      log;
+      name;
+      n;
+      vals = Array.init n (fun i -> Atomic.make (init, (0, i + 1)));
+    }
+
+  let check_proc t proc =
+    if proc < 1 || proc > t.n then invalid_arg "Mc.Alg4: proc out of range"
+
+  let ts_compare (sq1, p1) (sq2, p2) =
+    match Int.compare sq1 sq2 with 0 -> Int.compare p1 p2 | c -> c
+
+  let write t ~proc v =
+    check_proc t proc;
+    let op_id =
+      Mclog.invoke t.log ~proc ~obj:t.name ~kind:(Op.Write (V.Int v))
+    in
+    let max_sq = ref 0 in
+    for i = 1 to t.n do
+      let _, (sq, _) = Atomic.get t.vals.(i - 1) in
+      if sq > !max_sq then max_sq := sq
+    done;
+    Atomic.set t.vals.(proc - 1) (v, (!max_sq + 1, proc));
+    Mclog.respond t.log ~op_id ~result:None
+
+  let read t ~proc =
+    check_proc t proc;
+    let op_id = Mclog.invoke t.log ~proc ~obj:t.name ~kind:Op.Read in
+    let best = ref (Atomic.get t.vals.(0)) in
+    for i = 2 to t.n do
+      let (_, ts) as p = Atomic.get t.vals.(i - 1) in
+      if ts_compare ts (snd !best) > 0 then best := p
+    done;
+    let v = fst !best in
+    Mclog.respond t.log ~op_id ~result:(Some (V.Int v));
+    v
+end
+
+module Stress = struct
+  type report = {
+    history : History.Hist.t;
+    ops : int;
+    linearizable : bool option;
+  }
+
+  let run ~impl ~domains ~ops_per_domain ?(check = true) () =
+    if domains < 1 then invalid_arg "Stress.run: domains must be >= 1";
+    let log = Mclog.create () in
+    let do_ops : proc:int -> unit =
+      match impl with
+      | `Alg2 ->
+          let r = Alg2.create ~log ~name:"R" ~n:domains ~init:0 in
+          fun ~proc ->
+            for k = 1 to ops_per_domain do
+              if k mod 2 = 1 then Alg2.write r ~proc ((1000 * proc) + k)
+              else ignore (Alg2.read r ~proc)
+            done
+      | `Alg4 ->
+          let r = Alg4.create ~log ~name:"R" ~n:domains ~init:0 in
+          fun ~proc ->
+            for k = 1 to ops_per_domain do
+              if k mod 2 = 1 then Alg4.write r ~proc ((1000 * proc) + k)
+              else ignore (Alg4.read r ~proc)
+            done
+    in
+    let workers =
+      List.init domains (fun i ->
+          Domain.spawn (fun () -> do_ops ~proc:(i + 1)))
+    in
+    List.iter Domain.join workers;
+    let history = Mclog.history log in
+    let ops = List.length (History.Hist.ops history) in
+    let linearizable =
+      if not check then None
+      else
+        match Linchk.Lincheck.check ~init:(V.Int 0) history with
+        | b -> Some b
+        | exception Linchk.Lincheck.Too_large -> None
+    in
+    { history; ops; linearizable }
+end

@@ -1,0 +1,49 @@
+(** Multicore (Domain + Atomic) ports of the paper's two MWMR register
+    constructions.  The base SWMR registers become [Atomic.t] cells —
+    OCaml guarantees their reads and writes are atomic and sequentially
+    consistent, which is (more than) the atomic-register assumption the
+    paper makes of the [Val[-]] array.
+
+    Both ports record their high-level histories in an {!Mclog}, which the
+    stress harness checks with the exact linearizability decision
+    procedure. *)
+
+module Alg2 : sig
+  (** Vector-timestamp MWMR register (write strongly-linearizable). *)
+
+  type t
+
+  val create : log:Mclog.t -> name:string -> n:int -> init:int -> t
+  val write : t -> proc:int -> int -> unit
+  val read : t -> proc:int -> int
+end
+
+module Alg4 : sig
+  (** Lamport-timestamp MWMR register (linearizable). *)
+
+  type t
+
+  val create : log:Mclog.t -> name:string -> n:int -> init:int -> t
+  val write : t -> proc:int -> int -> unit
+  val read : t -> proc:int -> int
+end
+
+module Stress : sig
+  type report = {
+    history : History.Hist.t;
+    ops : int;
+    linearizable : bool option;
+        (** [None] when the history is too large for the exact checker *)
+  }
+
+  val run :
+    impl:[ `Alg2 | `Alg4 ] ->
+    domains:int ->
+    ops_per_domain:int ->
+    ?check:bool ->
+    unit ->
+    report
+  (** Spawn [domains] domains, each performing a deterministic mix of
+      reads and distinct-valued writes, join them, and (optionally,
+      default true) decide linearizability of the recorded history. *)
+end

@@ -1,0 +1,31 @@
+type t = {
+  stamp : int Atomic.t;
+  ops : int Atomic.t;
+  items : History.Event.timed list Atomic.t;
+}
+
+let create () =
+  { stamp = Atomic.make 1; ops = Atomic.make 0; items = Atomic.make [] }
+
+let rec push t e =
+  let cur = Atomic.get t.items in
+  if not (Atomic.compare_and_set t.items cur (e :: cur)) then push t e
+
+let invoke t ~proc ~obj ~kind =
+  let op_id = Atomic.fetch_and_add t.ops 1 + 1 in
+  let time = Atomic.fetch_and_add t.stamp 1 in
+  push t
+    {
+      History.Event.time;
+      event = History.Event.Invoke { op_id; proc; obj; kind };
+    };
+  op_id
+
+let respond t ~op_id ~result =
+  let time = Atomic.fetch_and_add t.stamp 1 in
+  push t { History.Event.time; event = History.Event.Respond { op_id; result } }
+
+let history t =
+  Atomic.get t.items
+  |> List.sort (fun a b -> Int.compare a.History.Event.time b.History.Event.time)
+  |> History.Hist.of_events_exn

@@ -1,0 +1,23 @@
+(** Concurrent history log for the multicore ports of Algorithms 2 and 4.
+
+    Real domains cannot be scheduled adversarially, so the multicore layer
+    serves a different purpose than the simulator: it shows the register
+    constructions are not simulator artifacts.  Each operation stamps its
+    invocation and response with a global [Atomic] counter; because the
+    invocation stamp is taken before the operation's first shared access
+    and the response stamp after its last, the recorded intervals contain
+    the operations' effect windows, so linearizability of the recorded
+    history is implied by linearizability of the actual execution — and a
+    violation found in the recorded history is a real violation. *)
+
+type t
+
+val create : unit -> t
+
+val invoke : t -> proc:int -> obj:string -> kind:History.Op.kind -> int
+(** Thread-safe; returns the fresh op id. *)
+
+val respond : t -> op_id:int -> result:History.Value.t option -> unit
+
+val history : t -> History.Hist.t
+(** Call only after all domains have joined. *)

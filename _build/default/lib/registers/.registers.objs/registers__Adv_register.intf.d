@@ -1,0 +1,1 @@
+lib/registers/adv_register.mli: History Simkit

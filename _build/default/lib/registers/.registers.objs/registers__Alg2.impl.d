@@ -1,0 +1,1 @@
+lib/registers/alg2.ml: Array Clocks History Printf Simkit Swmr

@@ -1,0 +1,1 @@
+lib/registers/alg2.mli: Clocks Simkit

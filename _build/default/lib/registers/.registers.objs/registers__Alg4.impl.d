@@ -1,0 +1,1 @@
+lib/registers/alg4.ml: Array Clocks History Printf Simkit Swmr

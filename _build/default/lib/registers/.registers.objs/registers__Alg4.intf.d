@@ -1,0 +1,1 @@
+lib/registers/alg4.mli: Clocks Simkit

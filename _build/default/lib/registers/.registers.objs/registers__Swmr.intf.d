@@ -1,0 +1,1 @@
+lib/registers/swmr.mli:

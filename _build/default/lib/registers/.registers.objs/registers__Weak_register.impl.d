@@ -1,0 +1,1 @@
+lib/registers/weak_register.ml: History List Printf Simkit

@@ -1,0 +1,1 @@
+lib/registers/weak_register.mli: History Simkit

@@ -1,0 +1,246 @@
+module V = History.Value
+module Op = History.Op
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+module Fiber = Simkit.Fiber
+
+exception Illegal of string
+
+type mode = Atomic | Write_strong | Linearizable
+
+type slot = {
+  op_id : int;
+  proc : int;
+  kind : Op.kind;
+  invoked_at : int;
+  mutable captured : V.t option; (* reads: value fixed at linearization *)
+  mutable responded_at : int option;
+}
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  init : V.t;
+  mode_ : mode;
+  mutable seq : slot list; (* committed linearization, in order *)
+  mutable pend : slot list; (* invoked, uncommitted, invocation order *)
+  mutable commit_log : (int * int list) list; (* reverse order *)
+}
+
+let create ~sched ~name ~init ~mode =
+  { sched; name_ = name; init; mode_ = mode; seq = []; pend = []; commit_log = [] }
+
+let name t = t.name_
+let mode t = t.mode_
+let illegal fmt = Format.kasprintf (fun s -> raise (Illegal s)) fmt
+
+(* ----- queries ----------------------------------------------------------- *)
+
+let pending t = List.map (fun s -> (s.op_id, s.proc, s.kind)) t.pend
+
+let pending_of_proc t ~proc =
+  List.find_map (fun s -> if s.proc = proc then Some s.op_id else None) t.pend
+
+let committed_ids t = List.map (fun s -> s.op_id) t.seq
+
+let position_of t ~op_id =
+  let rec go i = function
+    | [] -> None
+    | s :: _ when s.op_id = op_id -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.seq
+
+let last_write_value ~init slots =
+  List.fold_left
+    (fun acc s -> match s.kind with Op.Write v -> v | Op.Read -> acc)
+    init slots
+
+let current_value t = last_write_value ~init:t.init t.seq
+
+(* ----- legality ----------------------------------------------------------- *)
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: go (n - 1) xs
+  in
+  go n l
+
+let drop n l =
+  let rec go n = function
+    | l when n = 0 -> l
+    | [] -> []
+    | _ :: xs -> go (n - 1) xs
+  in
+  go n l
+
+(* Check that inserting [slot] at [pos] preserves every committed read's
+   captured value and respects real-time precedence. *)
+let check_insertion t slot pos =
+  let before = take pos t.seq and after = drop pos t.seq in
+  (* real-time precedence: nothing at or after [pos] may have responded
+     before [slot] was invoked *)
+  List.iter
+    (fun s ->
+      match s.responded_at with
+      | Some r when r < slot.invoked_at ->
+          illegal
+            "%s: op #%d cannot be linearized before op #%d, which completed \
+             before it was invoked"
+            t.name_ slot.op_id s.op_id
+      | _ -> ())
+    after;
+  (* committed reads after the insertion point must keep their values *)
+  (match slot.kind with
+  | Op.Read -> ()
+  | Op.Write _ ->
+      let rec scan current = function
+        | [] -> ()
+        | s :: rest -> (
+            match s.kind with
+            | Op.Write v -> scan v rest
+            | Op.Read -> (
+                match s.captured with
+                | Some v when not (V.equal v current) ->
+                    illegal
+                      "%s: inserting write #%d at %d would change the value \
+                       observed by already-linearized read #%d"
+                      t.name_ slot.op_id pos s.op_id
+                | _ -> scan current rest))
+      in
+      let v_ins =
+        match slot.kind with Op.Write v -> v | Op.Read -> assert false
+      in
+      scan v_ins after);
+  ignore before
+
+let find_pending t op_id =
+  match List.find_opt (fun s -> s.op_id = op_id) t.pend with
+  | Some s -> s
+  | None -> (
+      match List.find_opt (fun s -> s.op_id = op_id) t.seq with
+      | Some _ -> illegal "%s: op #%d is already linearized" t.name_ op_id
+      | None -> illegal "%s: unknown pending op #%d" t.name_ op_id)
+
+let log_if_write t slot =
+  match slot.kind with
+  | Op.Write _ ->
+      let writes =
+        List.filter_map
+          (fun s ->
+            match s.kind with Op.Write _ -> Some s.op_id | Op.Read -> None)
+          t.seq
+      in
+      t.commit_log <- (Trace.now (Sched.trace t.sched), writes) :: t.commit_log
+  | Op.Read -> ()
+
+let do_commit t slot pos =
+  check_insertion t slot pos;
+  (match slot.kind with
+  | Op.Read ->
+      slot.captured <- Some (last_write_value ~init:t.init (take pos t.seq))
+  | Op.Write _ -> ());
+  t.seq <- take pos t.seq @ [ slot ] @ drop pos t.seq;
+  t.pend <- List.filter (fun s -> s.op_id <> slot.op_id) t.pend;
+  Trace.linearize (Sched.trace t.sched) ~op_id:slot.op_id;
+  log_if_write t slot
+
+let commit_end_slot t slot = do_commit t slot (List.length t.seq)
+
+let commit_end t ~op_id = commit_end_slot t (find_pending t op_id)
+
+let commit t ~op_id ~pos =
+  (match t.mode_ with
+  | Atomic -> illegal "%s: atomic registers admit no adversarial commits" t.name_
+  | Write_strong | Linearizable -> ());
+  let slot = find_pending t op_id in
+  if pos < 0 || pos > List.length t.seq then
+    illegal "%s: commit position %d out of range" t.name_ pos;
+  (match (t.mode_, slot.kind) with
+  | Write_strong, Op.Write _ ->
+      (* a write may only be appended after every committed write *)
+      let writes_after =
+        drop pos t.seq
+        |> List.exists (fun s ->
+               match s.kind with Op.Write _ -> true | Op.Read -> false)
+      in
+      if writes_after then
+        illegal
+          "%s: write strong-linearizability forbids inserting write #%d \
+           before an already-linearized write"
+          t.name_ slot.op_id
+  | _ -> ());
+  do_commit t slot pos
+
+(* ----- process side -------------------------------------------------------- *)
+
+let invoke t ~proc ~kind =
+  let tr = Sched.trace t.sched in
+  (match pending_of_proc t ~proc with
+  | Some id ->
+      illegal "%s: process %d invokes while op #%d is pending" t.name_ proc id
+  | None -> ());
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind in
+  let slot =
+    {
+      op_id;
+      proc;
+      kind;
+      invoked_at = Trace.now tr;
+      captured = None;
+      responded_at = None;
+    }
+  in
+  t.pend <- t.pend @ [ slot ];
+  slot
+
+let respond t slot =
+  let tr = Sched.trace t.sched in
+  let result = match slot.kind with Op.Read -> slot.captured | Op.Write _ -> None in
+  Trace.respond tr ~op_id:slot.op_id ~result;
+  slot.responded_at <- Some (Trace.now tr)
+
+let is_committed t slot = List.exists (fun s -> s.op_id = slot.op_id) t.seq
+
+let await_and_respond t slot =
+  (* Block until the adversary steps us again; auto-commit if needed. *)
+  Fiber.yield ();
+  if not (is_committed t slot) then commit_end_slot t slot;
+  respond t slot
+
+let write t ~proc v =
+  let slot = invoke t ~proc ~kind:(Op.Write v) in
+  match t.mode_ with
+  | Atomic ->
+      commit_end_slot t slot;
+      respond t slot;
+      Fiber.yield ()
+  | Write_strong | Linearizable -> await_and_respond t slot
+
+let read t ~proc =
+  let slot = invoke t ~proc ~kind:Op.Read in
+  (match t.mode_ with
+  | Atomic ->
+      commit_end_slot t slot;
+      respond t slot;
+      Fiber.yield ()
+  | Write_strong | Linearizable -> await_and_respond t slot);
+  match slot.captured with
+  | Some v -> v
+  | None -> assert false (* committed reads always capture *)
+
+(* ----- witnesses ------------------------------------------------------------ *)
+
+let linearization t =
+  List.map
+    (fun s ->
+      Op.make ~id:s.op_id ~proc:s.proc ~obj:t.name_ ~kind:s.kind
+        ~invoked:s.invoked_at
+        ?responded:s.responded_at
+        ?result:(match s.kind with Op.Read -> s.captured | Op.Write _ -> None)
+        ())
+    t.seq
+
+let write_commit_log t = List.rev t.commit_log

@@ -1,0 +1,95 @@
+(** The adversarial register: a register implementation whose linearization
+    order is an explicit, adversary-editable sequence.
+
+    This is the executable counterpart of the paper's hypotheses "if the
+    registers are only linearizable …" (Theorem 6) and "… write
+    strongly-linearizable" (Theorem 7).  Instead of fixing one concrete
+    implementation, the register exposes to the adversary exactly the power
+    that the corresponding correctness condition permits, and no more:
+
+    - {b Atomic}: every operation takes effect at its invocation and
+      responds immediately; the adversary controls only process speeds.
+    - {b Write_strong}: the committed sequence of {e write} operations is
+      append-only — once a write is linearized its position is irrevocable,
+      and it must be linearized no later than its response.  Reads may
+      still be inserted retroactively at any legal position.  (Definition 4.)
+    - {b Linearizable}: the adversary may insert {e any} pending operation
+      at {e any} legal position of the committed sequence, including before
+      operations that were committed long ago — the "off-line" freedom of
+      plain linearizability (Definition 2) that the Theorem 6 adversary
+      exploits.
+
+    "Legal" always means: real-time precedence is respected (an operation is
+    never placed before one that completed before it was invoked) and every
+    already-linearized read still observes the value it already returned (or
+    captured).  Attempted illegal edits raise {!Illegal}, so a successful
+    run is itself evidence that the produced history is linearizable; the
+    committed sequence is returned by {!linearization} as a checkable
+    witness.
+
+    Process-side operations ({!write}, {!read}) must be called from inside a
+    scheduler fiber.  An operation spans at least two scheduler steps
+    (invoke, then respond) unless the mode is [Atomic]; while it is pending
+    the adversary may commit it with {!commit} / {!commit_end}.  Stepping a
+    process whose pending operation is uncommitted auto-commits it at the
+    end of the sequence (so non-adversarial policies such as round-robin
+    drive every operation to completion unaided). *)
+
+exception Illegal of string
+
+type mode = Atomic | Write_strong | Linearizable
+
+type t
+
+val create :
+  sched:Simkit.Sched.t -> name:string -> init:History.Value.t -> mode:mode -> t
+
+val name : t -> string
+val mode : t -> mode
+
+(** {2 Process-side API (call inside fibers)} *)
+
+val write : t -> proc:int -> History.Value.t -> unit
+val read : t -> proc:int -> History.Value.t
+
+(** {2 Adversary-side API} *)
+
+val pending : t -> (int * int * History.Op.kind) list
+(** [(op_id, proc, kind)] of invoked-but-uncommitted operations, in
+    invocation order. *)
+
+val pending_of_proc : t -> proc:int -> int option
+(** The pending op id of a process, if any (processes are sequential, so
+    at most one). *)
+
+val committed_ids : t -> int list
+(** Op ids of the committed sequence, in linearization order. *)
+
+val commit_end : t -> op_id:int -> unit
+(** Append the pending operation to the committed sequence.
+    @raise Illegal if unknown, already committed, or inconsistent. *)
+
+val commit : t -> op_id:int -> pos:int -> unit
+(** Insert the pending operation at position [pos] (0-based) of the
+    committed sequence.  In [Write_strong] mode a write may only be
+    appended after every committed write (reads between remain allowed);
+    in [Atomic] mode the adversary may not commit at all.
+    @raise Illegal on any violation (real-time precedence, a committed
+    read's captured value changing, mode restriction, double commit). *)
+
+val position_of : t -> op_id:int -> int option
+(** Position of a committed op in the sequence. *)
+
+val current_value : t -> History.Value.t
+(** Value of the last committed write ([init] if none). *)
+
+val linearization : t -> History.Op.t list
+(** The committed sequence as operation records (reads carry their captured
+    result; operations still pending in the history carry their eventual
+    result but no response time).  This is the online-maintained [f(H)]. *)
+
+val write_commit_log : t -> (int * int list) list
+(** After each commit involving a write, the (time, write-op-ids in
+    linearization order) snapshot — the data that shows whether the write
+    sequence evolved append-only (property (P) of Definition 4) or was
+    retroactively edited (possible only in [Linearizable] mode). *)

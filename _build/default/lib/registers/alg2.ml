@@ -1,0 +1,76 @@
+module V = History.Value
+module Op = History.Op
+module Vec = Clocks.Vector
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  n_ : int;
+  vals : (int * Vec.t) Swmr.t array; (* Val[1..n], 0-indexed storage *)
+}
+
+let create ~sched ~name ~n ~init =
+  if n < 1 then invalid_arg "Alg2.create: n must be >= 1";
+  let vals =
+    Array.init n (fun i ->
+        Swmr.create ~writer:(i + 1)
+          ~name:(Printf.sprintf "%s.Val[%d]" name (i + 1))
+          (init, Vec.zero n))
+  in
+  { sched; name_ = name; n_ = n; vals }
+
+let name t = t.name_
+let n t = t.n_
+
+let check_proc t proc =
+  if proc < 1 || proc > t.n_ then
+    invalid_arg
+      (Printf.sprintf "%s: process id %d out of range 1..%d" t.name_ proc t.n_)
+
+let write t ~proc v =
+  check_proc t proc;
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
+  (* local new_ts starts as [∞,…,∞] (its value between operations) *)
+  let new_ts = ref (Vec.all_inf t.n_) in
+  Trace.ts_snapshot tr ~op_id ~proc ~ts:!new_ts;
+  (* lines 1–7: build the timestamp incrementally, in index order *)
+  for i = 1 to t.n_ do
+    let _, ts_i = Swmr.read t.vals.(i - 1) in
+    let base = match Vec.get ts_i i with Vec.Fin x -> x | Vec.Inf -> assert false in
+    let comp = if i = proc then base + 1 else base in
+    new_ts := Vec.set !new_ts i comp;
+    Trace.ts_snapshot tr ~op_id ~proc ~ts:!new_ts
+  done;
+  (* line 8: publish (v, new_ts) to Val[k]; the annotation's time is the
+     t_i consumed by Algorithm 3 *)
+  Swmr.write t.vals.(proc - 1) ~proc (v, !new_ts);
+  Trace.val_write tr ~op_id ~proc ~idx:proc;
+  (* line 9: reset new_ts to [∞,…,∞] *)
+  new_ts := Vec.all_inf t.n_;
+  Trace.ts_snapshot tr ~op_id ~proc ~ts:!new_ts;
+  (* line 10 *)
+  Trace.respond tr ~op_id ~result:None
+
+let read_impl t ~proc =
+  check_proc t proc;
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:Op.Read in
+  (* lines 11–13: collect all Val[-] *)
+  let pairs = Array.make t.n_ (0, Vec.zero t.n_) in
+  for i = 1 to t.n_ do
+    pairs.(i - 1) <- Swmr.read t.vals.(i - 1)
+  done;
+  (* lines 14–15: lexicographic max *)
+  let best = ref pairs.(0) in
+  Array.iter (fun (v, ts) -> if Vec.compare ts (snd !best) > 0 then best := (v, ts)) pairs;
+  let v, ts = !best in
+  Trace.read_ts tr ~op_id ~proc ~ts;
+  Trace.respond tr ~op_id ~result:(Some (V.Int v));
+  (v, ts)
+
+let read_with_ts t ~proc = read_impl t ~proc
+let read t ~proc = fst (read_impl t ~proc)
+let val_contents t = Array.map Swmr.peek t.vals

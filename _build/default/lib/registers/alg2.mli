@@ -1,0 +1,45 @@
+(** Algorithm 2 of the paper: a {e write strongly-linearizable} MWMR
+    register implemented from atomic SWMR registers, using vector
+    timestamps that may be only partially formed.
+
+    One shared SWMR register [Val[i]] per process holds the last
+    (value, vector-timestamp) pair written by process [i].  A writer builds
+    its new timestamp one component at a time — reading [Val[1] … Val[n]]
+    in index order — starting from [[∞,…,∞]]; the [∞] initialization is
+    what makes the partially-formed timestamp lexicographically
+    {e non-increasing} over time (Observation 25), which in turn is what
+    lets Algorithm 3 linearize concurrent writes on-line at the moment any
+    one of them lands in [Val[-]].
+
+    The implementation records, in the scheduler's trace:
+    - the high-level invoke/respond events (the history to be checked);
+    - a [ValWrite] annotation at each line-8 write to [Val[k]];
+    - a [TsSnapshot] annotation at each update of the writer's [new_ts]
+      (including the initial [[∞,…,∞]] and the line-9 reset).
+
+    Those annotations are exactly the inputs of Algorithm 3
+    ({!Linchk.Alg3} in this repo). *)
+
+type t
+
+val create : sched:Simkit.Sched.t -> name:string -> n:int -> init:int -> t
+(** An [n]-process register named [name] with initial value [init].
+    Processes are identified as 1…n. *)
+
+val name : t -> string
+val n : t -> int
+
+val write : t -> proc:int -> int -> unit
+(** Algorithm 2, lines 1–10.  Must be called from process [proc]'s fiber,
+    [1 <= proc <= n]. *)
+
+val read : t -> proc:int -> int
+(** Algorithm 2, lines 11–15: returns the value with the lexicographically
+    greatest timestamp among all [Val[-]]. *)
+
+val read_with_ts : t -> proc:int -> int * Clocks.Vector.t
+(** Like {!read} but also returns the winning timestamp (the paper's
+    line 15 returns the pair). *)
+
+val val_contents : t -> (int * Clocks.Vector.t) array
+(** Adversary/test view of the [Val[-]] array (no process step). *)

@@ -1,0 +1,69 @@
+module V = History.Value
+module Op = History.Op
+module Lam = Clocks.Lamport
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  n_ : int;
+  vals : (int * Lam.t) Swmr.t array;
+}
+
+let create ~sched ~name ~n ~init =
+  if n < 1 then invalid_arg "Alg4.create: n must be >= 1";
+  let vals =
+    Array.init n (fun i ->
+        Swmr.create ~writer:(i + 1)
+          ~name:(Printf.sprintf "%s.Val[%d]" name (i + 1))
+          (init, Lam.initial ~pid:(i + 1)))
+  in
+  { sched; name_ = name; n_ = n; vals }
+
+let name t = t.name_
+let n t = t.n_
+
+let check_proc t proc =
+  if proc < 1 || proc > t.n_ then
+    invalid_arg
+      (Printf.sprintf "%s: process id %d out of range 1..%d" t.name_ proc t.n_)
+
+let write t ~proc v =
+  check_proc t proc;
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
+  (* lines 1–3: read every Val[-] *)
+  let max_sq = ref 0 in
+  for i = 1 to t.n_ do
+    let _, ts_i = Swmr.read t.vals.(i - 1) in
+    max_sq := max !max_sq ts_i.Lam.sq
+  done;
+  (* lines 4–6: new timestamp, publish *)
+  let new_ts = Lam.bump ~max_sq:!max_sq ~pid:proc in
+  Swmr.write t.vals.(proc - 1) ~proc (v, new_ts);
+  Trace.val_write tr ~op_id ~proc ~idx:proc;
+  (* line 7 *)
+  Trace.respond tr ~op_id ~result:None
+
+let read_impl t ~proc =
+  check_proc t proc;
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:Op.Read in
+  (* lines 8–10 *)
+  let pairs = Array.make t.n_ (0, Lam.initial ~pid:1) in
+  for i = 1 to t.n_ do
+    pairs.(i - 1) <- Swmr.read t.vals.(i - 1)
+  done;
+  (* lines 11–12: lexicographic max *)
+  let best = ref pairs.(0) in
+  Array.iter
+    (fun (v, ts) -> if Lam.compare ts (snd !best) > 0 then best := (v, ts))
+    pairs;
+  let v, _ts = !best in
+  Trace.respond tr ~op_id ~result:(Some (V.Int v));
+  !best
+
+let read_with_ts t ~proc = read_impl t ~proc
+let read t ~proc = fst (read_impl t ~proc)
+let val_contents t = Array.map Swmr.peek t.vals

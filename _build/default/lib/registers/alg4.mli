@@ -1,0 +1,29 @@
+(** Algorithm 4 of the paper: a {e linearizable} MWMR register implemented
+    from atomic SWMR registers using Lamport timestamps [⟨sq, pid⟩].
+
+    This is the "simple" construction: a writer reads every [Val[-]],
+    increments the maximum sequence number it saw, and publishes
+    [(v, ⟨max+1, k⟩)].  Theorem 12 shows it is linearizable; Theorem 13
+    shows it is {e not} write strongly-linearizable — the Lamport
+    timestamp of a concurrent pending write cannot be predicted at the
+    moment another write completes, so no on-line ordering of writes
+    exists.  The repo's E4 experiment replays the paper's Figure-4
+    histories against this implementation and verifies the impossibility
+    with the history-tree checker. *)
+
+type t
+
+val create : sched:Simkit.Sched.t -> name:string -> n:int -> init:int -> t
+val name : t -> string
+val n : t -> int
+
+val write : t -> proc:int -> int -> unit
+(** Algorithm 4, lines 1–7. *)
+
+val read : t -> proc:int -> int
+(** Algorithm 4, lines 8–12. *)
+
+val read_with_ts : t -> proc:int -> int * Clocks.Lamport.t
+
+val val_contents : t -> (int * Clocks.Lamport.t) array
+(** Test/adversary view (no process step). *)

@@ -1,0 +1,23 @@
+type 'a t = {
+  name_ : string;
+  writer_ : int;
+  mutable value : 'a;
+}
+
+let create ~writer ~name init = { name_ = name; writer_ = writer; value = init }
+let name t = t.name_
+let writer t = t.writer_
+
+let read t =
+  Simkit.Fiber.yield ();
+  t.value
+
+let write t ~proc v =
+  if proc <> t.writer_ then
+    invalid_arg
+      (Printf.sprintf "Swmr.write: process %d is not the writer of %s" proc
+         t.name_);
+  Simkit.Fiber.yield ();
+  t.value <- v
+
+let peek t = t.value

@@ -1,0 +1,30 @@
+(** Atomic single-writer multi-reader base registers.
+
+    These are the base objects from which Algorithms 2 and 4 implement a
+    MWMR register.  Each access is one atomic scheduler step (the fiber
+    yields immediately before it, so the adversary controls the
+    interleaving of base accesses at the granularity the paper assumes).
+    Base-register accesses are {e not} recorded as history events — the
+    history of interest is that of the implemented MWMR register — but the
+    payload type is polymorphic so Algorithms 2/4 can store
+    value–timestamp tuples directly. *)
+
+type 'a t
+
+val create : writer:int -> name:string -> 'a -> 'a t
+(** [create ~writer ~name init]: only process [writer] may write. *)
+
+val name : 'a t -> string
+val writer : 'a t -> int
+
+val read : 'a t -> 'a
+(** One atomic step (yields first).  Any process may read. *)
+
+val write : 'a t -> proc:int -> 'a -> unit
+(** One atomic step (yields first).
+    @raise Invalid_argument if [proc] is not the registered writer —
+    enforcing the SWMR access discipline. *)
+
+val peek : 'a t -> 'a
+(** Read without yielding — for assertions and adversaries only (does not
+    model a process step). *)

@@ -1,0 +1,129 @@
+module V = History.Value
+module Op = History.Op
+module Trace = Simkit.Trace
+module Sched = Simkit.Sched
+module Fiber = Simkit.Fiber
+
+type mode = Safe | Regular
+
+type wrec = { value : V.t; applied_at : int }
+
+type pending_read = {
+  op_id : int;
+  proc : int;
+  invoked_at : int;
+  mutable resolved : V.t option;
+}
+
+type t = {
+  sched : Sched.t;
+  name_ : string;
+  writer_ : int;
+  init : V.t;
+  mode_ : mode;
+  mutable writes : wrec list; (* most recent first *)
+  mutable write_in_progress : (V.t * int) option; (* value, invoked_at *)
+  mutable reads : pending_read list;
+  mutable all_values : V.t list; (* everything ever written, for Safe *)
+}
+
+let create ~sched ~name ~writer ~init ~mode =
+  {
+    sched;
+    name_ = name;
+    writer_ = writer;
+    init;
+    mode_ = mode;
+    writes = [];
+    write_in_progress = None;
+    reads = [];
+    all_values = [ init ];
+  }
+
+let name t = t.name_
+let mode t = t.mode_
+let current t = match t.writes with [] -> t.init | w :: _ -> w.value
+
+(* A write spans two steps (invoke, take-effect+respond) so that reads can
+   genuinely overlap it. *)
+let write t ~proc v =
+  if proc <> t.writer_ then
+    invalid_arg
+      (Printf.sprintf "Weak_register.write: process %d is not the writer of %s"
+         proc t.name_);
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write v) in
+  t.write_in_progress <- Some (v, Trace.now tr);
+  if not (List.exists (V.equal v) t.all_values) then
+    t.all_values <- v :: t.all_values;
+  Fiber.yield ();
+  t.writes <- { value = v; applied_at = Trace.now tr } :: t.writes;
+  t.write_in_progress <- None;
+  Trace.linearize tr ~op_id;
+  Trace.respond tr ~op_id ~result:None
+
+let pending_reads t =
+  List.filter_map
+    (fun r -> if r.resolved = None then Some (r.op_id, r.proc) else None)
+    t.reads
+
+let find_read t op_id =
+  match List.find_opt (fun r -> r.op_id = op_id) t.reads with
+  | Some r -> r
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Weak_register: no pending read #%d on %s" op_id
+           t.name_)
+
+(* Values a pending read may legally return right now. *)
+let legal_values t ~op_id =
+  let r = find_read t op_id in
+  let overlapping_writes =
+    (* writes applied after the read's invocation, or in progress now *)
+    List.filter_map
+      (fun w -> if w.applied_at >= r.invoked_at then Some w.value else None)
+      t.writes
+    @ (match t.write_in_progress with Some (v, _) -> [ v ] | None -> [])
+  in
+  let last_before =
+    match
+      List.find_opt (fun w -> w.applied_at < r.invoked_at) t.writes
+    with
+    | Some w -> w.value
+    | None -> t.init
+  in
+  match (t.mode_, overlapping_writes) with
+  | _, [] -> [ last_before ]
+  | Regular, ws -> last_before :: ws
+  | Safe, _ -> t.all_values @ [ t.init ]
+
+let resolve_read t ~op_id ~value =
+  let r = find_read t op_id in
+  if r.resolved <> None then
+    invalid_arg
+      (Printf.sprintf "Weak_register: read #%d already resolved" op_id);
+  if not (List.exists (V.equal value) (legal_values t ~op_id)) then
+    invalid_arg
+      (Printf.sprintf
+         "Weak_register: %s is not a legal return for read #%d on %s"
+         (V.to_string value) op_id t.name_);
+  r.resolved <- Some value
+
+let read t ~proc =
+  let tr = Sched.trace t.sched in
+  let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:Op.Read in
+  let r = { op_id; proc; invoked_at = Trace.now tr; resolved = None } in
+  t.reads <- r :: t.reads;
+  Fiber.yield ();
+  let v =
+    match r.resolved with
+    | Some v -> v
+    | None ->
+        (* auto-resolution: the freshest legal value *)
+        let v = current t in
+        r.resolved <- Some v;
+        v
+  in
+  t.reads <- List.filter (fun x -> x.op_id <> op_id) t.reads;
+  Trace.respond tr ~op_id ~result:(Some v);
+  v

@@ -1,0 +1,67 @@
+(** Safe and regular SWMR registers — the rungs of Lamport's register
+    hierarchy [25] {e below} linearizability.
+
+    The paper's hierarchy runs
+    atomic ≻ strongly linearizable ≻ write strongly-linearizable ≻
+    linearizable; Lamport's weaker conditions sit further down:
+
+    - {b regular}: a read returns the value of the last write that
+      completed before the read began, or of any write concurrent with the
+      read;
+    - {b safe}: a read that overlaps no write returns the last written
+      value; a read that overlaps a write may return {e anything}.
+
+    Regular registers famously admit {e new–old inversion} — two
+    sequential reads overlapping the same write may return the new then
+    the old value — which linearizability forbids; the test suite
+    constructs exactly that run and shows the exact checker rejecting it.
+    (A recent follow-up [21] shows some randomized algorithms need only
+    regular registers; this module makes such claims testable in this
+    framework.)
+
+    Writes are serial (single writer) and take effect atomically at one
+    scheduler step; reads block until the adversary resolves them with
+    {!resolve_read} (or auto-resolve to the current value when stepped,
+    so non-adversarial policies make progress). *)
+
+type mode = Safe | Regular
+
+type t
+
+val create :
+  sched:Simkit.Sched.t ->
+  name:string ->
+  writer:int ->
+  init:History.Value.t ->
+  mode:mode ->
+  t
+
+val name : t -> string
+val mode : t -> mode
+
+(** {2 Process side} *)
+
+val write : t -> proc:int -> History.Value.t -> unit
+(** One atomic step, writer only.
+    @raise Invalid_argument for a non-writer. *)
+
+val read : t -> proc:int -> History.Value.t
+(** Invoke, then block until resolved (by the adversary or by the
+    auto-resolution on the next step). *)
+
+(** {2 Adversary side} *)
+
+val pending_reads : t -> (int * int) list
+(** [(op_id, proc)] of invoked-unresolved reads. *)
+
+val legal_values : t -> op_id:int -> History.Value.t list
+(** The values the mode permits this pending read to return:
+    for [Regular], the last write completed before the read's invocation
+    plus every write concurrent with the read so far; for [Safe], the
+    same when no write overlaps, or the sentinel-free "anything" — which
+    this implementation bounds to all values ever written plus the
+    initial value (enough to exhibit every distinguishing behaviour). *)
+
+val resolve_read : t -> op_id:int -> value:History.Value.t -> unit
+(** Fix the read's return value.
+    @raise Invalid_argument if the value is not in {!legal_values}. *)

@@ -1,0 +1,1 @@
+lib/scenarios/scenarios.ml: Chaos History Int64 Linchk List Option Printf Registers Simkit

@@ -1,0 +1,1 @@
+lib/scenarios/chaos.ml: History Int64 List Registers Simkit

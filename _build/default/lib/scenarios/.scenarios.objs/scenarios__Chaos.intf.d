@@ -1,0 +1,1 @@
+lib/scenarios/chaos.mli: History Registers

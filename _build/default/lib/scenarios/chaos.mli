@@ -1,0 +1,32 @@
+(** The chaos adversary: a randomized strong adversary for
+    {!Registers.Adv_register} that exercises the full extent of each
+    mode's legal-edit envelope.
+
+    At every scheduler decision it randomly either steps a process or
+    attempts to commit a random pending operation at a {e random position}
+    of the committed sequence.  Illegal attempts (refused by the
+    register's legality checks) are simply skipped — so a run both
+    stress-tests the legality checker from the outside and produces
+    histories far stranger than any deterministic policy would, while
+    remaining linearizable by construction.  The property tests verify the
+    exact checker accepts every history the chaos adversary can produce,
+    and that in [Write_strong] mode the write order additionally evolved
+    append-only. *)
+
+type outcome = {
+  history : History.Hist.t;
+  witness : History.Op.t list;  (** the committed sequence *)
+  commit_log : (int * int list) list;
+  attempted_edits : int;
+  refused_edits : int;  (** attempts the legality checker blocked *)
+}
+
+val run :
+  mode:Registers.Adv_register.mode ->
+  n_procs:int ->
+  ops_per_proc:int ->
+  seed:int64 ->
+  outcome
+(** Drive [n_procs] processes, each performing [ops_per_proc] operations
+    (distinct-valued writes and reads) against one adversarial register,
+    under the chaos adversary, to quiescence. *)

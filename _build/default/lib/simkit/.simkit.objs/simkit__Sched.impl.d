@@ -1,0 +1,1 @@
+lib/simkit/sched.ml: Fiber Hashtbl Int List Printf Rng Trace

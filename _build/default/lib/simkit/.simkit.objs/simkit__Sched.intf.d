@@ -1,0 +1,1 @@
+lib/simkit/sched.mli: Fiber Rng Trace

@@ -1,0 +1,1 @@
+lib/simkit/trace.ml: Clocks Format History List

@@ -1,0 +1,1 @@
+lib/simkit/trace.mli: Clocks Format History

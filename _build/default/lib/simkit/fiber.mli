@@ -1,0 +1,31 @@
+(** Cooperative fibers built on OCaml 5 effect handlers.
+
+    A fiber models one asynchronous process of the paper's system: it runs
+    until it performs {!yield}, at which point control returns to the
+    scheduler (the adversary), which decides who runs next.  A fiber that
+    never yields between two shared-memory accesses would be atomic; the
+    register implementations in [lib/registers] yield at every base-object
+    access, exposing all the interleavings the adversary may exploit. *)
+
+type t
+
+type status =
+  | Runnable  (** can be stepped *)
+  | Finished  (** the code returned *)
+  | Failed of exn  (** the code raised *)
+
+val spawn : pid:int -> (unit -> unit) -> t
+val pid : t -> int
+val status : t -> status
+
+val step : t -> status
+(** Run the fiber until its next [yield], its return, or an exception.
+    Returns the status after the step.
+    @raise Invalid_argument when stepping a finished/failed fiber. *)
+
+val yield : unit -> unit
+(** To be called from inside fiber code only.  Performing it outside a
+    fiber raises [Effect.Unhandled]. *)
+
+val run_to_completion : t -> max_steps:int -> status
+(** Step repeatedly (used in tests). *)

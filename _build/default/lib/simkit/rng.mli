@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator — coin flips, random
+    schedulers, workload generators — draws from one of these, so whole
+    experiments are reproducible from a single 64-bit seed.  We do not use
+    [Stdlib.Random] because its global state would couple unrelated
+    components and break run-for-run determinism. *)
+
+type t
+
+val create : int64 -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val coin : t -> int
+(** 0 or 1, uniform — the paper's coin flip (Algorithm 1, line 6). *)
+
+val split : t -> t
+(** Derive an independent stream (for per-process randomness). *)

@@ -1,0 +1,109 @@
+type t = {
+  tr : Trace.t;
+  rng_ : Rng.t;
+  fibers : (int, Fiber.t) Hashtbl.t;
+  mutable crashed_ : int list;
+  mutable rr_cursor : int;
+}
+
+let create ?(seed = 1L) () =
+  {
+    tr = Trace.create ();
+    rng_ = Rng.create seed;
+    fibers = Hashtbl.create 16;
+    crashed_ = [];
+    rr_cursor = 0;
+  }
+
+let trace t = t.tr
+let rng t = t.rng_
+let now t = Trace.now t.tr
+
+let spawn t ~pid f =
+  if Hashtbl.mem t.fibers pid then
+    invalid_arg (Printf.sprintf "Sched.spawn: duplicate pid %d" pid);
+  Hashtbl.add t.fibers pid (Fiber.spawn ~pid f)
+
+let pids t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.fibers []
+  |> List.sort Int.compare
+
+let find t pid =
+  match Hashtbl.find_opt t.fibers pid with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Sched: unknown pid %d" pid)
+
+let status t ~pid = Fiber.status (find t pid)
+let crashed t ~pid = List.mem pid t.crashed_
+
+let runnable t ~pid =
+  (not (crashed t ~pid))
+  && match status t ~pid with Fiber.Runnable -> true | _ -> false
+
+let live_pids t = List.filter (fun pid -> runnable t ~pid) (pids t)
+
+let step t ~pid =
+  if crashed t ~pid then
+    invalid_arg (Printf.sprintf "Sched.step: pid %d has crashed" pid);
+  let f = find t pid in
+  (match Fiber.status f with
+  | Fiber.Runnable -> ()
+  | _ -> invalid_arg (Printf.sprintf "Sched.step: pid %d is not runnable" pid));
+  match Fiber.step f with
+  | Fiber.Failed e -> raise e
+  | s -> s
+
+let crash t ~pid =
+  ignore (find t pid);
+  if not (crashed t ~pid) then begin
+    t.crashed_ <- pid :: t.crashed_;
+    Trace.note t.tr ~tag:"crash" ~text:(Printf.sprintf "p%d" pid)
+  end
+
+let coin t ~proc =
+  let v = Rng.coin t.rng_ in
+  Trace.coin t.tr ~proc ~value:v;
+  v
+
+type decision = Step of int | Halt
+type policy = t -> decision
+
+let run t ~policy ~max_steps =
+  let steps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !steps < max_steps do
+    if live_pids t = [] then continue_ := false
+    else
+      match policy t with
+      | Halt -> continue_ := false
+      | Step pid ->
+          ignore (step t ~pid);
+          incr steps
+  done;
+  !steps
+
+let round_robin t =
+  match live_pids t with
+  | [] -> Halt
+  | live ->
+      let n = List.length live in
+      let pid = List.nth live (t.rr_cursor mod n) in
+      t.rr_cursor <- t.rr_cursor + 1;
+      Step pid
+
+let random_policy rng t =
+  match live_pids t with
+  | [] -> Halt
+  | live -> Step (List.nth live (Rng.int rng (List.length live)))
+
+let scripted script =
+  let remaining = ref script in
+  fun t ->
+    let rec next () =
+      match !remaining with
+      | [] -> Halt
+      | pid :: rest ->
+          remaining := rest;
+          if runnable t ~pid then Step pid else next ()
+    in
+    next ()

@@ -1,0 +1,67 @@
+(** The scheduler: the executable form of the paper's adversary.
+
+    A schedule is a sequence of decisions "which process takes the next
+    step".  A {e strong} adversary makes each decision with full knowledge
+    of the run so far — including the outcomes of past coin flips — but not
+    of future ones.  Concretely, a policy here is an OCaml function that
+    inspects the scheduler (trace, fiber statuses, any register state it
+    holds a handle to) and picks the next process to step; scripted
+    adversaries (like the one in the proof of Theorem 6) simply call
+    {!step} directly. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val trace : t -> Trace.t
+val rng : t -> Rng.t
+val now : t -> int
+
+val spawn : t -> pid:int -> (unit -> unit) -> unit
+(** Register process [pid] with the given code.
+    @raise Invalid_argument on duplicate pid. *)
+
+val pids : t -> int list
+(** All spawned pids, ascending. *)
+
+val status : t -> pid:int -> Fiber.status
+val runnable : t -> pid:int -> bool
+(** Runnable and not crashed. *)
+
+val live_pids : t -> int list
+(** Pids that are runnable and not crashed. *)
+
+val step : t -> pid:int -> Fiber.status
+(** Let process [pid] run until its next yield.
+    @raise Invalid_argument if [pid] is unknown, crashed or finished. *)
+
+val crash : t -> pid:int -> unit
+(** Crash-stop the process: it takes no further steps.  Models the paper's
+    crash failures (and ABD's assumption that fewer than half of the
+    processes crash). *)
+
+val crashed : t -> pid:int -> bool
+
+val coin : t -> proc:int -> int
+(** Flip a fair coin using the scheduler's RNG, record it in the trace
+    (visible to the adversary from this moment on), and return 0 or 1. *)
+
+type decision = Step of int | Halt
+
+type policy = t -> decision
+(** A schedule policy; consulted before every step. *)
+
+val run : t -> policy:policy -> max_steps:int -> int
+(** Drive the system with [policy] until it halts, no process is runnable,
+    or [max_steps] decisions have been taken.  Returns the number of steps
+    taken. *)
+
+val round_robin : policy
+(** Fair policy: cycles over live processes. *)
+
+val random_policy : Rng.t -> policy
+(** Uniformly random live process each step — the (weak) randomized
+    scheduler used by the termination experiments. *)
+
+val scripted : int list -> policy
+(** Follow a fixed pid script, skipping non-runnable entries; halts when
+    the script is exhausted. *)

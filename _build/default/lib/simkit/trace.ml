@@ -1,0 +1,92 @@
+type entry =
+  | Ev of History.Event.timed
+  | Lin of { time : int; op_id : int }
+  | Coin of { time : int; proc : int; value : int }
+  | ValWrite of { time : int; op_id : int; proc : int; idx : int }
+  | TsSnapshot of { time : int; op_id : int; proc : int; ts : Clocks.Vector.t }
+  | ReadTs of { time : int; op_id : int; proc : int; ts : Clocks.Vector.t }
+  | Note of { time : int; tag : string; text : string }
+
+type t = {
+  mutable clock : int;
+  mutable rev_entries : entry list;
+  mutable next_op : int;
+}
+
+let create () = { clock = 0; rev_entries = []; next_op = 0 }
+let now t = t.clock
+
+let next_time t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let push t e = t.rev_entries <- e :: t.rev_entries
+
+let invoke t ~proc ~obj ~kind =
+  t.next_op <- t.next_op + 1;
+  let op_id = t.next_op in
+  let time = next_time t in
+  push t (Ev { History.Event.time; event = History.Event.Invoke { op_id; proc; obj; kind } });
+  op_id
+
+let respond t ~op_id ~result =
+  let time = next_time t in
+  push t (Ev { History.Event.time; event = History.Event.Respond { op_id; result } })
+
+let linearize t ~op_id = push t (Lin { time = next_time t; op_id })
+let coin t ~proc ~value = push t (Coin { time = next_time t; proc; value })
+
+let val_write t ~op_id ~proc ~idx =
+  push t (ValWrite { time = next_time t; op_id; proc; idx })
+
+let ts_snapshot t ~op_id ~proc ~ts =
+  push t (TsSnapshot { time = next_time t; op_id; proc; ts })
+
+let read_ts t ~op_id ~proc ~ts =
+  push t (ReadTs { time = next_time t; op_id; proc; ts })
+
+let note t ~tag ~text = push t (Note { time = next_time t; tag; text })
+let entries t = List.rev t.rev_entries
+
+let history t =
+  entries t
+  |> List.filter_map (function Ev e -> Some e | _ -> None)
+  |> History.Hist.of_events_exn
+
+let lin_time t ~op_id =
+  entries t
+  |> List.find_map (function
+       | Lin { time; op_id = id } when id = op_id -> Some time
+       | _ -> None)
+
+let coins t =
+  entries t
+  |> List.filter_map (function
+       | Coin { time; proc; value } -> Some (time, proc, value)
+       | _ -> None)
+
+let entry_time = function
+  | Ev { History.Event.time; _ }
+  | Lin { time; _ }
+  | Coin { time; _ }
+  | ValWrite { time; _ }
+  | TsSnapshot { time; _ }
+  | ReadTs { time; _ }
+  | Note { time; _ } ->
+      time
+
+let pp_entry fmt = function
+  | Ev e -> History.Event.pp_timed fmt e
+  | Lin { time; op_id } -> Format.fprintf fmt "%d:lin(#%d)" time op_id
+  | Coin { time; proc; value } ->
+      Format.fprintf fmt "%d:coin(p%d)=%d" time proc value
+  | ValWrite { time; op_id; proc; idx } ->
+      Format.fprintf fmt "%d:valwrite(#%d p%d Val[%d])" time op_id proc idx
+  | TsSnapshot { time; op_id; proc; ts } ->
+      Format.fprintf fmt "%d:ts(#%d p%d %a)" time op_id proc Clocks.Vector.pp ts
+  | ReadTs { time; op_id; proc; ts } ->
+      Format.fprintf fmt "%d:readts(#%d p%d %a)" time op_id proc Clocks.Vector.pp ts
+  | Note { time; tag; text } -> Format.fprintf fmt "%d:%s:%s" time tag text
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]" (Format.pp_print_list pp_entry) (entries t)

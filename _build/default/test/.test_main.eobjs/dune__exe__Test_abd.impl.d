@@ -1,0 +1,1 @@
+test/test_abd.ml: Alcotest Core List

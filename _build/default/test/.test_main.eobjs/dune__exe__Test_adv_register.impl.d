@@ -1,0 +1,1 @@
+test/test_adv_register.ml: Alcotest Core Int64 List Option QCheck QCheck_alcotest

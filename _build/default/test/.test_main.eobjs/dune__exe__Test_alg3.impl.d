@@ -1,0 +1,1 @@
+test/test_alg3.ml: Alcotest Core Int64 List Printf QCheck QCheck_alcotest String

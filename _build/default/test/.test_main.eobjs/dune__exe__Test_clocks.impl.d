@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Core List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Core Hashtbl Int64 List Printf

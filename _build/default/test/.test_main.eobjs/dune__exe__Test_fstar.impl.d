@@ -1,0 +1,1 @@
+test/test_fstar.ml: Alcotest Core Int64 List QCheck QCheck_alcotest

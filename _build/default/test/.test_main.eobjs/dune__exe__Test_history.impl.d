@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Core List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Core List Option QCheck QCheck_alcotest

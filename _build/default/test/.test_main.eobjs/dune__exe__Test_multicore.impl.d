@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Core Domain List

@@ -1,0 +1,1 @@
+test/test_mwabd.ml: Alcotest Core Int64 List QCheck QCheck_alcotest

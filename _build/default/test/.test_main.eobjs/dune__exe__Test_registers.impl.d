@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest Array Core Int64 QCheck QCheck_alcotest

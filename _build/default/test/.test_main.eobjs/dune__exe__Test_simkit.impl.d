@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Array Core List Option

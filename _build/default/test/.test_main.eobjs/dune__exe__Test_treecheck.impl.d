@@ -1,0 +1,1 @@
+test/test_treecheck.ml: Alcotest Core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_weak_register.ml: Alcotest Core Int64 List QCheck QCheck_alcotest Registers Scenarios

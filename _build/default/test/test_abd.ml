@@ -1,0 +1,183 @@
+(* Tests for the message-passing substrate (Net) and the ABD register. *)
+
+module V = Core.Value
+module Sched = Core.Sched
+module Net = Core.Net
+module Abd = Core.Abd
+module Runs = Core.Abd_runs
+module Hist = Core.Hist
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- Net ------------------------------------------------------------------------ *)
+
+let net_tests =
+  [
+    tc "messages are invisible until delivered" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:3 in
+        Net.send net ~src:0 ~dst:1 42;
+        check_int "in flight" 1 (Net.in_flight net);
+        check_bool "not receivable" true (Net.try_recv net ~pid:1 = None);
+        check_bool "delivered" true (Net.deliver_now net ~dst:1);
+        check_bool "receivable" true (Net.try_recv net ~pid:1 = Some 42));
+    tc "deliver_now misses absent destinations" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:3 in
+        Net.send net ~src:0 ~dst:1 1;
+        check_bool "no msg for 2" false (Net.deliver_now net ~dst:2));
+    tc "broadcast reaches everyone including the sender" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:3 in
+        Net.broadcast net ~src:0 7;
+        check_int "three" 3 (Net.in_flight net);
+        Net.deliver_all net;
+        for pid = 0 to 2 do
+          check_int "mailbox" 1 (Net.mailbox_size net ~pid)
+        done);
+    tc "recv blocks until delivery" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:2 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () -> got := Net.recv net ~pid:1);
+        ignore (Sched.step sched ~pid:1);
+        check_int "still waiting" (-1) !got;
+        Net.send net ~src:0 ~dst:1 9;
+        ignore (Net.deliver_now net ~dst:1);
+        ignore (Sched.step sched ~pid:1);
+        check_int "received" 9 !got);
+    tc "drop_to discards in-flight mail" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:3 in
+        Net.send net ~src:0 ~dst:1 1;
+        Net.send net ~src:0 ~dst:2 2;
+        Net.drop_to net ~dst:1;
+        check_int "one left" 1 (Net.in_flight net));
+    tc "random delivery eventually drains" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:4 in
+        for i = 1 to 10 do
+          Net.send net ~src:0 ~dst:(i mod 4) i
+        done;
+        let rng = Core.Rng.create 3L in
+        while Net.deliver_one net ~rng do
+          ()
+        done;
+        check_int "drained" 0 (Net.in_flight net));
+  ]
+
+(* ----- ABD ------------------------------------------------------------------------- *)
+
+let seeds = [ 1L; 2L; 3L; 4L; 5L ]
+
+let abd_tests =
+  [
+    tc "writer reads back its own last write" (fun () ->
+        let sched = Sched.create ~seed:1L () in
+        let reg = Abd.create ~sched ~name:"ABD" ~n:3 ~writer:0 ~init:0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:0 (fun () ->
+            Abd.write reg 5;
+            got := Abd.read reg ~reader:0);
+        let rng = Core.Rng.create 2L in
+        let policy =
+          Net.auto_deliver_policy (Abd.net reg) ~rng (Sched.random_policy rng)
+        in
+        ignore (Sched.run sched ~policy ~max_steps:3000);
+        check_int "read back" 5 !got);
+    tc "majority is computed correctly" (fun () ->
+        let reg =
+          Abd.create ~sched:(Sched.create ()) ~name:"A" ~n:5 ~writer:0 ~init:0
+        in
+        check_int "majority of 5" 3 (Abd.majority reg);
+        let reg4 =
+          Abd.create ~sched:(Sched.create ()) ~name:"B" ~n:4 ~writer:0 ~init:0
+        in
+        check_int "majority of 4" 3 (Abd.majority reg4));
+    tc "create validates parameters" (fun () ->
+        let sched = Sched.create () in
+        Alcotest.check_raises "n" (Invalid_argument "Abd.create: n must be >= 2")
+          (fun () -> ignore (Abd.create ~sched ~name:"X" ~n:1 ~writer:0 ~init:0));
+        Alcotest.check_raises "writer"
+          (Invalid_argument "Abd.create: writer out of range") (fun () ->
+            ignore (Abd.create ~sched ~name:"Y" ~n:3 ~writer:5 ~init:0)));
+    tc "operations complete despite minority crash" (fun () ->
+        let w = { Runs.default with crash = [ 3; 4 ]; seed = 77L } in
+        let run = Runs.execute w in
+        check_bool "completed" true run.Runs.completed);
+    tc "crashing the writer is rejected by the driver" (fun () ->
+        Alcotest.check_raises "writer"
+          (Invalid_argument "Runs.execute: cannot crash the writer") (fun () ->
+            ignore (Runs.execute { Runs.default with crash = [ 0 ] })));
+    tc "crashing a majority is rejected by the driver" (fun () ->
+        Alcotest.check_raises "majority"
+          (Invalid_argument "Runs.execute: crash set must be a strict minority")
+          (fun () ->
+            ignore (Runs.execute { Runs.default with crash = [ 1; 2; 3 ] })));
+    tc "histories are linearizable across seeds" (fun () ->
+        List.iter
+          (fun seed ->
+            let run = Runs.execute { Runs.default with seed } in
+            check_bool "completed" true run.Runs.completed;
+            check_bool "linearizable" true
+              (Core.Lincheck.check ~init:(V.Int 0) run.Runs.history))
+          seeds);
+    tc "histories are WSL (f*) across seeds — Theorem 14" (fun () ->
+        List.iter
+          (fun seed ->
+            let run = Runs.execute { Runs.default with seed } in
+            check_bool "wsl" true (Runs.check run = Ok ()))
+          seeds);
+    tc "crashed runs are still linearizable + WSL" (fun () ->
+        List.iter
+          (fun seed ->
+            let run =
+              Runs.execute { Runs.default with seed; crash = [ 3; 4 ] }
+            in
+            check_bool "ok" true (Runs.check run = Ok ()))
+          seeds);
+    tc "no new-old inversion for a single reader" (fun () ->
+        (* the write-back phase guarantees a reader's successive reads see
+           non-decreasing values in writer order *)
+        let w = { Runs.default with readers = [ 1 ]; reads_each = 6; seed = 13L } in
+        let run = Runs.execute w in
+        let values =
+          Hist.ops run.Runs.history
+          |> List.filter_map (fun (o : Core.Op.t) ->
+                 if Core.Op.is_read o && o.Core.Op.proc = 1 then
+                   match o.Core.Op.result with
+                   | Some (V.Int v) -> Some v
+                   | _ -> None
+                 else None)
+        in
+        let rec non_decreasing = function
+          | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+          | _ -> true
+        in
+        check_bool "monotone reads" true (non_decreasing values));
+    tc "writer order equals f* write order" (fun () ->
+        let run = Runs.execute { Runs.default with seed = 21L } in
+        match Core.Fstar.wsl_function ~init:(V.Int 0) run.Runs.history with
+        | Error e -> Alcotest.fail e
+        | Ok orders ->
+            let final = List.nth orders (List.length orders - 1) in
+            let writer_order =
+              Hist.writes run.Runs.history
+              |> List.filter Core.Op.is_complete
+              |> List.map (fun (o : Core.Op.t) -> o.id)
+            in
+            (* the completed writes appear in writer order; f* may include
+               a trailing read-observed pending write, so compare prefixes *)
+            let rec is_prefix p q =
+              match (p, q) with
+              | [], _ -> true
+              | _, [] -> false
+              | x :: p', y :: q' -> x = y && is_prefix p' q'
+            in
+            check_bool "writer order" true
+              (is_prefix writer_order final || is_prefix final writer_order));
+  ]
+
+let suite = [ ("msgpass.net", net_tests); ("msgpass.abd", abd_tests) ]

@@ -1,0 +1,290 @@
+(* Tests for the adversarial register — the executable form of the paper's
+   register hierarchy (atomic / write strongly-linearizable / merely
+   linearizable).  These tests pin down exactly the powers each mode
+   grants and denies, and check that every produced history is
+   linearizable with the committed sequence as witness. *)
+
+module V = Core.Value
+module Op = Core.Op
+module Adv = Core.Adv_register
+module Sched = Core.Sched
+module Trace = Core.Trace
+module Hist = Core.Hist
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk mode =
+  let sched = Sched.create ~seed:3L () in
+  let r = Adv.create ~sched ~name:"R" ~init:(V.Int 0) ~mode in
+  (sched, r)
+
+let step sched pid = ignore (Sched.step sched ~pid)
+
+(* drive one process's single op to completion *)
+let complete sched pid =
+  let fuel = ref 10 in
+  while Sched.runnable sched ~pid && !fuel > 0 do
+    decr fuel;
+    step sched pid
+  done
+
+let history sched = Trace.history (Sched.trace sched)
+
+(* ----- atomic mode ------------------------------------------------------------ *)
+
+let atomic_tests =
+  [
+    tc "write/read round-trip" (fun () ->
+        let sched, r = mk Adv.Atomic in
+        let got = ref V.Bot in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Adv.write r ~proc:1 (V.Int 5);
+            got := Adv.read r ~proc:1);
+        complete sched 1;
+        check_bool "value" true (V.equal !got (V.Int 5)));
+    tc "ops respond within one step" (fun () ->
+        let sched, r = mk Adv.Atomic in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        step sched 1;
+        check_int "no pending" 0 (List.length (Adv.pending r)));
+    tc "adversary may not commit" (fun () ->
+        let sched, r = mk Adv.Atomic in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Adv.write r ~proc:1 (V.Int 1);
+            Adv.write r ~proc:1 (V.Int 2));
+        step sched 1;
+        (* no pending op exists, and commit is refused by mode anyway *)
+        (try
+           Adv.commit r ~op_id:1 ~pos:0;
+           Alcotest.fail "commit accepted in atomic mode"
+         with Adv.Illegal _ -> ());
+        complete sched 1);
+    tc "interleaved atomic ops read latest" (fun () ->
+        let sched, r = mk Adv.Atomic in
+        let got = ref V.Bot in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 7));
+        Sched.spawn sched ~pid:2 (fun () -> got := Adv.read r ~proc:2);
+        step sched 1;
+        complete sched 2;
+        check_bool "sees write" true (V.equal !got (V.Int 7)));
+  ]
+
+(* ----- linearizable mode: the adversary's powers -------------------------------- *)
+
+let lin_tests =
+  [
+    tc "ops stay pending until stepped again" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        step sched 1;
+        check_int "pending" 1 (List.length (Adv.pending r));
+        step sched 1;
+        check_int "committed" 1 (List.length (Adv.committed_ids r)));
+    tc "pending_of_proc finds the op" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        step sched 1;
+        check_bool "found" true (Adv.pending_of_proc r ~proc:1 <> None);
+        check_bool "other" true (Adv.pending_of_proc r ~proc:2 = None));
+    tc "retroactive insertion before a committed write" (fun () ->
+        (* the Theorem-6 move: a pending write linearized before one that
+           already completed *)
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> Adv.write r ~proc:2 (V.Int 2));
+        step sched 1;
+        step sched 2;
+        (* both invoked; complete p1's write *)
+        step sched 1;
+        let w1 = Option.get (Adv.pending_of_proc r ~proc:2) in
+        Adv.commit r ~op_id:w1 ~pos:0;
+        complete sched 2;
+        (* final value is p1's write: p2's was linearized before it *)
+        check_bool "value" true (V.equal (Adv.current_value r) (V.Int 1));
+        Alcotest.(check (list int)) "order" [ w1 ]
+          (List.filter (fun id -> id = w1) (Adv.committed_ids r));
+        check_int "pos" 0 (Option.get (Adv.position_of r ~op_id:w1)));
+    tc "insertion cannot violate real-time precedence" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        complete sched 1;
+        (* p2 invokes strictly after p1 completed *)
+        Sched.spawn sched ~pid:2 (fun () -> Adv.write r ~proc:2 (V.Int 2));
+        step sched 2;
+        let w2 = Option.get (Adv.pending_of_proc r ~proc:2) in
+        (try
+           Adv.commit r ~op_id:w2 ~pos:0;
+           Alcotest.fail "violated real-time order"
+         with Adv.Illegal _ -> ());
+        complete sched 2);
+    tc "insertion cannot change a linearized read's value" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> ignore (Adv.read r ~proc:2));
+        Sched.spawn sched ~pid:3 (fun () -> Adv.write r ~proc:3 (V.Int 3));
+        step sched 1;
+        step sched 2;
+        step sched 3;
+        (* commit+respond p1's write, then the read (sees 1) *)
+        complete sched 1;
+        complete sched 2;
+        (* now inserting p3's write between them must be refused *)
+        let w3 = Option.get (Adv.pending_of_proc r ~proc:3) in
+        (try
+           Adv.commit r ~op_id:w3 ~pos:1;
+           Alcotest.fail "changed a read's observed value"
+         with Adv.Illegal _ -> ());
+        (* inserting before BOTH is fine: the read still sees w1 *)
+        Adv.commit r ~op_id:w3 ~pos:0;
+        check_bool "value still w1's" true
+          (V.equal (Adv.current_value r) (V.Int 1));
+        complete sched 3);
+    tc "double commit is refused" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        step sched 1;
+        let w = Option.get (Adv.pending_of_proc r ~proc:1) in
+        Adv.commit_end r ~op_id:w;
+        (try
+           Adv.commit_end r ~op_id:w;
+           Alcotest.fail "double commit"
+         with Adv.Illegal _ -> ());
+        complete sched 1);
+    tc "unknown op commit is refused" (fun () ->
+        let _, r = mk Adv.Linearizable in
+        try
+          Adv.commit_end r ~op_id:99;
+          Alcotest.fail "unknown op"
+        with Adv.Illegal _ -> ());
+    tc "read captures value at its linearization point" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        let got = ref V.Bot in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> got := Adv.read r ~proc:2);
+        step sched 2 (* read invoked first *);
+        step sched 1 (* write invoked *);
+        complete sched 1 (* write commits+responds *);
+        (* commit the read BEFORE the write: it must see the initial value *)
+        let rd = Option.get (Adv.pending_of_proc r ~proc:2) in
+        Adv.commit r ~op_id:rd ~pos:0;
+        complete sched 2;
+        check_bool "initial" true (V.equal !got (V.Int 0)));
+    tc "commit log shows retroactive write edits" (fun () ->
+        let sched, r = mk Adv.Linearizable in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> Adv.write r ~proc:2 (V.Int 2));
+        step sched 1;
+        step sched 2;
+        complete sched 1;
+        let w2 = Option.get (Adv.pending_of_proc r ~proc:2) in
+        Adv.commit r ~op_id:w2 ~pos:0;
+        complete sched 2;
+        match Adv.write_commit_log r with
+        | [ (_, first); (_, second) ] ->
+            check_int "first snapshot" 1 (List.length first);
+            check_int "second snapshot" 2 (List.length second);
+            (* the previously-committed write is no longer first: the write
+               sequence was NOT extended monotonically *)
+            check_bool "not a prefix" false
+              (List.hd first = List.hd second)
+        | _ -> Alcotest.fail "expected two write commits");
+  ]
+
+(* ----- write-strong mode --------------------------------------------------------- *)
+
+let ws_tests =
+  [
+    tc "writes may only be appended" (fun () ->
+        let sched, r = mk Adv.Write_strong in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> Adv.write r ~proc:2 (V.Int 2));
+        step sched 1;
+        step sched 2;
+        complete sched 1;
+        let w2 = Option.get (Adv.pending_of_proc r ~proc:2) in
+        (try
+           Adv.commit r ~op_id:w2 ~pos:0;
+           Alcotest.fail "WSL mode allowed write insertion"
+         with Adv.Illegal _ -> ());
+        Adv.commit_end r ~op_id:w2;
+        complete sched 2);
+    tc "reads may still be inserted retroactively" (fun () ->
+        let sched, r = mk Adv.Write_strong in
+        let got = ref V.Bot in
+        Sched.spawn sched ~pid:1 (fun () -> Adv.write r ~proc:1 (V.Int 1));
+        Sched.spawn sched ~pid:2 (fun () -> got := Adv.read r ~proc:2);
+        step sched 2;
+        step sched 1;
+        complete sched 1;
+        let rd = Option.get (Adv.pending_of_proc r ~proc:2) in
+        Adv.commit r ~op_id:rd ~pos:0;
+        complete sched 2;
+        check_bool "initial value" true (V.equal !got (V.Int 0)));
+    tc "write commit log is monotone (property P)" (fun () ->
+        let sched, r = mk Adv.Write_strong in
+        for pid = 1 to 3 do
+          Sched.spawn sched ~pid (fun () ->
+              Adv.write r ~proc:pid (V.Int pid);
+              Adv.write r ~proc:pid (V.Int (10 + pid)))
+        done;
+        let rng = Core.Rng.create 17L in
+        ignore (Sched.run sched ~policy:(Sched.random_policy rng) ~max_steps:500);
+        let log = List.map snd (Adv.write_commit_log r) in
+        let rec is_prefix p q =
+          match (p, q) with
+          | [], _ -> true
+          | _, [] -> false
+          | x :: p', y :: q' -> x = y && is_prefix p' q'
+        in
+        let rec chain = function
+          | a :: (b :: _ as rest) -> is_prefix a b && chain rest
+          | _ -> true
+        in
+        check_bool "monotone" true (chain log));
+  ]
+
+(* ----- every mode produces linearizable histories -------------------------------- *)
+
+let random_workload mode seed =
+  let sched = Sched.create ~seed () in
+  let r = Adv.create ~sched ~name:"R" ~init:(V.Int 0) ~mode in
+  let next = ref 100 in
+  for pid = 1 to 3 do
+    Sched.spawn sched ~pid (fun () ->
+        for k = 1 to 3 do
+          if (pid + k) mod 2 = 0 then begin
+            incr next;
+            Adv.write r ~proc:pid (V.Int !next)
+          end
+          else ignore (Adv.read r ~proc:pid)
+        done)
+  done;
+  let rng = Core.Rng.create (Int64.add seed 77L) in
+  ignore (Sched.run sched ~policy:(Sched.random_policy rng) ~max_steps:2000);
+  (history sched, Adv.linearization r)
+
+let witness_tests =
+  let prop mode name =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name ~count:40
+         (QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 10_000)))
+         (fun seed ->
+           let h, wit = random_workload mode seed in
+           Hist.Seq.is_linearization_of ~init:(V.Int 0) h wit
+           && Core.Lincheck.check ~init:(V.Int 0) h))
+  in
+  [
+    prop Adv.Atomic "atomic runs: committed seq is a valid linearization";
+    prop Adv.Write_strong "WSL runs: committed seq is a valid linearization";
+    prop Adv.Linearizable "linearizable runs: committed seq is a valid linearization";
+  ]
+
+let suite =
+  [
+    ("adv_register.atomic", atomic_tests);
+    ("adv_register.linearizable", lin_tests);
+    ("adv_register.write_strong", ws_tests);
+    ("adv_register.witness", witness_tests);
+  ]

@@ -1,0 +1,190 @@
+(* Tests for lib/clocks: Lamport timestamps (Algorithm 4) and vector
+   timestamps with partial (∞) entries (Algorithms 2/3). *)
+
+module Lam = Core.Lamport
+module Vec = Core.Vector
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- Lamport -------------------------------------------------------------- *)
+
+let lamport_unit =
+  [
+    tc "make validates sq" (fun () ->
+        Alcotest.check_raises "negative sq" (Invalid_argument
+          "Lamport.make: negative sequence number") (fun () ->
+            ignore (Lam.make ~sq:(-1) ~pid:1)));
+    tc "make validates pid" (fun () ->
+        Alcotest.check_raises "pid 0" (Invalid_argument
+          "Lamport.make: pid must be >= 1") (fun () ->
+            ignore (Lam.make ~sq:0 ~pid:0)));
+    tc "initial has sq 0" (fun () ->
+        check_bool "is_initial" true (Lam.is_initial (Lam.initial ~pid:3)));
+    tc "bump increments" (fun () ->
+        let t = Lam.bump ~max_sq:5 ~pid:2 in
+        check_int "sq" 6 t.Lam.sq;
+        check_int "pid" 2 t.Lam.pid);
+    tc "lexicographic: sq dominates" (fun () ->
+        check_bool "lt" true
+          (Lam.lt (Lam.make ~sq:1 ~pid:9) (Lam.make ~sq:2 ~pid:1)));
+    tc "lexicographic: pid breaks ties" (fun () ->
+        check_bool "lt" true
+          (Lam.lt (Lam.make ~sq:1 ~pid:1) (Lam.make ~sq:1 ~pid:2)));
+    tc "distinct pids never equal" (fun () ->
+        check_bool "neq" false
+          (Lam.equal (Lam.make ~sq:1 ~pid:1) (Lam.make ~sq:1 ~pid:2)));
+    tc "max picks larger" (fun () ->
+        let a = Lam.make ~sq:3 ~pid:1 and b = Lam.make ~sq:2 ~pid:9 in
+        check_bool "max" true (Lam.equal (Lam.max a b) a));
+    tc "max_list rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument
+          "Lamport.max_list: empty list") (fun () -> ignore (Lam.max_list [])));
+    tc "max_list finds maximum" (fun () ->
+        let l = [ Lam.make ~sq:1 ~pid:3; Lam.make ~sq:4 ~pid:1; Lam.make ~sq:4 ~pid:2 ] in
+        check_bool "max" true
+          (Lam.equal (Lam.max_list l) (Lam.make ~sq:4 ~pid:2)));
+    tc "to_string renders" (fun () ->
+        Alcotest.(check string) "pp" "\u{27E8}2,3\u{27E9}"
+          (Lam.to_string (Lam.make ~sq:2 ~pid:3)));
+  ]
+
+let lamport_props =
+  let gen =
+    QCheck.make
+      ~print:(fun t -> Lam.to_string t)
+      QCheck.Gen.(
+        map2 (fun sq pid -> Lam.make ~sq ~pid) (int_bound 100)
+          (map (fun p -> p + 1) (int_bound 9)))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"lamport order is total" ~count:200
+         (QCheck.pair gen gen) (fun (a, b) ->
+           Lam.lt a b || Lam.lt b a || Lam.equal a b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"lamport order is transitive" ~count:200
+         (QCheck.triple gen gen gen) (fun (a, b, c) ->
+           QCheck.assume (Lam.le a b && Lam.le b c);
+           Lam.le a c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"lamport compare antisymmetric" ~count:200
+         (QCheck.pair gen gen) (fun (a, b) ->
+           Lam.compare a b = -Lam.compare b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bump exceeds its input" ~count:200 gen
+         (fun t -> Lam.lt t (Lam.bump ~max_sq:t.Lam.sq ~pid:t.Lam.pid)));
+  ]
+
+(* ----- Vector --------------------------------------------------------------- *)
+
+let vec_unit =
+  [
+    tc "all_inf is maximal" (fun () ->
+        check_bool "le" true (Vec.le (Vec.of_ints [ 9; 9; 9 ]) (Vec.all_inf 3)));
+    tc "zero is minimal" (fun () ->
+        check_bool "le" true (Vec.le (Vec.zero 3) (Vec.of_ints [ 0; 0; 1 ])));
+    tc "dimension mismatch raises" (fun () ->
+        Alcotest.check_raises "dim" (Invalid_argument
+          "Vector.compare: dimension mismatch") (fun () ->
+            ignore (Vec.compare (Vec.zero 2) (Vec.zero 3))));
+    tc "set fills a component" (fun () ->
+        let v = Vec.set (Vec.all_inf 3) 2 5 in
+        check_bool "entry" true (Vec.get v 2 = Vec.Fin 5);
+        check_bool "others inf" true (Vec.get v 1 = Vec.Inf));
+    tc "set is functional" (fun () ->
+        let v = Vec.all_inf 2 in
+        ignore (Vec.set v 1 0);
+        check_bool "unchanged" true (Vec.get v 1 = Vec.Inf));
+    tc "set rejects increases" (fun () ->
+        let v = Vec.set (Vec.all_inf 2) 1 3 in
+        Alcotest.check_raises "incr" (Invalid_argument
+          "Vector.set: components may only decrease from Inf") (fun () ->
+            ignore (Vec.set v 1 4)));
+    tc "set allows equal and smaller" (fun () ->
+        let v = Vec.set (Vec.all_inf 2) 1 3 in
+        ignore (Vec.set v 1 3);
+        ignore (Vec.set v 1 2));
+    tc "lexicographic: first differing wins" (fun () ->
+        check_bool "lt" true
+          (Vec.lt (Vec.of_ints [ 0; 9; 9 ]) (Vec.of_ints [ 1; 0; 0 ])));
+    tc "inf beats any finite in lex order" (fun () ->
+        (* the key Figure-3 fact: [1,∞,∞] > [0,1,0] *)
+        let partial = Vec.set (Vec.all_inf 3) 1 1 in
+        check_bool "gt" true (Vec.lt (Vec.of_ints [ 0; 1; 0 ]) partial));
+    tc "partial below complete when prefix smaller" (fun () ->
+        (* the other Figure-3 fact: [0,0,1] <= [0,1,0] *)
+        check_bool "le" true
+          (Vec.le (Vec.of_ints [ 0; 0; 1 ]) (Vec.of_ints [ 0; 1; 0 ])));
+    tc "is_complete" (fun () ->
+        check_bool "complete" true (Vec.is_complete (Vec.of_ints [ 1; 2 ]));
+        check_bool "incomplete" false (Vec.is_complete (Vec.set (Vec.all_inf 2) 1 1)));
+    tc "is_zero" (fun () ->
+        check_bool "zero" true (Vec.is_zero (Vec.zero 4));
+        check_bool "nonzero" false (Vec.is_zero (Vec.of_ints [ 0; 1 ])));
+    tc "componentwise_le vs lex disagree sometimes" (fun () ->
+        let a = Vec.of_ints [ 0; 5 ] and b = Vec.of_ints [ 1; 0 ] in
+        check_bool "lex lt" true (Vec.lt a b);
+        check_bool "not cw" false (Vec.componentwise_le a b));
+    tc "max_list lexicographic" (fun () ->
+        let l = [ Vec.of_ints [ 1; 0 ]; Vec.of_ints [ 0; 9 ]; Vec.of_ints [ 1; 1 ] ] in
+        check_bool "max" true (Vec.equal (Vec.max_list l) (Vec.of_ints [ 1; 1 ])));
+    tc "of_list rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Vector.of_list: empty")
+          (fun () -> ignore (Vec.of_list [])));
+    tc "pp renders inf" (fun () ->
+        Alcotest.(check string) "pp" "[\u{221E},0]"
+          (Vec.to_string (Vec.set (Vec.all_inf 2) 2 0)));
+  ]
+
+let vec_gen n =
+  QCheck.make
+    ~print:(fun v -> Vec.to_string v)
+    QCheck.Gen.(
+      map
+        (fun l ->
+          Vec.of_list
+            (List.map (function x when x > 8 -> Vec.Inf | x -> Vec.Fin x) l))
+        (list_size (return n) (int_bound 10)))
+
+let vec_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"vector order is total" ~count:300
+         (QCheck.pair (vec_gen 4) (vec_gen 4)) (fun (a, b) ->
+           Vec.lt a b || Vec.lt b a || Vec.equal a b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"vector order transitive" ~count:300
+         (QCheck.triple (vec_gen 3) (vec_gen 3) (vec_gen 3)) (fun (a, b, c) ->
+           QCheck.assume (Vec.le a b && Vec.le b c);
+           Vec.le a c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"componentwise_le implies lex le" ~count:300
+         (QCheck.pair (vec_gen 4) (vec_gen 4)) (fun (a, b) ->
+           QCheck.assume (Vec.componentwise_le a b);
+           Vec.le a b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"filling an inf component never increases"
+         ~count:300
+         (QCheck.pair (vec_gen 4) (QCheck.int_bound 8))
+         (fun (v, x) ->
+           (* Observation 25: a forming timestamp is non-increasing *)
+           let idx =
+             let rec find i =
+               if i > 4 then None
+               else if Vec.get v i = Vec.Inf then Some i
+               else find (i + 1)
+             in
+             find 1
+           in
+           match idx with
+           | None -> QCheck.assume_fail ()
+           | Some i -> Vec.le (Vec.set v i x) v));
+  ]
+
+let suite =
+  [
+    ("clocks.lamport", lamport_unit @ lamport_props);
+    ("clocks.vector", vec_unit @ vec_props);
+  ]

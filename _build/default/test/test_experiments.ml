@@ -1,0 +1,18 @@
+(* Integration test: the full experiment battery (quick profile) must
+   reproduce every claim of the paper. *)
+
+let tcs name f = Alcotest.test_case name `Slow f
+
+let suite =
+  [
+    ( "experiments.battery",
+      [
+        tcs "E1-E8 all reproduce the paper's claims (quick profile)" (fun () ->
+            List.iter
+              (fun (r : Experiments.report) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s" r.Experiments.id r.Experiments.measured)
+                  true r.Experiments.pass)
+              (Experiments.all ~quick:true));
+      ] );
+  ]

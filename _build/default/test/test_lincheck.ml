@@ -1,0 +1,334 @@
+(* Tests for the linearizability decision procedure (Definition 2). *)
+
+module V = Core.Value
+module Op = Core.Op
+module Hist = Core.Hist
+module L = Core.Lincheck
+module Gen = Core.Histgen
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let init = V.Int 0
+
+let op ?responded ?result ~id ~proc ~kind ~invoked () =
+  Op.make ~id ~proc ~obj:"R" ~kind ~invoked ?responded ?result ()
+
+let w ?responded ~id ~proc ~invoked v =
+  op ~id ~proc ~kind:(Op.Write (V.Int v)) ~invoked ?responded ()
+
+let r ~id ~proc ~invoked ~responded v =
+  op ~id ~proc ~kind:Op.Read ~invoked ~responded ~result:(V.Int v) ()
+
+let h ops = Hist.of_ops ops
+
+let unit_tests =
+  [
+    tc "empty history is linearizable" (fun () ->
+        check_bool "empty" true (L.check ~init Hist.empty));
+    tc "sequential write;read is linearizable" (fun () ->
+        check_bool "lin" true
+          (L.check ~init
+             (h [ w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100;
+                  r ~id:2 ~proc:2 ~invoked:3 ~responded:4 100 ])));
+    tc "stale read after a completed write is NOT linearizable" (fun () ->
+        check_bool "not lin" false
+          (L.check ~init
+             (h [ w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100;
+                  r ~id:2 ~proc:2 ~invoked:3 ~responded:4 0 ])));
+    tc "stale read concurrent with the write IS linearizable" (fun () ->
+        check_bool "lin" true
+          (L.check ~init
+             (h [ w ~id:1 ~proc:1 ~invoked:1 ~responded:5 100;
+                  r ~id:2 ~proc:2 ~invoked:2 ~responded:4 0 ])));
+    tc "read of a never-written value is NOT linearizable" (fun () ->
+        check_bool "not lin" false
+          (L.check ~init
+             (h [ r ~id:1 ~proc:1 ~invoked:1 ~responded:2 999 ])));
+    tc "new-old inversion between sequential reads is NOT linearizable" (fun () ->
+        (* r1 sees the new value, then a later r2 (same or other proc,
+           strictly after) sees the old one *)
+        check_bool "not lin" false
+          (L.check ~init
+             (h
+                [
+                  w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+                  r ~id:2 ~proc:2 ~invoked:2 ~responded:3 100;
+                  r ~id:3 ~proc:2 ~invoked:4 ~responded:5 0;
+                ])));
+    tc "old-then-new across concurrent reads IS linearizable" (fun () ->
+        check_bool "lin" true
+          (L.check ~init
+             (h
+                [
+                  w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+                  r ~id:2 ~proc:2 ~invoked:2 ~responded:3 0;
+                  r ~id:3 ~proc:2 ~invoked:4 ~responded:5 100;
+                ])));
+    tc "read may return a PENDING write's value" (fun () ->
+        check_bool "lin" true
+          (L.check ~init
+             (h
+                [
+                  w ~id:1 ~proc:1 ~invoked:1 100 (* never responds *);
+                  r ~id:2 ~proc:2 ~invoked:2 ~responded:3 100;
+                ])));
+    tc "pending write may also be ignored" (fun () ->
+        check_bool "lin" true
+          (L.check ~init
+             (h
+                [
+                  w ~id:1 ~proc:1 ~invoked:1 100;
+                  r ~id:2 ~proc:2 ~invoked:2 ~responded:3 0;
+                ])));
+    tc "two concurrent writes order both ways" (fun () ->
+        let base =
+          [ w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+            w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200 ]
+        in
+        check_bool "reads 100 last" true
+          (L.check ~init
+             (h (base @ [ r ~id:3 ~proc:3 ~invoked:11 ~responded:12 100 ])));
+        check_bool "reads 200 last" true
+          (L.check ~init
+             (h (base @ [ r ~id:3 ~proc:3 ~invoked:11 ~responded:12 200 ])));
+        (* but two sequential readers cannot disagree on the final order *)
+        check_bool "contradictory readers" false
+          (L.check ~init
+             (h
+                (base
+                @ [
+                    r ~id:3 ~proc:3 ~invoked:11 ~responded:12 100;
+                    r ~id:4 ~proc:3 ~invoked:13 ~responded:14 200;
+                    r ~id:5 ~proc:4 ~invoked:15 ~responded:16 100;
+                  ]))));
+    tc "witness is a valid linearization" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+              r ~id:3 ~proc:3 ~invoked:3 ~responded:8 100;
+              r ~id:4 ~proc:4 ~invoked:11 ~responded:12 200;
+            ]
+        in
+        match L.witness ~init hist with
+        | Some s ->
+            check_bool "valid" true (Hist.Seq.is_linearization_of ~init hist s)
+        | None -> Alcotest.fail "expected linearizable");
+    tc "witness is None when not linearizable" (fun () ->
+        check_bool "none" true
+          (L.witness ~init
+             (h [ r ~id:1 ~proc:1 ~invoked:1 ~responded:2 1 ])
+          = None));
+    tc "multi-object: per-object locality" (fun () ->
+        let mixed =
+          Hist.of_ops
+            [
+              Op.make ~id:1 ~proc:1 ~obj:"A" ~kind:(Op.Write (V.Int 1))
+                ~invoked:1 ~responded:2 ();
+              Op.make ~id:2 ~proc:2 ~obj:"B" ~kind:Op.Read ~invoked:3
+                ~responded:4 ~result:(V.Int 0) ();
+            ]
+        in
+        check_bool "both ok" true
+          (L.check_multi ~init_of:(fun _ -> V.Int 0) mixed));
+    tc "multi-object check rejected by single-object checker" (fun () ->
+        let mixed =
+          Hist.of_ops
+            [
+              Op.make ~id:1 ~proc:1 ~obj:"A" ~kind:Op.Read ~invoked:1
+                ~responded:2 ~result:(V.Int 0) ();
+              Op.make ~id:2 ~proc:2 ~obj:"B" ~kind:Op.Read ~invoked:3
+                ~responded:4 ~result:(V.Int 0) ();
+            ]
+        in
+        try
+          ignore (L.check ~init mixed);
+          Alcotest.fail "accepted multi-object history"
+        with Invalid_argument _ -> ());
+  ]
+
+let enumerate_tests =
+  [
+    tc "enumerate finds both orders of concurrent writes" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+            ]
+        in
+        let ls = L.enumerate ~init hist ~limit:100 in
+        Alcotest.(check int) "two" 2 (List.length ls));
+    tc "enumerate_write_orders dedups by write sequence" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+              r ~id:3 ~proc:3 ~invoked:11 ~responded:12 200;
+            ]
+        in
+        (* only one write order is consistent with the read *)
+        Alcotest.(check int) "one" 1
+          (List.length (L.enumerate_write_orders ~init hist ~limit:100)));
+    tc "forced write prefix accepts consistent order" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+            ]
+        in
+        check_bool "1 then 2" true
+          (L.check_with_forced_write_prefix ~init hist ~prefix:[ 1; 2 ]);
+        check_bool "2 then 1" true
+          (L.check_with_forced_write_prefix ~init hist ~prefix:[ 2; 1 ]));
+    tc "forced write prefix rejects contradicted order" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+              r ~id:3 ~proc:3 ~invoked:11 ~responded:12 200;
+            ]
+        in
+        (* the read of 200 forces write 2 last *)
+        check_bool "2 then 1 impossible" false
+          (L.check_with_forced_write_prefix ~init hist ~prefix:[ 2; 1 ]);
+        check_bool "1 then 2 fine" true
+          (L.check_with_forced_write_prefix ~init hist ~prefix:[ 1; 2 ]));
+    tc "forced full prefix" (fun () ->
+        let a = w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100 in
+        let b = r ~id:2 ~proc:2 ~invoked:2 ~responded:9 0 in
+        let hist = h [ a; b ] in
+        check_bool "read first" true
+          (L.check_with_forced_prefix ~init hist ~prefix:[ 2; 1 ]);
+        check_bool "write first breaks read" false
+          (L.check_with_forced_prefix ~init hist ~prefix:[ 1; 2 ]));
+    tc "write_orders_extending" (fun () ->
+        let hist =
+          h
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+            ]
+        in
+        Alcotest.(check int) "extending [1]" 1
+          (List.length (L.write_orders_extending ~init hist ~prefix:[ 1 ] ~limit:50)));
+    tc "too large raises" (fun () ->
+        let ops =
+          List.init 63 (fun i ->
+              w ~id:(i + 1) ~proc:(i + 1) ~invoked:((i * 2) + 1)
+                ~responded:((i * 2) + 2)
+                (100 + i))
+        in
+        try
+          ignore (L.check ~init (h ops));
+          Alcotest.fail "accepted 63 ops"
+        with L.Too_large -> ());
+  ]
+
+(* property: histories produced by an atomic register are always accepted,
+   and the generator's own witness agrees with the checker's *)
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"atomic histories always linearizable" ~count:150
+         (Gen.arb_atomic Gen.default_spec) (fun hist ->
+           L.check ~init:Gen.default_spec.Gen.init hist));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"checker witness always validates" ~count:150
+         (Gen.arb_atomic Gen.default_spec) (fun hist ->
+           match L.witness ~init:Gen.default_spec.Gen.init hist with
+           | Some s ->
+               Hist.Seq.is_linearization_of ~init:Gen.default_spec.Gen.init
+                 hist s
+           | None -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"on arbitrary histories, check = witness existence" ~count:150
+         (Gen.arb_arbitrary { Gen.default_spec with n_ops = 6 })
+         (fun hist ->
+           L.check ~init:Gen.default_spec.Gen.init hist
+           = Option.is_some (L.witness ~init:Gen.default_spec.Gen.init hist)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"non-distinct write values: atomic histories still accepted"
+         ~count:100
+         (Gen.arb_atomic { Gen.default_spec with distinct_writes = false })
+         (fun hist -> L.check ~init:Gen.default_spec.Gen.init hist));
+  ]
+
+let suite =
+  [
+    ("lincheck.unit", unit_tests);
+    ("lincheck.enumerate", enumerate_tests);
+    ("lincheck.props", props);
+  ]
+
+(* ----- differential oracle -------------------------------------------------------
+   A brute-force reference checker: enumerate every permutation of every
+   subset that contains all complete ops (pending writes optional), and
+   test the three properties of Definition 2 directly via Hist.Seq.  Only
+   tractable for tiny histories — which is exactly what makes it a trusted
+   oracle for the DFS. *)
+
+let rec insertions x = function
+  | [] -> [ [ x ] ]
+  | y :: ys as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insertions x ys)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: xs -> List.concat_map (insertions x) (permutations xs)
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: xs ->
+      let rest = subsets xs in
+      rest @ List.map (fun s -> x :: s) rest
+
+let brute_force ~init hist =
+  let ops = Hist.ops hist in
+  let complete = List.filter Op.is_complete ops in
+  let pending_writes =
+    List.filter (fun o -> Op.is_write o && Op.is_pending o) ops
+  in
+  List.exists
+    (fun extra ->
+      List.exists
+        (fun seq -> Hist.Seq.is_linearization_of ~init hist seq)
+        (permutations (complete @ extra)))
+    (subsets pending_writes)
+
+let oracle_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"DFS checker agrees with the brute-force oracle (arbitrary)"
+         ~count:120
+         (Gen.arb_arbitrary { Gen.default_spec with n_ops = 5; n_procs = 3 })
+         (fun hist ->
+           QCheck.assume (List.length (Hist.ops hist) <= 6);
+           L.check ~init hist = brute_force ~init hist));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"DFS checker agrees with the oracle (repeated write values)"
+         ~count:120
+         (Gen.arb_arbitrary
+            { Gen.default_spec with n_ops = 5; n_procs = 3; distinct_writes = false })
+         (fun hist ->
+           QCheck.assume (List.length (Hist.ops hist) <= 6);
+           L.check ~init hist = brute_force ~init hist));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"DFS checker agrees with the oracle (atomic histories)"
+         ~count:80
+         (Gen.arb_atomic { Gen.default_spec with n_ops = 5 })
+         (fun hist ->
+           QCheck.assume (List.length (Hist.ops hist) <= 6);
+           L.check ~init hist && brute_force ~init hist));
+  ]
+
+let suite = suite @ [ ("lincheck.oracle", oracle_tests) ]

@@ -1,0 +1,85 @@
+(* Tests for the multicore (Domain + Atomic) layer: the register
+   constructions survive real parallelism, with recorded histories passing
+   the exact linearizability checker. *)
+
+module Mc = Core.Mc_registers
+module Log = Core.Mclog
+module V = Core.Value
+module Op = Core.Op
+
+let tc name f = Alcotest.test_case name `Quick f
+let tcs name f = Alcotest.test_case name `Slow f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let log_tests =
+  [
+    tc "log produces well-formed histories" (fun () ->
+        let log = Log.create () in
+        let id = Log.invoke log ~proc:1 ~obj:"R" ~kind:Op.Read in
+        Log.respond log ~op_id:id ~result:(Some (V.Int 0));
+        let h = Log.history log in
+        check_int "events" 2 (Core.Hist.length h));
+    tc "concurrent appends all land" (fun () ->
+        let log = Log.create () in
+        let domains =
+          List.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 25 do
+                    let id =
+                      Log.invoke log ~proc:(d + 1) ~obj:"R" ~kind:Op.Read
+                    in
+                    Log.respond log ~op_id:id ~result:(Some (V.Int 0))
+                  done))
+        in
+        List.iter Domain.join domains;
+        check_int "all ops" 100 (List.length (Core.Hist.ops (Log.history log))));
+  ]
+
+let seq_tests =
+  [
+    tc "alg2 single-domain round trip" (fun () ->
+        let log = Log.create () in
+        let r = Mc.Alg2.create ~log ~name:"R" ~n:2 ~init:0 in
+        Mc.Alg2.write r ~proc:1 5;
+        check_int "read" 5 (Mc.Alg2.read r ~proc:2));
+    tc "alg4 single-domain round trip" (fun () ->
+        let log = Log.create () in
+        let r = Mc.Alg4.create ~log ~name:"R" ~n:2 ~init:0 in
+        Mc.Alg4.write r ~proc:2 7;
+        check_int "read" 7 (Mc.Alg4.read r ~proc:1));
+    tc "initial value visible before any write" (fun () ->
+        let log = Log.create () in
+        let r = Mc.Alg2.create ~log ~name:"R" ~n:3 ~init:42 in
+        check_int "init" 42 (Mc.Alg2.read r ~proc:1));
+    tc "proc bounds enforced" (fun () ->
+        let log = Log.create () in
+        let r = Mc.Alg2.create ~log ~name:"R" ~n:2 ~init:0 in
+        Alcotest.check_raises "range" (Invalid_argument "Mc.Alg2: proc out of range")
+          (fun () -> Mc.Alg2.write r ~proc:3 1));
+  ]
+
+let stress_tests =
+  [
+    tcs "alg2 stress: linearizable across domains" (fun () ->
+        for _ = 1 to 8 do
+          let rep = Mc.Stress.run ~impl:`Alg2 ~domains:3 ~ops_per_domain:5 () in
+          check_bool "linearizable" true (rep.Mc.Stress.linearizable = Some true)
+        done);
+    tcs "alg4 stress: linearizable across domains" (fun () ->
+        for _ = 1 to 8 do
+          let rep = Mc.Stress.run ~impl:`Alg4 ~domains:3 ~ops_per_domain:5 () in
+          check_bool "linearizable" true (rep.Mc.Stress.linearizable = Some true)
+        done);
+    tcs "stress records the expected op count" (fun () ->
+        let rep = Mc.Stress.run ~impl:`Alg2 ~domains:4 ~ops_per_domain:6 ~check:false () in
+        check_int "ops" 24 rep.Mc.Stress.ops;
+        check_bool "unchecked" true (rep.Mc.Stress.linearizable = None));
+  ]
+
+let suite =
+  [
+    ("multicore.log", log_tests);
+    ("multicore.sequential", seq_tests);
+    ("multicore.stress", stress_tests);
+  ]

@@ -1,0 +1,249 @@
+(* Tests for the concrete register constructions: SWMR base registers,
+   Algorithm 2 (vector timestamps) and Algorithm 4 (Lamport clocks),
+   including the paper's Figure 3 scenario and randomized checking. *)
+
+module V = Core.Value
+module Sched = Core.Sched
+module Swmr = Core.Swmr
+module Alg2 = Core.Wsl_register
+module Alg4 = Core.Lamport_register
+module Vec = Core.Vector
+module Lam = Core.Lamport
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let drive sched ~seed ~max_steps =
+  let rng = Core.Rng.create seed in
+  ignore (Sched.run sched ~policy:(Sched.random_policy rng) ~max_steps)
+
+(* ----- SWMR base registers ------------------------------------------------------ *)
+
+let swmr_tests =
+  [
+    tc "only the writer may write" (fun () ->
+        let sched = Sched.create () in
+        let r = Swmr.create ~writer:1 ~name:"V" 0 in
+        let failed = ref false in
+        Sched.spawn sched ~pid:2 (fun () ->
+            try Swmr.write r ~proc:2 5
+            with Invalid_argument _ -> failed := true);
+        drive sched ~seed:1L ~max_steps:10;
+        check_bool "rejected" true !failed;
+        check_int "unchanged" 0 (Swmr.peek r));
+    tc "write then read" (fun () ->
+        let sched = Sched.create () in
+        let r = Swmr.create ~writer:1 ~name:"V" 0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Swmr.write r ~proc:1 42;
+            got := Swmr.read r);
+        drive sched ~seed:1L ~max_steps:10;
+        check_int "read back" 42 !got);
+    tc "each access costs one step" (fun () ->
+        let sched = Sched.create () in
+        let r = Swmr.create ~writer:1 ~name:"V" 0 in
+        let phase = ref 0 in
+        Sched.spawn sched ~pid:1 (fun () ->
+            incr phase;
+            ignore (Swmr.read r);
+            incr phase;
+            ignore (Swmr.read r);
+            incr phase);
+        ignore (Sched.step sched ~pid:1);
+        check_int "before first read" 1 !phase;
+        ignore (Sched.step sched ~pid:1);
+        check_int "between reads" 2 !phase;
+        ignore (Sched.step sched ~pid:1);
+        check_int "done" 3 !phase);
+  ]
+
+(* ----- Algorithm 2 --------------------------------------------------------------- *)
+
+let alg2_tests =
+  [
+    tc "sequential write/read round-trip" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:3 ~init:0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Alg2.write r ~proc:1 7;
+            got := Alg2.read r ~proc:1);
+        drive sched ~seed:1L ~max_steps:100;
+        check_int "round trip" 7 !got);
+    tc "read sees the lexicographically largest timestamp" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:2 ~init:0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () -> Alg2.write r ~proc:1 11);
+        Sched.spawn sched ~pid:2 (fun () ->
+            Alg2.write r ~proc:2 22;
+            got := Alg2.read r ~proc:2);
+        (* run p1 fully, then p2: p2's write reads p1's published ts and
+           dominates it *)
+        while Sched.runnable sched ~pid:1 do
+          ignore (Sched.step sched ~pid:1)
+        done;
+        while Sched.runnable sched ~pid:2 do
+          ignore (Sched.step sched ~pid:2)
+        done;
+        check_int "latest" 22 !got);
+    tc "published timestamps are complete" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:3 ~init:0 in
+        Sched.spawn sched ~pid:2 (fun () -> Alg2.write r ~proc:2 5);
+        drive sched ~seed:2L ~max_steps:50;
+        Array.iter
+          (fun (_, ts) -> check_bool "complete" true (Vec.is_complete ts))
+          (Alg2.val_contents r));
+    tc "own component increments per write" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:2 ~init:0 in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Alg2.write r ~proc:1 1;
+            Alg2.write r ~proc:1 2;
+            Alg2.write r ~proc:1 3);
+        drive sched ~seed:3L ~max_steps:200;
+        let _, ts = (Alg2.val_contents r).(0) in
+        check_bool "component 1 = 3" true (Vec.get ts 1 = Vec.Fin 3));
+    tc "proc out of range rejected" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:2 ~init:0 in
+        Alcotest.check_raises "range"
+          (Invalid_argument "R: process id 3 out of range 1..2") (fun () ->
+            Alg2.write r ~proc:3 1));
+    tc "read_with_ts returns the winning pair" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg2.create ~sched ~name:"R" ~n:2 ~init:0 in
+        let got = ref (0, Vec.zero 2) in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Alg2.write r ~proc:1 9;
+            got := Alg2.read_with_ts r ~proc:1);
+        drive sched ~seed:4L ~max_steps:100;
+        check_int "value" 9 (fst !got);
+        check_bool "ts" true (Vec.equal (snd !got) (Vec.of_ints [ 1; 0 ])));
+  ]
+
+let alg2_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"random Alg2 runs satisfy (L) and (P) via Algorithm 3"
+         ~count:30
+         (QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 100_000)))
+         (fun seed ->
+           let run =
+             Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
+               ~reads_per_proc:2 ~seed
+           in
+           Core.Scenario.check_alg2_run run = Ok ()));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random Alg2 runs are linearizable" ~count:20
+         (QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 100_000)))
+         (fun seed ->
+           let run =
+             Core.Scenario.random_alg2_run ~n:4 ~writes_per_proc:1
+               ~reads_per_proc:2 ~seed
+           in
+           run.Core.Scenario.completed
+           && Core.Lincheck.check ~init:(V.Int 0) run.Core.Scenario.history));
+  ]
+
+(* ----- Algorithm 4 ---------------------------------------------------------------- *)
+
+let alg4_tests =
+  [
+    tc "sequential write/read round-trip" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg4.create ~sched ~name:"R" ~n:3 ~init:0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () ->
+            Alg4.write r ~proc:1 7;
+            got := Alg4.read r ~proc:1);
+        drive sched ~seed:1L ~max_steps:100;
+        check_int "round trip" 7 !got);
+    tc "sequence numbers increase across writers" (fun () ->
+        let sched = Sched.create () in
+        let r = Alg4.create ~sched ~name:"R" ~n:2 ~init:0 in
+        Sched.spawn sched ~pid:1 (fun () -> Alg4.write r ~proc:1 1);
+        while Sched.runnable sched ~pid:1 do
+          ignore (Sched.step sched ~pid:1)
+        done;
+        Sched.spawn sched ~pid:2 (fun () -> Alg4.write r ~proc:2 2);
+        while Sched.runnable sched ~pid:2 do
+          ignore (Sched.step sched ~pid:2)
+        done;
+        let _, ts1 = (Alg4.val_contents r).(0) in
+        let _, ts2 = (Alg4.val_contents r).(1) in
+        check_int "sq1" 1 ts1.Lam.sq;
+        check_int "sq2" 2 ts2.Lam.sq;
+        check_bool "order" true (Lam.lt ts1 ts2));
+    tc "ties broken by pid" (fun () ->
+        (* two writers that both read sq 0 produce ⟨1,1⟩ and ⟨1,2⟩:
+           reader must return pid 2's value *)
+        let sched = Sched.create () in
+        let r = Alg4.create ~sched ~name:"R" ~n:2 ~init:0 in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:1 (fun () -> Alg4.write r ~proc:1 11);
+        Sched.spawn sched ~pid:2 (fun () -> Alg4.write r ~proc:2 22);
+        (* interleave the two writes completely before either publishes *)
+        for _ = 1 to 4 do
+          ignore (Sched.step sched ~pid:1);
+          ignore (Sched.step sched ~pid:2)
+        done;
+        while Sched.runnable sched ~pid:1 do
+          ignore (Sched.step sched ~pid:1)
+        done;
+        while Sched.runnable sched ~pid:2 do
+          ignore (Sched.step sched ~pid:2)
+        done;
+        let sched2 = sched in
+        Sched.spawn sched2 ~pid:4 (fun () -> got := Alg4.read r ~proc:2);
+        while Sched.runnable sched2 ~pid:4 do
+          ignore (Sched.step sched2 ~pid:4)
+        done;
+        check_int "pid 2 wins the tie" 22 !got);
+  ]
+
+let alg4_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random Alg4 runs are linearizable (Thm 12)"
+         ~count:30
+         (QCheck.make QCheck.Gen.(map Int64.of_int (int_bound 100_000)))
+         (fun seed ->
+           let run =
+             Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
+               ~reads_per_proc:2 ~seed
+           in
+           Core.Scenario.check_alg4_run run = Ok ()));
+  ]
+
+(* ----- Figure 3 -------------------------------------------------------------------- *)
+
+let fig3_tests =
+  [
+    tc "on-line order committed at w2's completion (Fig 3)" (fun () ->
+        let f3 = Core.Scenario.fig3 () in
+        Alcotest.(check (list int)) "B at t = {w3, w2}"
+          [ f3.Core.Scenario.w3; f3.Core.Scenario.w2 ]
+          f3.Core.Scenario.ws_at_t);
+    tc "final write order w3 < w2 < w1 (Fig 3)" (fun () ->
+        let f3 = Core.Scenario.fig3 () in
+        Alcotest.(check (list int)) "final"
+          [ f3.Core.Scenario.w3; f3.Core.Scenario.w2; f3.Core.Scenario.w1 ]
+          f3.Core.Scenario.final_ws);
+    tc "fig3 history is linearizable" (fun () ->
+        let f3 = Core.Scenario.fig3 () in
+        check_bool "lin" true
+          (Core.Lincheck.check ~init:(V.Int 0) f3.Core.Scenario.history));
+  ]
+
+let suite =
+  [
+    ("registers.swmr", swmr_tests);
+    ("registers.alg2", alg2_tests @ alg2_props);
+    ("registers.alg4", alg4_tests @ alg4_props);
+    ("registers.fig3", fig3_tests);
+  ]

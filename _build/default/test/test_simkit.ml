@@ -1,0 +1,261 @@
+(* Tests for lib/simkit: fibers (effects), scheduler, RNG, traces. *)
+
+module Fiber = Core.Fiber
+module Sched = Core.Sched
+module Trace = Core.Trace
+module Rng = Core.Rng
+module Op = Core.Op
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- rng ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    tc "deterministic for a seed" (fun () ->
+        let a = Rng.create 42L and b = Rng.create 42L in
+        for _ = 1 to 50 do
+          check_bool "same" true (Rng.next_int64 a = Rng.next_int64 b)
+        done);
+    tc "different seeds diverge" (fun () ->
+        let a = Rng.create 1L and b = Rng.create 2L in
+        check_bool "diff" true (Rng.next_int64 a <> Rng.next_int64 b));
+    tc "int respects bound" (fun () ->
+        let r = Rng.create 7L in
+        for _ = 1 to 200 do
+          let x = Rng.int r 10 in
+          check_bool "bound" true (x >= 0 && x < 10)
+        done);
+    tc "int rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "bound"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int (Rng.create 1L) 0)));
+    tc "coin is fair-ish" (fun () ->
+        let r = Rng.create 11L in
+        let ones = ref 0 in
+        for _ = 1 to 1000 do
+          if Rng.coin r = 1 then incr ones
+        done;
+        check_bool "fair" true (!ones > 400 && !ones < 600));
+    tc "split yields independent stream" (fun () ->
+        let a = Rng.create 5L in
+        let b = Rng.split a in
+        check_bool "indep" true (Rng.next_int64 a <> Rng.next_int64 b));
+    tc "copy preserves state" (fun () ->
+        let a = Rng.create 9L in
+        ignore (Rng.next_int64 a);
+        let b = Rng.copy a in
+        check_bool "same" true (Rng.next_int64 a = Rng.next_int64 b));
+  ]
+
+(* ----- fibers ------------------------------------------------------------------ *)
+
+let fiber_tests =
+  [
+    tc "runs to completion without yields" (fun () ->
+        let hit = ref false in
+        let f = Fiber.spawn ~pid:1 (fun () -> hit := true) in
+        check_bool "runnable" true (Fiber.status f = Fiber.Runnable);
+        ignore (Fiber.step f);
+        check_bool "hit" true !hit;
+        check_bool "done" true (Fiber.status f = Fiber.Finished));
+    tc "yield suspends exactly there" (fun () ->
+        let stage = ref 0 in
+        let f =
+          Fiber.spawn ~pid:1 (fun () ->
+              stage := 1;
+              Fiber.yield ();
+              stage := 2;
+              Fiber.yield ();
+              stage := 3)
+        in
+        ignore (Fiber.step f);
+        check_int "stage1" 1 !stage;
+        ignore (Fiber.step f);
+        check_int "stage2" 2 !stage;
+        ignore (Fiber.step f);
+        check_int "stage3" 3 !stage;
+        check_bool "done" true (Fiber.status f = Fiber.Finished));
+    tc "stepping a finished fiber raises" (fun () ->
+        let f = Fiber.spawn ~pid:1 (fun () -> ()) in
+        ignore (Fiber.step f);
+        Alcotest.check_raises "dead"
+          (Invalid_argument "Fiber.step: fiber is not runnable") (fun () ->
+            ignore (Fiber.step f)));
+    tc "exception marks fiber failed" (fun () ->
+        let f = Fiber.spawn ~pid:1 (fun () -> failwith "boom") in
+        (match Fiber.step f with
+        | Fiber.Failed (Failure m) -> Alcotest.(check string) "msg" "boom" m
+        | _ -> Alcotest.fail "expected failure");
+        check_bool "failed" true
+          (match Fiber.status f with Fiber.Failed _ -> true | _ -> false));
+    tc "exception after a yield" (fun () ->
+        let f =
+          Fiber.spawn ~pid:1 (fun () ->
+              Fiber.yield ();
+              failwith "later")
+        in
+        ignore (Fiber.step f);
+        match Fiber.step f with
+        | Fiber.Failed (Failure m) -> Alcotest.(check string) "msg" "later" m
+        | _ -> Alcotest.fail "expected failure");
+    tc "run_to_completion bounded" (fun () ->
+        let f =
+          Fiber.spawn ~pid:1 (fun () ->
+              while true do
+                Fiber.yield ()
+              done)
+        in
+        check_bool "still runnable" true
+          (Fiber.run_to_completion f ~max_steps:10 = Fiber.Runnable));
+    tc "many fibers interleave independently" (fun () ->
+        let log = ref [] in
+        let mk tag =
+          Fiber.spawn ~pid:0 (fun () ->
+              log := (tag ^ "a") :: !log;
+              Fiber.yield ();
+              log := (tag ^ "b") :: !log)
+        in
+        let f1 = mk "x" and f2 = mk "y" in
+        ignore (Fiber.step f1);
+        ignore (Fiber.step f2);
+        ignore (Fiber.step f2);
+        ignore (Fiber.step f1);
+        Alcotest.(check (list string)) "order" [ "xb"; "yb"; "ya"; "xa" ] !log);
+  ]
+
+(* ----- scheduler ----------------------------------------------------------------- *)
+
+let sched_tests =
+  [
+    tc "spawn rejects duplicate pids" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> ());
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Sched.spawn: duplicate pid 1") (fun () ->
+            Sched.spawn s ~pid:1 (fun () -> ())));
+    tc "step unknown pid raises" (fun () ->
+        let s = Sched.create () in
+        Alcotest.check_raises "unknown" (Invalid_argument "Sched: unknown pid 9")
+          (fun () -> ignore (Sched.step s ~pid:9)));
+    tc "live_pids shrinks as fibers finish" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> ());
+        Sched.spawn s ~pid:2 (fun () -> Fiber.yield ());
+        Alcotest.(check (list int)) "both" [ 1; 2 ] (Sched.live_pids s);
+        ignore (Sched.step s ~pid:1);
+        Alcotest.(check (list int)) "one" [ 2 ] (Sched.live_pids s));
+    tc "crash removes a process from scheduling" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> Fiber.yield ());
+        Sched.crash s ~pid:1;
+        check_bool "crashed" true (Sched.crashed s ~pid:1);
+        check_bool "not live" true (Sched.live_pids s = []);
+        Alcotest.check_raises "step crashed"
+          (Invalid_argument "Sched.step: pid 1 has crashed") (fun () ->
+            ignore (Sched.step s ~pid:1)));
+    tc "round robin is fair" (fun () ->
+        let s = Sched.create () in
+        let counts = Array.make 3 0 in
+        for pid = 0 to 2 do
+          Sched.spawn s ~pid (fun () ->
+              for _ = 1 to 10 do
+                counts.(pid) <- counts.(pid) + 1;
+                Fiber.yield ()
+              done)
+        done;
+        ignore (Sched.run s ~policy:Sched.round_robin ~max_steps:15);
+        check_bool "balanced" true
+          (abs (counts.(0) - counts.(1)) <= 1 && abs (counts.(1) - counts.(2)) <= 1));
+    tc "run halts when no fiber is live" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> Fiber.yield ());
+        let steps = Sched.run s ~policy:Sched.round_robin ~max_steps:100 in
+        check_int "steps" 2 steps);
+    tc "scripted policy follows the script" (fun () ->
+        let s = Sched.create () in
+        let log = ref [] in
+        for pid = 1 to 2 do
+          Sched.spawn s ~pid (fun () ->
+              log := pid :: !log;
+              Fiber.yield ();
+              log := pid :: !log)
+        done;
+        ignore
+          (Sched.run s ~policy:(Sched.scripted [ 2; 1; 1; 2 ]) ~max_steps:100);
+        Alcotest.(check (list int)) "order" [ 2; 1; 1; 2 ] (List.rev !log));
+    tc "coin recorded in trace" (fun () ->
+        let s = Sched.create ~seed:13L () in
+        Sched.spawn s ~pid:1 (fun () -> ignore (Sched.coin s ~proc:1));
+        ignore (Sched.step s ~pid:1);
+        match Trace.coins (Sched.trace s) with
+        | [ (_, 1, v) ] -> check_bool "bit" true (v = 0 || v = 1)
+        | _ -> Alcotest.fail "expected one coin");
+    tc "same seed, same coins" (fun () ->
+        let flips seed =
+          let s = Sched.create ~seed () in
+          List.init 20 (fun _ -> Core.Rng.coin (Sched.rng s))
+        in
+        Alcotest.(check (list int)) "deterministic" (flips 5L) (flips 5L));
+  ]
+
+(* ----- trace ------------------------------------------------------------------- *)
+
+let trace_tests =
+  [
+    tc "invoke/respond build a history" (fun () ->
+        let tr = Trace.create () in
+        let id = Trace.invoke tr ~proc:1 ~obj:"R" ~kind:Op.Read in
+        Trace.respond tr ~op_id:id ~result:(Some (Core.Value.Int 0));
+        let h = Trace.history tr in
+        check_int "events" 2 (Core.Hist.length h);
+        match Core.Hist.ops h with
+        | [ o ] ->
+            check_bool "complete" true (Op.is_complete o);
+            check_bool "result" true (o.Op.result = Some (Core.Value.Int 0))
+        | _ -> Alcotest.fail "one op expected");
+    tc "op ids are fresh" (fun () ->
+        let tr = Trace.create () in
+        let a = Trace.invoke tr ~proc:1 ~obj:"R" ~kind:Op.Read in
+        let b = Trace.invoke tr ~proc:2 ~obj:"R" ~kind:Op.Read in
+        check_bool "fresh" true (a <> b));
+    tc "times strictly increase" (fun () ->
+        let tr = Trace.create () in
+        ignore (Trace.invoke tr ~proc:1 ~obj:"R" ~kind:Op.Read);
+        Trace.linearize tr ~op_id:1;
+        Trace.coin tr ~proc:1 ~value:0;
+        Trace.note tr ~tag:"t" ~text:"x";
+        let ts = List.map Trace.entry_time (Trace.entries tr) in
+        let rec increasing = function
+          | a :: (b :: _ as rest) -> a < b && increasing rest
+          | _ -> true
+        in
+        check_bool "increasing" true (increasing ts));
+    tc "lin_time finds the linearization point" (fun () ->
+        let tr = Trace.create () in
+        let id = Trace.invoke tr ~proc:1 ~obj:"R" ~kind:Op.Read in
+        Trace.linearize tr ~op_id:id;
+        Trace.respond tr ~op_id:id ~result:None;
+        match Trace.lin_time tr ~op_id:id with
+        | Some t ->
+            let h = Trace.history tr in
+            let o = List.hd (Core.Hist.ops h) in
+            check_bool "within interval" true
+              (o.Op.invoked < t && t < Option.get o.Op.responded)
+        | None -> Alcotest.fail "no lin point");
+    tc "history ignores annotations" (fun () ->
+        let tr = Trace.create () in
+        Trace.note tr ~tag:"x" ~text:"y";
+        Trace.coin tr ~proc:1 ~value:1;
+        check_int "empty" 0 (Core.Hist.length (Trace.history tr)));
+  ]
+
+let suite =
+  [
+    ("simkit.rng", rng_tests);
+    ("simkit.fiber", fiber_tests);
+    ("simkit.sched", sched_tests);
+    ("simkit.trace", trace_tests);
+  ]

@@ -1,0 +1,224 @@
+(* Tests for the history-tree checkers (Definitions 3 and 4): existence of
+   strong / write-strong linearization functions over explicit trees. *)
+
+module V = Core.Value
+module Op = Core.Op
+module Hist = Core.Hist
+module T = Core.Treecheck
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let init = V.Int 0
+
+let op ?responded ?result ~id ~proc ~kind ~invoked () =
+  Op.make ~id ~proc ~obj:"R" ~kind ~invoked ?responded ?result ()
+
+let w ?responded ~id ~proc ~invoked v =
+  op ~id ~proc ~kind:(Op.Write (V.Int v)) ~invoked ?responded ()
+
+let r ~id ~proc ~invoked ~responded v =
+  op ~id ~proc ~kind:Op.Read ~invoked ~responded ~result:(V.Int v) ()
+
+let structure_tests =
+  [
+    tc "node rejects non-extending children" (fun () ->
+        let a = Hist.of_ops [ w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100 ] in
+        let b = Hist.of_ops [ w ~id:2 ~proc:1 ~invoked:1 ~responded:2 200 ] in
+        Alcotest.check_raises "bad child"
+          (Invalid_argument "Treecheck.node: child does not extend parent")
+          (fun () -> ignore (T.node a [ T.node b [] ])));
+    tc "chain rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Treecheck.chain: empty")
+          (fun () -> ignore (T.chain [])));
+    tc "of_prefixes builds a full chain" (fun () ->
+        let hist =
+          Hist.of_ops
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100;
+              r ~id:2 ~proc:2 ~invoked:3 ~responded:4 100;
+            ]
+        in
+        let rec depth t =
+          match t.T.children with [] -> 1 | c :: _ -> 1 + depth c
+        in
+        Alcotest.(check int) "depth" 5 (depth (T.of_prefixes hist)));
+  ]
+
+let wsl_tests =
+  [
+    tc "empty tree is trivially WSL" (fun () ->
+        check_bool "empty" true (T.write_strong ~init (T.node Hist.empty [])));
+    tc "sequential history chain is WSL" (fun () ->
+        let hist =
+          Hist.of_ops
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100;
+              w ~id:2 ~proc:1 ~invoked:3 ~responded:4 200;
+              r ~id:3 ~proc:2 ~invoked:5 ~responded:6 200;
+            ]
+        in
+        check_bool "wsl" true (T.write_strong ~init (T.of_prefixes hist)));
+    tc "concurrent writes on a single chain are WSL" (fun () ->
+        let hist =
+          Hist.of_ops
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:10 100;
+              w ~id:2 ~proc:2 ~invoked:2 ~responded:9 200;
+              r ~id:3 ~proc:3 ~invoked:11 ~responded:12 100;
+            ]
+        in
+        check_bool "wsl" true (T.write_strong ~init (T.of_prefixes hist)));
+    tc "branching tree can refute WSL (hand-built Thm-13 shape)" (fun () ->
+        (* G: two concurrent writes, one complete.  H1 forces w1<w2 via a
+           read; H2 forces w2<w1 via a read.  No single committed order of
+           f(G) extends to both. *)
+        let w1 = w ~id:1 ~proc:1 ~invoked:1 100 (* pending in G *) in
+        let w2 = w ~id:2 ~proc:2 ~invoked:2 ~responded:5 200 in
+        let g = Hist.of_ops [ w1; w2 ] in
+        (* H1: w1 completes; a later read sees 200 then 100?  To force
+           w1 < w2 use a read that returns 200 after w1 completed... *)
+        let h1 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 200;
+            ]
+        in
+        (* H2: a read after w2 completes returns 100 written by the still
+           pending w1, then a LATER read returns ... hmm simpler: read
+           returns 100, then a second read returns 200 is illegal...  Use:
+           read after everything returns 100 => w1 last => w2 < w1. *)
+        let h2 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 100;
+            ]
+        in
+        check_bool "chain1" true (T.write_strong ~init (T.chain [ g; h1 ]));
+        check_bool "chain2" true (T.write_strong ~init (T.chain [ g; h2 ]));
+        check_bool "tree" false
+          (T.write_strong ~init (T.node g [ T.node h1 []; T.node h2 [] ])));
+    tc "witness returned on success extends along the chain" (fun () ->
+        let hist =
+          Hist.of_ops
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:4 100;
+              w ~id:2 ~proc:2 ~invoked:5 ~responded:8 200;
+            ]
+        in
+        match T.write_strong_witness ~init (T.of_prefixes hist) with
+        | None -> Alcotest.fail "expected a witness"
+        | Some assignments ->
+            let rec is_prefix p q =
+              match (p, q) with
+              | [], _ -> true
+              | _, [] -> false
+              | x :: p', y :: q' -> x = y && is_prefix p' q'
+            in
+            let rec chain_ok = function
+              | (_, a) :: ((_, b) :: _ as rest) ->
+                  is_prefix a b && chain_ok rest
+              | _ -> true
+            in
+            check_bool "monotone" true (chain_ok assignments));
+  ]
+
+let strong_tests =
+  [
+    tc "atomic-looking chain is strongly linearizable" (fun () ->
+        let hist =
+          Hist.of_ops
+            [
+              w ~id:1 ~proc:1 ~invoked:1 ~responded:2 100;
+              r ~id:2 ~proc:2 ~invoked:3 ~responded:4 100;
+            ]
+        in
+        check_bool "strong" true (T.strong ~init (T.of_prefixes hist)));
+    tc "WSL does not imply strong: a pending read refutes strong only"
+      (fun () ->
+        (* G: one complete write w, one pending read r.  H1 resolves r to
+           the initial value (forcing r before w), H2 resolves it to w's
+           value (forcing r after w).  Since the complete w must be in
+           f(G), f(G) cannot be a prefix of both extensions: strong
+           linearizability fails on the tree.  Write strong-
+           linearizability is untouched — the write order never changes. *)
+        let wo = w ~id:1 ~proc:1 ~invoked:1 ~responded:4 100 in
+        let rd = op ~id:2 ~proc:2 ~kind:Op.Read ~invoked:2 () in
+        let g = Hist.of_ops [ wo; rd ] in
+        let h1 =
+          Hist.of_ops
+            [ wo; { rd with responded = Some 6; result = Some (V.Int 0) } ]
+        in
+        let h2 =
+          Hist.of_ops
+            [ wo; { rd with responded = Some 6; result = Some (V.Int 100) } ]
+        in
+        let tree = T.node g [ T.node h1 []; T.node h2 [] ] in
+        check_bool "wsl ok" true (T.write_strong ~init tree);
+        check_bool "strong refuted" false (T.strong ~init tree));
+    tc "strong refuted when a committed write order must flip" (fun () ->
+        let w1 = w ~id:1 ~proc:1 ~invoked:1 100 in
+        let w2 = w ~id:2 ~proc:2 ~invoked:2 ~responded:5 200 in
+        let g = Hist.of_ops [ w1; w2 ] in
+        let h1 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 200;
+            ]
+        in
+        let h2 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 100;
+            ]
+        in
+        check_bool "strong refuted" false
+          (T.strong ~init (T.node g [ T.node h1 []; T.node h2 [] ])));
+  ]
+
+let fig4_tests =
+  [
+    tc "fig4: no WSL function on the branching tree (Thm 13)" (fun () ->
+        let f4 = Core.Scenario.fig4 () in
+        check_bool "impossible" true f4.Core.Scenario.wsl_impossible);
+    tc "fig4: each chain alone admits a WSL function" (fun () ->
+        let f4 = Core.Scenario.fig4 () in
+        check_bool "chains" true f4.Core.Scenario.chains_ok);
+    tc "fig4: all three histories are linearizable (Thm 12)" (fun () ->
+        let f4 = Core.Scenario.fig4 () in
+        check_bool "lin" true f4.Core.Scenario.all_linearizable);
+    tc "fig4: G really is a common prefix" (fun () ->
+        let f4 = Core.Scenario.fig4 () in
+        check_bool "h1" true
+          (Hist.is_prefix f4.Core.Scenario.g ~of_:f4.Core.Scenario.h1);
+        check_bool "h2" true
+          (Hist.is_prefix f4.Core.Scenario.g ~of_:f4.Core.Scenario.h2));
+  ]
+
+(* property: prefix chains of atomic-register histories always admit a
+   write strong-linearization (atomic registers are WSL) *)
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"atomic history prefix-chains admit WSL"
+         ~count:40
+         (Core.Histgen.arb_atomic
+            { Core.Histgen.default_spec with n_ops = 6 })
+         (fun hist -> T.write_strong ~init (T.of_prefixes hist)));
+  ]
+
+let suite =
+  [
+    ("treecheck.structure", structure_tests);
+    ("treecheck.write_strong", wsl_tests);
+    ("treecheck.strong", strong_tests);
+    ("treecheck.fig4", fig4_tests);
+    ("treecheck.props", props);
+  ]
