@@ -12,6 +12,12 @@
    recorded in EXPERIMENTS.md.
 
      dune exec bench/main.exe
+     dune exec bench/main.exe -- --json BENCH_pr1.json   # also write JSONL
+
+   With --json FILE, every Bechamel estimate is written as a
+   {"kind":"bench",...} JSONL record and every battery report as a
+   {"kind":"report",...} record — the regression-trackable form of this
+   run (see DESIGN.md "Observability").
 *)
 
 open Bechamel
@@ -142,30 +148,56 @@ let benchmark () =
   in
   List.map (fun i -> Analyze.all ols i raw) instances
 
+let json_out () =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
+  let json = json_out () in
   print_endline "=== Part 1: micro-benchmarks (Bechamel, monotonic clock) ===";
-  (match benchmark () with
-  | [ tbl ] ->
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
-      Printf.printf "%-36s %16s %10s\n" "benchmark" "ns/run" "r^2";
-      List.iter
-        (fun (name, ols) ->
-          let est =
-            match Analyze.OLS.estimates ols with
-            | Some (e :: _) -> Printf.sprintf "%16.0f" e
-            | _ -> Printf.sprintf "%16s" "-"
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%10.4f" r
-            | None -> Printf.sprintf "%10s" "-"
-          in
-          Printf.printf "%-36s %s %s\n" name est r2)
-        rows
-  | _ -> assert false);
+  let bench_rows =
+    match benchmark () with
+    | [ tbl ] ->
+        let rows =
+          Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        Printf.printf "%-36s %16s %10s\n" "benchmark" "ns/run" "r^2";
+        List.map
+          (fun (name, ols) ->
+            let ns_per_run =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> Some e
+              | _ -> None
+            in
+            let r_square = Analyze.OLS.r_square ols in
+            let show fmt = function
+              | Some v -> Printf.sprintf fmt v
+              | None -> "-"
+            in
+            Printf.printf "%-36s %16s %10s\n" name
+              (show "%16.0f" ns_per_run)
+              (show "%10.4f" r_square);
+            Obs.Export.bench_json ~name ~ns_per_run ~r_square)
+          rows
+    | _ -> assert false
+  in
   print_endline "";
   print_endline "=== Part 2: experiment battery (paper-shaped tables) ===";
-  Experiments.run_all ~quick:false Format.std_formatter
+  let reports = Experiments.all ~quick:false in
+  List.iter (fun r -> Format.printf "%a@." Experiments.pp_report r) reports;
+  let passed = List.length (List.filter (fun r -> r.Experiments.pass) reports) in
+  Format.printf "=== %d/%d experiments reproduce the paper's claims ===@."
+    passed (List.length reports);
+  match json with
+  | None -> ()
+  | Some path ->
+      Obs.Export.to_file path
+        (bench_rows @ List.map Experiments.report_json reports);
+      Printf.printf "wrote %d JSONL records to %s\n"
+        (List.length bench_rows + List.length reports)
+        path

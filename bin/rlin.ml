@@ -2,13 +2,15 @@
    and Termination" (PODC 2021).
 
    Subcommands:
-     rlin experiments [--quick]        run the E1-E10 battery
+     rlin experiments [--quick] [--json FILE]   run the E1-E10 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
      rlin mwabd                        multi-writer ABD + its non-WSL refutation
      rlin chaos --mode MODE            chaos adversary vs the exact checker
      rlin consensus ...                run Corollary 9's A'
+     rlin trace --source S --out FILE  dump a run's trace as JSONL
+     rlin metrics --source S           run a workload, print its metrics
 *)
 
 open Cmdliner
@@ -21,22 +23,46 @@ let n_arg default =
   let doc = "Number of processes." in
   Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
 
+let write_jsonl path lines =
+  if path = "-" then Obs.Export.write_lines stdout lines
+  else
+    try Obs.Export.to_file path lines
+    with Sys_error msg ->
+      Printf.eprintf "rlin: cannot write %s (%s)\n" path msg;
+      exit 1
+
 (* ----- experiments --------------------------------------------------------- *)
 
 let experiments_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller run counts (seconds).")
   in
-  let run quick =
-    Experiments.run_all ~quick Format.std_formatter;
-    if List.for_all (fun r -> r.Experiments.pass) (Experiments.all ~quick:true)
-    then 0
-    else 1
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the battery as line-delimited JSON, one record per \
+             report ('-' for stdout).")
+  in
+  let run quick json =
+    let reports = Experiments.all ~quick in
+    List.iter
+      (fun r -> Format.printf "%a@." Experiments.pp_report r)
+      reports;
+    let passed = List.filter (fun r -> r.Experiments.pass) reports in
+    Format.printf "=== %d/%d experiments reproduce the paper's claims ===@."
+      (List.length passed) (List.length reports);
+    Option.iter
+      (fun path -> write_jsonl path (List.map Experiments.report_json reports))
+      json;
+    if List.length passed = List.length reports then 0 else 1
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the full experiment battery (E1-E10), one per paper artifact.")
-    Term.(const run $ quick)
+    Term.(const run $ quick $ json)
 
 (* ----- game ----------------------------------------------------------------- *)
 
@@ -257,6 +283,135 @@ let chaos_cmd =
        ~doc:"Drive a register with the chaos adversary and check the history.")
     Term.(const run $ mode_conv_term $ seed_arg)
 
+(* ----- trace ------------------------------------------------------------------ *)
+
+let trace_source_conv =
+  Arg.enum
+    [
+      ("fig3", `Fig3);
+      ("alg2", `Alg2);
+      ("alg4", `Alg4);
+      ("game", `Game);
+      ("abd", `Abd);
+      ("mwabd", `Mwabd);
+    ]
+
+let trace_cmd =
+  let source =
+    Arg.(
+      value
+      & opt trace_source_conv `Fig3
+      & info [ "source" ] ~docv:"SOURCE"
+          ~doc:
+            "Which run to trace: $(b,fig3) (the paper's Figure 3), \
+             $(b,alg2)/$(b,alg4) (a random MWMR workload), $(b,game) (a \
+             Theorem-7 game to termination), $(b,abd)/$(b,mwabd) (a \
+             message-passing workload).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the trace as JSONL here ('-' for stdout).")
+  in
+  let run source out seed =
+    let trace =
+      match source with
+      | `Fig3 -> (Core.Scenario.fig3 ()).Core.Scenario.trace
+      | `Alg2 ->
+          (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
+             ~reads_per_proc:2 ~seed)
+            .Core.Scenario.trace
+      | `Alg4 ->
+          (Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
+             ~reads_per_proc:2 ~seed)
+            .Core.Scenario.trace
+      | `Game ->
+          let res = Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed () in
+          Core.Sched.trace res.Core.Game_alg1.handles.Core.Game_alg1.sched
+      | `Abd ->
+          (Core.Abd_runs.execute { Core.Abd_runs.default with seed })
+            .Core.Abd_runs.trace
+      | `Mwabd ->
+          (Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
+             ~readers:[ 2 ] ~reads_each:3 ~seed)
+            .Core.Abd_runs.trace
+    in
+    let lines = Core.Trace.json_entries trace in
+    write_jsonl out lines;
+    if out = "-" then 0
+    else
+      (* round-trip audit: the file must parse back to exactly the records
+         we serialized, in trace order *)
+      match Obs.Export.parse_file out with
+      | Ok parsed when List.equal Obs.Json.equal parsed lines ->
+          Printf.printf "wrote %d trace entries to %s (round-trip verified)\n"
+            (List.length lines) out;
+          0
+      | Ok _ ->
+          Printf.eprintf "round-trip MISMATCH: %s does not reparse to the trace\n" out;
+          1
+      | Error e ->
+          Printf.eprintf "round-trip FAILED: %s\n" e;
+          1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload and dump its full trace (history events, \
+          linearization points, coin flips, timestamp snapshots) as \
+          line-delimited JSON.")
+    Term.(const run $ source $ out $ seed_arg)
+
+(* ----- metrics ----------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let source =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("experiments", `Experiments); ("game", `Game); ("abd", `Abd) ]) `Experiments
+      & info [ "source" ] ~docv:"SOURCE"
+          ~doc:
+            "Workload to run before printing the metric registry: \
+             $(b,experiments) (the quick battery), $(b,game), $(b,abd).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the snapshot as a JSONL metrics record.")
+  in
+  let run source json seed =
+    Obs.Metrics.reset Obs.Metrics.global;
+    let label =
+      match source with
+      | `Experiments ->
+          ignore (Experiments.all ~quick:true);
+          "experiments-quick"
+      | `Game ->
+          ignore (Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed ());
+          "game-wsl"
+      | `Abd ->
+          ignore (Core.Abd_runs.execute { Core.Abd_runs.default with seed });
+          "abd"
+    in
+    Format.printf "%a@." Obs.Metrics.pp Obs.Metrics.global;
+    Option.iter
+      (fun path ->
+        write_jsonl path
+          [ Obs.Export.metrics_json ~label (Obs.Metrics.snapshot Obs.Metrics.global) ])
+      json;
+    0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a workload and print every counter, gauge and histogram the \
+          instrumented stack recorded (scheduler, trace, network, checkers).")
+    Term.(const run $ source $ json $ seed_arg)
+
 (* ----- main ------------------------------------------------------------------ *)
 
 let () =
@@ -276,4 +431,6 @@ let () =
             mwabd_cmd;
             chaos_cmd;
             consensus_cmd;
+            trace_cmd;
+            metrics_cmd;
           ]))

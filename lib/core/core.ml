@@ -38,6 +38,13 @@ module Histgen = History.Gen
 module Lamport = Clocks.Lamport
 module Vector = Clocks.Vector
 
+(* ----- observability --------------------------------------------------------- *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Span = Obs.Span
+module Export = Obs.Export
+
 (* ----- simulation substrate ------------------------------------------------ *)
 
 module Rng = Simkit.Rng

@@ -4,219 +4,290 @@ type report = {
   expected : string;
   measured : string;
   pass : bool;
+  metrics : (string * float) list;
 }
 
+(* Run an experiment body under a span, bracketing it with global-registry
+   snapshots: the report's metrics are the experiment's own headline
+   numbers ([extra]) plus everything the instrumented stack recorded while
+   the body ran (scheduler steps, coins, checker states, op latencies…).
+   The battery is sequential, so the delta isolates one experiment. *)
+let measured_report ~id ~claim ~expected body =
+  let before = Obs.Metrics.snapshot Obs.Metrics.global in
+  let t0 = Obs.Span.now_ms () in
+  let measured, pass, extra =
+    Obs.Span.with_span (String.lowercase_ascii id) body
+  in
+  let wall_ms = Obs.Span.now_ms () -. t0 in
+  let after = Obs.Metrics.snapshot Obs.Metrics.global in
+  let metrics =
+    (("wall_ms", wall_ms) :: extra) @ Obs.Metrics.delta ~before ~after
+  in
+  { id; claim; expected; measured; pass; metrics }
+
 let pp_report fmt r =
+  let headline =
+    match r.metrics with
+    | [] -> ""
+    | ms ->
+        let shown = List.filteri (fun i _ -> i < 6) ms in
+        Format.asprintf "@,metrics:  %s%s"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) shown))
+          (if List.length ms > List.length shown then
+             Printf.sprintf " (+%d more)" (List.length ms - List.length shown)
+           else "")
+  in
   Format.fprintf fmt
-    "@[<v>--- %s %s@,claim:    %s@,expected: %s@,measured: %s@,@]" r.id
+    "@[<v>--- %s %s@,claim:    %s@,expected: %s@,measured: %s%s@,@]" r.id
     (if r.pass then "[PASS]" else "[FAIL]")
-    r.claim r.expected r.measured
+    r.claim r.expected r.measured headline
+
+let report_json r =
+  Obs.Export.report_json ~id:r.id ~claim:r.claim ~expected:r.expected
+    ~measured:r.measured ~pass:r.pass ~metrics:r.metrics
+
+let export_jsonl reports oc =
+  Obs.Export.write_lines oc (List.map report_json reports)
 
 (* ---------- E1 ------------------------------------------------------------- *)
 
 let e1_nontermination ~quick =
   let budgets = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
   let runs = if quick then 5 else 20 in
-  let s = Core.Game_stats.e1_survival ~n:5 ~budgets ~runs ~seed:101L in
-  let measured =
-    String.concat ", "
-      (List.map2
-         (fun b f -> Printf.sprintf "budget %d: %.0f%% alive" b (100. *. f))
-         s.Core.Game_stats.budgets s.Core.Game_stats.alive_fraction)
-  in
-  {
-    id = "E1";
-    claim =
+  measured_report ~id:"E1"
+    ~claim:
       "Thm 6 (Figs 1-2): with merely-linearizable registers a strong \
-       adversary prevents termination of Algorithm 1";
-    expected = "survival 100% at every round budget, for every coin sequence";
-    measured;
-    pass = List.for_all (fun f -> f = 1.0) s.Core.Game_stats.alive_fraction;
-  }
+       adversary prevents termination of Algorithm 1"
+    ~expected:"survival 100% at every round budget, for every coin sequence"
+    (fun () ->
+      let s = Core.Game_stats.e1_survival ~n:5 ~budgets ~runs ~seed:101L in
+      let measured =
+        String.concat ", "
+          (List.map2
+             (fun b f -> Printf.sprintf "budget %d: %.0f%% alive" b (100. *. f))
+             s.Core.Game_stats.budgets s.Core.Game_stats.alive_fraction)
+      in
+      let pass = List.for_all (fun f -> f = 1.0) s.Core.Game_stats.alive_fraction in
+      ( measured,
+        pass,
+        [
+          ("runs", float_of_int (runs * List.length budgets));
+          ("max_budget", float_of_int (List.fold_left max 0 budgets));
+          ( "min_alive_fraction",
+            List.fold_left min 1.0 s.Core.Game_stats.alive_fraction );
+        ] ))
 
 (* ---------- E2 ------------------------------------------------------------- *)
 
 let e2_wsl_termination ~quick =
   let runs = if quick then 60 else 400 in
-  let t =
-    Core.Game_stats.e2_termination ~n:5 ~max_rounds:60 ~runs ~seed:211L ()
-  in
-  let all_terminated = t.Core.Game_stats.max < 60 in
-  (* geometric shape: P(round > j) should track 2^-j; allow slack *)
-  let shape_ok =
-    List.for_all
-      (fun (j, p) ->
-        let expected = 2. ** float_of_int (-j) in
-        p <= (expected *. 2.0) +. 0.08)
-      t.Core.Game_stats.tail
-  in
-  let tail_s =
-    String.concat ", "
-      (List.filter_map
-         (fun (j, p) ->
-           if j <= 4 then Some (Printf.sprintf "P(>%d)=%.3f" j p) else None)
-         t.Core.Game_stats.tail)
-  in
-  {
-    id = "E2";
-    claim =
+  measured_report ~id:"E2"
+    ~claim:
       "Thm 7: with write strongly-linearizable registers the same adversary \
-       cannot prevent termination";
-    expected = "all runs terminate; P(round > j) tracks 2^-j (Lemma 19)";
-    measured =
-      Printf.sprintf "%d runs, mean round %.2f, max %d; %s" t.Core.Game_stats.runs
-        t.Core.Game_stats.mean t.Core.Game_stats.max tail_s;
-    pass = all_terminated && shape_ok;
-  }
+       cannot prevent termination"
+    ~expected:"all runs terminate; P(round > j) tracks 2^-j (Lemma 19)"
+    (fun () ->
+      let t =
+        Core.Game_stats.e2_termination ~n:5 ~max_rounds:60 ~runs ~seed:211L ()
+      in
+      let all_terminated = t.Core.Game_stats.max < 60 in
+      (* geometric shape: P(round > j) should track 2^-j; allow slack *)
+      let shape_ok =
+        List.for_all
+          (fun (j, p) ->
+            let expected = 2. ** float_of_int (-j) in
+            p <= (expected *. 2.0) +. 0.08)
+          t.Core.Game_stats.tail
+      in
+      let tail_s =
+        String.concat ", "
+          (List.filter_map
+             (fun (j, p) ->
+               if j <= 4 then Some (Printf.sprintf "P(>%d)=%.3f" j p) else None)
+             t.Core.Game_stats.tail)
+      in
+      ( Printf.sprintf "%d runs, mean round %.2f, max %d; %s"
+          t.Core.Game_stats.runs t.Core.Game_stats.mean t.Core.Game_stats.max
+          tail_s,
+        all_terminated && shape_ok,
+        [
+          ("runs", float_of_int runs);
+          ("mean_round", t.Core.Game_stats.mean);
+          ("max_round", float_of_int t.Core.Game_stats.max);
+        ] ))
 
 (* ---------- E3 ------------------------------------------------------------- *)
 
 let e3_alg2_wsl ~quick =
   let runs = if quick then 25 else 150 in
-  let ok = ref 0 in
-  for seed = 1 to runs do
-    let n = 2 + (seed mod 3) in
-    let run =
-      Core.Scenario.random_alg2_run ~n ~writes_per_proc:2 ~reads_per_proc:2
-        ~seed:(Int64.of_int (seed * 31))
-    in
-    match Core.Scenario.check_alg2_run run with
-    | Ok () -> incr ok
-    | Error _ -> ()
-  done;
-  let f3 = Core.Scenario.fig3 () in
-  let fig3_ok =
-    f3.Core.Scenario.ws_at_t = [ f3.Core.Scenario.w3; f3.Core.Scenario.w2 ]
-    && f3.Core.Scenario.final_ws
-       = [ f3.Core.Scenario.w3; f3.Core.Scenario.w2; f3.Core.Scenario.w1 ]
-  in
-  {
-    id = "E3";
-    claim =
+  measured_report ~id:"E3"
+    ~claim:
       "Thm 10 (Fig 3): Algorithm 2 is write strongly-linearizable; \
-       Algorithm 3 linearizes writes on-line from partial vector timestamps";
-    expected =
+       Algorithm 3 linearizes writes on-line from partial vector timestamps"
+    ~expected:
       "100% of random runs pass (L) + (P); Fig-3 order w3 < w2 committed at \
-       w2's completion, w1 appended later";
-    measured =
-      Printf.sprintf "%d/%d runs pass; Fig-3 order reproduced: %b" !ok runs
-        fig3_ok;
-    pass = !ok = runs && fig3_ok;
-  }
+       w2's completion, w1 appended later"
+    (fun () ->
+      let ok = ref 0 in
+      for seed = 1 to runs do
+        let n = 2 + (seed mod 3) in
+        let run =
+          Core.Scenario.random_alg2_run ~n ~writes_per_proc:2 ~reads_per_proc:2
+            ~seed:(Int64.of_int (seed * 31))
+        in
+        match Core.Scenario.check_alg2_run run with
+        | Ok () -> incr ok
+        | Error _ -> ()
+      done;
+      let f3 = Core.Scenario.fig3 () in
+      let fig3_ok =
+        f3.Core.Scenario.ws_at_t = [ f3.Core.Scenario.w3; f3.Core.Scenario.w2 ]
+        && f3.Core.Scenario.final_ws
+           = [ f3.Core.Scenario.w3; f3.Core.Scenario.w2; f3.Core.Scenario.w1 ]
+      in
+      ( Printf.sprintf "%d/%d runs pass; Fig-3 order reproduced: %b" !ok runs
+          fig3_ok,
+        !ok = runs && fig3_ok,
+        [
+          ("runs", float_of_int runs);
+          ("runs_ok", float_of_int !ok);
+          ("fig3_ok", if fig3_ok then 1. else 0.);
+        ] ))
 
 (* ---------- E4 ------------------------------------------------------------- *)
 
 let e4_fig4_counterexample ~quick:_ =
-  let f4 = Core.Scenario.fig4 () in
-  {
-    id = "E4";
-    claim =
+  measured_report ~id:"E4"
+    ~claim:
       "Thm 13 (Fig 4): Algorithm 4 (Lamport clocks) is NOT write \
-       strongly-linearizable";
-    expected =
+       strongly-linearizable"
+    ~expected:
       "history tree {G -> H1, H2} admits no write strong-linearization; \
-       each history alone is linearizable and each single chain admits one";
-    measured =
-      Printf.sprintf
-        "tree impossible: %b; chains ok: %b; all linearizable: %b"
-        f4.Core.Scenario.wsl_impossible f4.Core.Scenario.chains_ok
-        f4.Core.Scenario.all_linearizable;
-    pass =
-      f4.Core.Scenario.wsl_impossible && f4.Core.Scenario.chains_ok
-      && f4.Core.Scenario.all_linearizable;
-  }
+       each history alone is linearizable and each single chain admits one"
+    (fun () ->
+      let f4 = Core.Scenario.fig4 () in
+      ( Printf.sprintf "tree impossible: %b; chains ok: %b; all linearizable: %b"
+          f4.Core.Scenario.wsl_impossible f4.Core.Scenario.chains_ok
+          f4.Core.Scenario.all_linearizable,
+        f4.Core.Scenario.wsl_impossible && f4.Core.Scenario.chains_ok
+        && f4.Core.Scenario.all_linearizable,
+        [
+          ("histories", 3.);
+          ("wsl_impossible", if f4.Core.Scenario.wsl_impossible then 1. else 0.);
+          ("chains_ok", if f4.Core.Scenario.chains_ok then 1. else 0.);
+        ] ))
 
 (* ---------- E5 ------------------------------------------------------------- *)
 
 let e5_alg4_linearizable ~quick =
   let runs = if quick then 25 else 150 in
-  let ok = ref 0 in
-  for seed = 1 to runs do
-    let n = 2 + (seed mod 3) in
-    let run =
-      Core.Scenario.random_alg4_run ~n ~writes_per_proc:2 ~reads_per_proc:2
-        ~seed:(Int64.of_int (seed * 37))
-    in
-    match Core.Scenario.check_alg4_run run with
-    | Ok () -> incr ok
-    | Error _ -> ()
-  done;
-  {
-    id = "E5";
-    claim = "Thm 12: Algorithm 4 is a linearizable MWMR register";
-    expected = "100% of random runs linearizable";
-    measured = Printf.sprintf "%d/%d runs linearizable" !ok runs;
-    pass = !ok = runs;
-  }
+  measured_report ~id:"E5"
+    ~claim:"Thm 12: Algorithm 4 is a linearizable MWMR register"
+    ~expected:"100% of random runs linearizable"
+    (fun () ->
+      let ok = ref 0 in
+      for seed = 1 to runs do
+        let n = 2 + (seed mod 3) in
+        let run =
+          Core.Scenario.random_alg4_run ~n ~writes_per_proc:2 ~reads_per_proc:2
+            ~seed:(Int64.of_int (seed * 37))
+        in
+        match Core.Scenario.check_alg4_run run with
+        | Ok () -> incr ok
+        | Error _ -> ()
+      done;
+      ( Printf.sprintf "%d/%d runs linearizable" !ok runs,
+        !ok = runs,
+        [ ("runs", float_of_int runs); ("runs_ok", float_of_int !ok) ] ))
 
 (* ---------- E6 ------------------------------------------------------------- *)
 
 let e6_abd ~quick =
   let runs = if quick then 10 else 60 in
-  let ok = ref 0 in
-  for seed = 1 to runs do
-    let crash = if seed mod 2 = 0 then [ 3; 4 ] else [] in
-    let w = { Core.Abd_runs.default with seed = Int64.of_int (seed * 41); crash } in
-    match Core.Abd_runs.check (Core.Abd_runs.execute w) with
-    | Ok () -> incr ok
-    | Error _ -> ()
-  done;
-  {
-    id = "E6";
-    claim =
+  measured_report ~id:"E6"
+    ~claim:
       "Thm 14 / §6: ABD (and every linearizable SWMR implementation) is \
-       write strongly-linearizable";
-    expected =
+       write strongly-linearizable"
+    ~expected:
       "100% of runs (incl. minority crashes) linearizable with monotone f* \
-       write orders on every prefix";
-    measured = Printf.sprintf "%d/%d runs pass (half with 2/5 nodes crashed)" !ok runs;
-    pass = !ok = runs;
-  }
+       write orders on every prefix"
+    (fun () ->
+      let ok = ref 0 in
+      for seed = 1 to runs do
+        let crash = if seed mod 2 = 0 then [ 3; 4 ] else [] in
+        let w =
+          { Core.Abd_runs.default with seed = Int64.of_int (seed * 41); crash }
+        in
+        match Core.Abd_runs.check (Core.Abd_runs.execute w) with
+        | Ok () -> incr ok
+        | Error _ -> ()
+      done;
+      ( Printf.sprintf "%d/%d runs pass (half with 2/5 nodes crashed)" !ok runs,
+        !ok = runs,
+        [ ("runs", float_of_int runs); ("runs_ok", float_of_int !ok) ] ))
 
 (* ---------- E7 ------------------------------------------------------------- *)
 
 let e7_cor9 ~quick =
   let live_runs = if quick then 5 else 30 in
-  let blocked =
-    Core.Cor9.run_blocked
-      { n = 5; gate_rounds = (if quick then 10 else 30); consensus_max_rounds = 200; seed = 31L }
-  in
-  let live_ok = ref 0 in
-  let gate_rounds_sum = ref 0 in
-  for seed = 1 to live_runs do
-    let o =
-      Core.Cor9.run_live
-        { n = 5; gate_rounds = 60; consensus_max_rounds = 400; seed = Int64.of_int (seed * 43) }
-        ~inputs:(fun pid -> pid mod 2)
-    in
-    let all_decided =
-      List.for_all (fun (_, d) -> d <> None)
-        o.Core.Cor9.consensus.Core.Rand_consensus.decisions
-    in
-    if
-      all_decided
-      && o.Core.Cor9.consensus.Core.Rand_consensus.agreed
-      && o.Core.Cor9.consensus.Core.Rand_consensus.valid
-      && o.Core.Cor9.game.Core.Game_alg1.terminated
-    then incr live_ok;
-    gate_rounds_sum := !gate_rounds_sum + o.Core.Cor9.game.Core.Game_alg1.max_round
-  done;
-  {
-    id = "E7";
-    claim =
+  measured_report ~id:"E7"
+    ~claim:
       "Cor 9: A' = (Algorithm 1 gate; consensus) terminates iff the gate \
-       registers are write strongly-linearizable";
-    expected =
+       registers are write strongly-linearizable"
+    ~expected:
       "linearizable gate: 0 processes ever start consensus; WSL gate: all \
-       decide with agreement+validity";
-    measured =
-      Printf.sprintf
-        "blocked run: blocked=%b; live runs: %d/%d fully decided (mean gate \
-         rounds %.1f)"
-        blocked.Core.Cor9.blocked !live_ok live_runs
-        (float_of_int !gate_rounds_sum /. float_of_int live_runs);
-    pass = blocked.Core.Cor9.blocked && !live_ok = live_runs;
-  }
+       decide with agreement+validity"
+    (fun () ->
+      let blocked =
+        Core.Cor9.run_blocked
+          {
+            n = 5;
+            gate_rounds = (if quick then 10 else 30);
+            consensus_max_rounds = 200;
+            seed = 31L;
+          }
+      in
+      let live_ok = ref 0 in
+      let gate_rounds_sum = ref 0 in
+      for seed = 1 to live_runs do
+        let o =
+          Core.Cor9.run_live
+            {
+              n = 5;
+              gate_rounds = 60;
+              consensus_max_rounds = 400;
+              seed = Int64.of_int (seed * 43);
+            }
+            ~inputs:(fun pid -> pid mod 2)
+        in
+        let all_decided =
+          List.for_all
+            (fun (_, d) -> d <> None)
+            o.Core.Cor9.consensus.Core.Rand_consensus.decisions
+        in
+        if
+          all_decided
+          && o.Core.Cor9.consensus.Core.Rand_consensus.agreed
+          && o.Core.Cor9.consensus.Core.Rand_consensus.valid
+          && o.Core.Cor9.game.Core.Game_alg1.terminated
+        then incr live_ok;
+        gate_rounds_sum :=
+          !gate_rounds_sum + o.Core.Cor9.game.Core.Game_alg1.max_round
+      done;
+      let mean_gate =
+        float_of_int !gate_rounds_sum /. float_of_int live_runs
+      in
+      ( Printf.sprintf
+          "blocked run: blocked=%b; live runs: %d/%d fully decided (mean gate \
+           rounds %.1f)"
+          blocked.Core.Cor9.blocked !live_ok live_runs mean_gate,
+        blocked.Core.Cor9.blocked && !live_ok = live_runs,
+        [
+          ("live_runs", float_of_int live_runs);
+          ("live_ok", float_of_int !live_ok);
+          ("mean_gate_rounds", mean_gate);
+        ] ))
 
 (* ---------- E8 ------------------------------------------------------------- *)
 
@@ -246,45 +317,49 @@ let steps_per_op ~make ~write ~read ~n ~ops =
 let e8_cost ~quick =
   let ops = if quick then 10 else 50 in
   let ns = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32 ] in
-  let rows =
-    List.map
-      (fun n ->
-        let alg2 =
-          steps_per_op ~n ~ops
-            ~make:(fun sched -> Core.wsl_mwmr sched ~name:"R" ~n ~init:0)
-            ~write:(fun r p v -> Core.Wsl_register.write r ~proc:p v)
-            ~read:(fun r p -> ignore (Core.Wsl_register.read r ~proc:p))
-        in
-        let alg4 =
-          steps_per_op ~n ~ops
-            ~make:(fun sched -> Core.lamport_mwmr sched ~name:"R" ~n ~init:0)
-            ~write:(fun r p v -> Core.Lamport_register.write r ~proc:p v)
-            ~read:(fun r p -> ignore (Core.Lamport_register.read r ~proc:p))
-        in
-        (n, alg2, alg4))
-      ns
-  in
-  let monotone =
-    List.for_all (fun (_, a2, a4) -> a2 >= a4 -. 0.01) rows
-  in
-  let grows =
-    match (List.hd rows, List.nth rows (List.length rows - 1)) with
-    | (_, a2_small, _), (_, a2_big, _) -> a2_big > a2_small
-  in
-  {
-    id = "E8";
-    claim =
+  measured_report ~id:"E8"
+    ~claim:
       "§5: achieving write strong-linearizability costs more than plain \
-       linearizability (vector vs Lamport timestamps)";
-    expected = "steps/op: Alg2 >= Alg4, both growing linearly with n";
-    measured =
-      String.concat "; "
-        (List.map
-           (fun (n, a2, a4) ->
-             Printf.sprintf "n=%d: alg2 %.1f, alg4 %.1f steps/op" n a2 a4)
-           rows);
-    pass = monotone && grows;
-  }
+       linearizability (vector vs Lamport timestamps)"
+    ~expected:"steps/op: Alg2 >= Alg4, both growing linearly with n"
+    (fun () ->
+      let rows =
+        List.map
+          (fun n ->
+            let alg2 =
+              steps_per_op ~n ~ops
+                ~make:(fun sched -> Core.wsl_mwmr sched ~name:"R" ~n ~init:0)
+                ~write:(fun r p v -> Core.Wsl_register.write r ~proc:p v)
+                ~read:(fun r p -> ignore (Core.Wsl_register.read r ~proc:p))
+            in
+            let alg4 =
+              steps_per_op ~n ~ops
+                ~make:(fun sched -> Core.lamport_mwmr sched ~name:"R" ~n ~init:0)
+                ~write:(fun r p v -> Core.Lamport_register.write r ~proc:p v)
+                ~read:(fun r p -> ignore (Core.Lamport_register.read r ~proc:p))
+            in
+            (n, alg2, alg4))
+          ns
+      in
+      let monotone = List.for_all (fun (_, a2, a4) -> a2 >= a4 -. 0.01) rows in
+      let grows =
+        match (List.hd rows, List.nth rows (List.length rows - 1)) with
+        | (_, a2_small, _), (_, a2_big, _) -> a2_big > a2_small
+      in
+      ( String.concat "; "
+          (List.map
+             (fun (n, a2, a4) ->
+               Printf.sprintf "n=%d: alg2 %.1f, alg4 %.1f steps/op" n a2 a4)
+             rows),
+        monotone && grows,
+        ("ops_per_config", float_of_int (2 * ops))
+        :: List.concat_map
+             (fun (n, a2, a4) ->
+               [
+                 (Printf.sprintf "alg2.steps_per_op.n%d" n, a2);
+                 (Printf.sprintf "alg4.steps_per_op.n%d" n, a4);
+               ])
+             rows ))
 
 (* ---------- E9 (ablation) ---------------------------------------------------- *)
 
@@ -294,34 +369,37 @@ let e9_ablation ~quick =
      linearizable, and it still wins; conversely R1-WSL with merely
      linearizable R2/C already forces termination. *)
   let budget = if quick then 8 else 24 in
-  let a =
-    Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:budget ~seed:61L
-  in
-  let adversary_still_wins = not a.Core.Game_alg1.terminated in
   let runs = if quick then 40 else 200 in
-  let all_terminate = ref true in
-  for r = 1 to runs do
-    let res =
-      Core.Adversary.run_write_strong
-        ~aux_mode:(Some Core.Adv_register.Linearizable) ~n:5 ~max_rounds:60
-        ~seed:(Int64.of_int ((r * 9973) + 5))
-        ()
-    in
-    if not res.Core.Game_alg1.terminated then all_terminate := false
-  done;
-  {
-    id = "E9";
-    claim =
-      "ablation: Theorem 7's mechanism is R1's write order alone — the        modes of R2 and C are irrelevant to the game's fate";
-    expected =
-      "R1 linearizable + R2/C WSL: adversary still prevents termination;        R1 WSL + R2/C linearizable: every run terminates";
-    measured =
-      Printf.sprintf
-        "R1-only-linearizable: alive after %d rounds = %b; R1-only-WSL:          %d/%d runs terminated"
-        budget adversary_still_wins runs
-        (if !all_terminate then runs else 0);
-    pass = adversary_still_wins && !all_terminate;
-  }
+  measured_report ~id:"E9"
+    ~claim:
+      "ablation: Theorem 7's mechanism is R1's write order alone — the        modes of R2 and C are irrelevant to the game's fate"
+    ~expected:
+      "R1 linearizable + R2/C WSL: adversary still prevents termination;        R1 WSL + R2/C linearizable: every run terminates"
+    (fun () ->
+      let a =
+        Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:budget ~seed:61L
+      in
+      let adversary_still_wins = not a.Core.Game_alg1.terminated in
+      let all_terminate = ref true in
+      for r = 1 to runs do
+        let res =
+          Core.Adversary.run_write_strong
+            ~aux_mode:(Some Core.Adv_register.Linearizable) ~n:5 ~max_rounds:60
+            ~seed:(Int64.of_int ((r * 9973) + 5))
+            ()
+        in
+        if not res.Core.Game_alg1.terminated then all_terminate := false
+      done;
+      ( Printf.sprintf
+          "R1-only-linearizable: alive after %d rounds = %b; R1-only-WSL:          %d/%d runs terminated"
+          budget adversary_still_wins runs
+          (if !all_terminate then runs else 0),
+        adversary_still_wins && !all_terminate,
+        [
+          ("budget", float_of_int budget);
+          ("runs", float_of_int runs);
+          ("terminated_runs", if !all_terminate then float_of_int runs else 0.);
+        ] ))
 
 (* ---------- E10 (extension) --------------------------------------------------- *)
 
@@ -333,36 +411,41 @@ let e10_mwabd ~quick =
      choices.  Theorem 14's SWMR result is therefore about the single-
      writer structure, not the communication medium. *)
   let runs = if quick then 8 else 40 in
-  let lin_ok = ref 0 in
-  for seed = 1 to runs do
-    let run =
-      Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-        ~readers:[ 2 ] ~reads_each:3
-        ~seed:(Int64.of_int (seed * 53))
-    in
-    if
-      run.Core.Abd_runs.completed
-      && Core.Lincheck.check ~init:(Core.Value.Int 0) run.Core.Abd_runs.history
-    then incr lin_ok
-  done;
-  let sc = Core.Mwabd_scenario.run () in
-  {
-    id = "E10";
-    claim =
-      "extension of §5/Thm 13: multi-writer ABD (Lamport timestamps over        majorities) is linearizable but not write strongly-linearizable";
-    expected =
-      "random runs 100% linearizable; the two-delivery-order history tree        admits no write strong-linearization";
-    measured =
-      Printf.sprintf
-        "%d/%d runs linearizable; tree impossible: %b (chains ok: %b, all          linearizable: %b)"
-        !lin_ok runs sc.Core.Mwabd_scenario.wsl_impossible
-        sc.Core.Mwabd_scenario.chains_ok sc.Core.Mwabd_scenario.all_linearizable;
-    pass =
-      !lin_ok = runs
-      && sc.Core.Mwabd_scenario.wsl_impossible
-      && sc.Core.Mwabd_scenario.chains_ok
-      && sc.Core.Mwabd_scenario.all_linearizable;
-  }
+  measured_report ~id:"E10"
+    ~claim:
+      "extension of §5/Thm 13: multi-writer ABD (Lamport timestamps over        majorities) is linearizable but not write strongly-linearizable"
+    ~expected:
+      "random runs 100% linearizable; the two-delivery-order history tree        admits no write strong-linearization"
+    (fun () ->
+      let lin_ok = ref 0 in
+      for seed = 1 to runs do
+        let run =
+          Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
+            ~readers:[ 2 ] ~reads_each:3
+            ~seed:(Int64.of_int (seed * 53))
+        in
+        if
+          run.Core.Abd_runs.completed
+          && Core.Lincheck.check ~init:(Core.Value.Int 0)
+               run.Core.Abd_runs.history
+        then incr lin_ok
+      done;
+      let sc = Core.Mwabd_scenario.run () in
+      ( Printf.sprintf
+          "%d/%d runs linearizable; tree impossible: %b (chains ok: %b, all          linearizable: %b)"
+          !lin_ok runs sc.Core.Mwabd_scenario.wsl_impossible
+          sc.Core.Mwabd_scenario.chains_ok
+          sc.Core.Mwabd_scenario.all_linearizable,
+        !lin_ok = runs
+        && sc.Core.Mwabd_scenario.wsl_impossible
+        && sc.Core.Mwabd_scenario.chains_ok
+        && sc.Core.Mwabd_scenario.all_linearizable,
+        [
+          ("runs", float_of_int runs);
+          ("runs_linearizable", float_of_int !lin_ok);
+          ( "wsl_impossible",
+            if sc.Core.Mwabd_scenario.wsl_impossible then 1. else 0. );
+        ] ))
 
 let all ~quick =
   [

@@ -13,9 +13,21 @@ type report = {
   expected : string;  (** the shape the paper predicts *)
   measured : string;  (** what this run measured *)
   pass : bool;
+  metrics : (string * float) list;
+      (** structured numbers behind [measured]: the experiment's headline
+          figures (runs, means, steps/op) plus the instrumented stack's
+          delta while it ran — scheduler steps and coins, checker states
+          explored, simulated-time op latencies, wall-clock.  This is what
+          [rlin experiments --json] exports, one JSONL record per report. *)
 }
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_json : report -> Obs.Json.t
+(** The JSONL record: [{"kind":"report","id":…,"pass":…,"metrics":{…}}]. *)
+
+val export_jsonl : report list -> out_channel -> unit
+(** One {!report_json} line per report. *)
 
 val e1_nontermination : quick:bool -> report
 (** Theorem 6 / Figures 1–2: survival under the adversary. *)

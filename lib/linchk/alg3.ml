@@ -92,7 +92,9 @@ let final_ts info ~n =
   | Some t -> Some (ts_at info ~t ~n)
 
 let linearize_upto tr ~obj ~time =
+  Obs.Metrics.incr Obs.Metrics.global "alg3.linearizations";
   let infos, val_writes, read_tss = gather tr ~obj ~time in
+  Obs.Metrics.incr Obs.Metrics.global ~by:(List.length infos) "alg3.ops_placed";
   match dim_of infos with
   | None ->
       (* no write ever took a snapshot: history has no writes past line 1;

@@ -23,6 +23,7 @@ let candidate_write writes (r : Op.t) v =
   scan (n - 1)
 
 let linearize ~init h =
+  Obs.Metrics.incr Obs.Metrics.global "fstar.linearizations";
   match Hist.objects h with
   | [] -> Some []
   | _ :: _ :: _ -> invalid_arg "Fstar.linearize: multi-object history"
@@ -101,6 +102,7 @@ let rec is_int_prefix p q =
 
 let wsl_function ~init h =
   let prefs = Hist.prefixes h in
+  Obs.Metrics.incr Obs.Metrics.global ~by:(List.length prefs) "fstar.prefixes";
   let rec go acc prev = function
     | [] -> Ok (List.rev acc)
     | g :: rest -> (

@@ -2,6 +2,10 @@ module V = History.Value
 module Op = History.Op
 module Hist = History.Hist
 
+(* Checker observability: counters accumulate in the global registry;
+   drivers measure a run by snapshot/delta (see Obs.Metrics). *)
+let m = Obs.Metrics.global
+
 exception Too_large
 
 type prepped = {
@@ -66,11 +70,15 @@ let decide p ~forced ~scope =
   let module Memo = Hashtbl.Make (Key) in
   let failed = Memo.create 256 in
   let rec go mask cursor value path =
+    Obs.Metrics.incr m "linchk.states";
     if
       p.complete_mask land mask = p.complete_mask
       && cursor = Array.length forced
     then Some (List.rev path)
-    else if Memo.mem failed (mask, cursor, value) then None
+    else if Memo.mem failed (mask, cursor, value) then begin
+      Obs.Metrics.incr m "linchk.memo_prunes";
+      None
+    end
     else begin
       let result = ref None in
       let i = ref 0 in
@@ -103,7 +111,10 @@ let decide p ~forced ~scope =
                 | _ -> ())
         end
       done;
-      if !result = None then Memo.replace failed (mask, cursor, value) ();
+      if !result = None then begin
+        Obs.Metrics.incr m "linchk.backtracks";
+        Memo.replace failed (mask, cursor, value) ()
+      end;
       !result
     end
   in
@@ -131,12 +142,14 @@ let enum p ~forced ~scope ~limit ~collect =
     let sol = List.rev path in
     let key = collect sol in
     if not (Hashtbl.mem seen key) then begin
+      Obs.Metrics.incr m "linchk.enum.solutions";
       Hashtbl.add seen key ();
       out := sol :: !out;
       incr count
     end
   in
   let rec go mask cursor value path =
+    Obs.Metrics.incr m "linchk.enum.states";
     if !count >= limit then ()
     else begin
       if

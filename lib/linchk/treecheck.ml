@@ -28,12 +28,16 @@ let of_prefixes h = chain (Hist.prefixes h)
 
 let enum_limit = 4096
 
+let m = Obs.Metrics.global
+
 let rec solve_sub ~init ~sel t ~prefix =
+  Obs.Metrics.incr m "treecheck.nodes";
   (* candidate [sel]-subsequence orders of this node extending [prefix] *)
   let cands =
     Lincheck.subset_orders_extending ~init t.hist ~sel ~prefix
       ~limit:enum_limit
   in
+  Obs.Metrics.incr m ~by:(List.length cands) "treecheck.candidates";
   let rec try_cands = function
     | [] -> None
     | w :: rest -> (

@@ -86,6 +86,7 @@ let broadcast_servers t ~src payload =
   done
 
 let write t v =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.abd.writes";
   let tr = Sched.trace t.sched in
   let op_id =
     Trace.invoke tr ~proc:t.writer_ ~obj:t.name_ ~kind:(Op.Write (V.Int v))
@@ -103,6 +104,7 @@ let write t v =
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.abd.reads";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   t.rseq <- t.rseq + 1;

@@ -89,6 +89,7 @@ let fresh_rid t ~client =
   (client * 1_000_000) + t.seq
 
 let write t ~proc v =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.mwabd.writes";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
   (* phase 1: query a majority for sequence numbers *)
@@ -115,6 +116,7 @@ let write t ~proc v =
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.mwabd.reads";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   let rid = fresh_rid t ~client:reader in

@@ -19,8 +19,16 @@ let mailbox t pid =
       Hashtbl.add t.mailboxes pid q;
       q
 
+let metrics t = Simkit.Sched.metrics t.sched
+
+let note_in_flight t =
+  Obs.Metrics.set_gauge (metrics t) "net.in_flight"
+    (float_of_int (List.length t.flight))
+
 let send t ~src ~dst payload =
-  t.flight <- t.flight @ [ { src; dst; payload } ]
+  Obs.Metrics.incr (metrics t) "net.sends";
+  t.flight <- t.flight @ [ { src; dst; payload } ];
+  note_in_flight t
 
 let broadcast t ~src payload =
   for dst = 0 to t.n - 1 do
@@ -50,11 +58,13 @@ let deliver_nth t i =
     | m :: rest ->
         if k = i then begin
           t.flight <- List.rev_append acc rest;
+          Obs.Metrics.incr (metrics t) "net.delivered";
           Queue.push m.payload (mailbox t m.dst)
         end
         else go (k + 1) (m :: acc) rest
   in
-  go 0 [] t.flight
+  go 0 [] t.flight;
+  note_in_flight t
 
 let deliver_one t ~rng =
   match t.flight with
@@ -88,10 +98,18 @@ let deliver_from t ~src ~dst =
       true
 
 let deliver_all t =
+  Obs.Metrics.incr (metrics t) ~by:(List.length t.flight) "net.delivered";
   List.iter (fun m -> Queue.push m.payload (mailbox t m.dst)) t.flight;
-  t.flight <- []
+  t.flight <- [];
+  note_in_flight t
 
-let drop_to t ~dst = t.flight <- List.filter (fun m -> m.dst <> dst) t.flight
+let drop_to t ~dst =
+  let kept = List.filter (fun m -> m.dst <> dst) t.flight in
+  Obs.Metrics.incr (metrics t)
+    ~by:(List.length t.flight - List.length kept)
+    "net.dropped";
+  t.flight <- kept;
+  note_in_flight t
 
 let auto_deliver_policy t ~rng inner s =
   if in_flight t > 0 && Simkit.Rng.bool rng then ignore (deliver_one t ~rng);

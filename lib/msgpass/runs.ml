@@ -13,7 +13,12 @@ type workload = {
 let default =
   { n = 5; writes = 4; readers = [ 1; 2 ]; reads_each = 3; crash = []; seed = 1L }
 
-type run = { history : History.Hist.t; completed : bool; steps : int }
+type run = {
+  history : History.Hist.t;
+  trace : Simkit.Trace.t;
+  completed : bool;
+  steps : int;
+}
 
 let execute w =
   if List.length w.crash >= (w.n + 1) / 2 then
@@ -61,6 +66,7 @@ let execute w =
   {
     history =
       History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"ABD";
+    trace = Sched.trace sched;
     completed = !remaining = 0;
     steps;
   }
@@ -97,6 +103,7 @@ let execute_mw ~n ~writers ~writes_each ~readers ~reads_each ~seed =
   {
     history =
       History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"MW";
+    trace = Sched.trace sched;
     completed = !remaining = 0;
     steps;
   }

@@ -13,6 +13,7 @@ val default : workload
 
 type run = {
   history : History.Hist.t;  (** the ABD register's history *)
+  trace : Simkit.Trace.t;  (** the full trace (for [rlin trace] JSONL dumps) *)
   completed : bool;  (** all client fibers finished *)
   steps : int;
 }

@@ -1,0 +1,41 @@
+(** A minimal JSON representation with a serializer and parser, hand-rolled
+    so the observability layer adds no dependencies.
+
+    The emitter produces one-line (no newline) renderings, which is what
+    {!Export} needs for line-delimited JSON; the parser accepts any
+    standard JSON text and is used by the round-trip tests and by external
+    tooling checks.  Floats that are NaN or infinite serialize as [null]
+    (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; [Int n] and [Float f] are distinct even when
+    numerically equal (round-trips preserve the constructor). *)
+
+val to_string : t -> string
+(** Render on one line (no embedded newlines: strings are escaped). *)
+
+val of_string : string -> (t, string) result
+(** Parse a single JSON value; [Error msg] carries a position. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Accessors (total, for tests and tooling)} *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,207 @@
+(* Sample retention cap: quantiles are exact up to this many samples per
+   histogram; count/sum/min/max stay exact forever. *)
+let reservoir_cap = 4096
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : floatarray;
+  mutable filled : int;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let global = create ()
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotone (by < 0)";
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            count = 0;
+            sum = 0.;
+            min_v = Float.infinity;
+            max_v = Float.neg_infinity;
+            samples = Float.Array.create 16;
+            filled = 0;
+          }
+        in
+        Hashtbl.add t.hists name h;
+        h
+  in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  if h.filled < reservoir_cap then begin
+    if h.filled = Float.Array.length h.samples then begin
+      let bigger =
+        Float.Array.create (Stdlib.min reservoir_cap (2 * h.filled))
+      in
+      Float.Array.blit h.samples 0 bigger 0 h.filled;
+      h.samples <- bigger
+    end;
+    Float.Array.set h.samples h.filled v;
+    h.filled <- h.filled + 1
+  end
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt t.gauges name)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize (h : hist) =
+  if h.count = 0 then None
+  else begin
+    let sorted = Float.Array.sub h.samples 0 h.filled in
+    Float.Array.sort Float.compare sorted;
+    let quantile q =
+      let i =
+        int_of_float (Float.round (q *. float_of_int (h.filled - 1)))
+      in
+      Float.Array.get sorted (Stdlib.max 0 (Stdlib.min (h.filled - 1) i))
+    in
+    Some
+      {
+        count = h.count;
+        sum = h.sum;
+        min = h.min_v;
+        max = h.max_v;
+        mean = h.sum /. float_of_int h.count;
+        p50 = quantile 0.5;
+        p90 = quantile 0.9;
+        p99 = quantile 0.99;
+      }
+  end
+
+let summary t name = Option.join (Option.map summarize (Hashtbl.find_opt t.hists name))
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot (t : t) =
+  {
+    counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+      |> List.sort by_name;
+    gauges =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
+      |> List.sort by_name;
+    histograms =
+      Hashtbl.fold
+        (fun k h acc ->
+          match summarize h with Some s -> (k, s) :: acc | None -> acc)
+        t.hists []
+      |> List.sort by_name;
+  }
+
+let delta ~before ~after =
+  let counter_before n =
+    Option.value ~default:0 (List.assoc_opt n before.counters)
+  in
+  let counters =
+    List.filter_map
+      (fun (n, v) ->
+        let d = v - counter_before n in
+        if d > 0 then Some (n, float_of_int d) else None)
+      after.counters
+  in
+  let gauges =
+    List.filter_map
+      (fun (n, v) ->
+        match List.assoc_opt n before.gauges with
+        | Some v' when Float.equal v v' -> None
+        | _ -> Some (n, v))
+      after.gauges
+  in
+  let hists =
+    List.concat_map
+      (fun (n, (s : summary)) ->
+        let before_s = List.assoc_opt n before.histograms in
+        let c0, sum0 =
+          match before_s with Some b -> (b.count, b.sum) | None -> (0, 0.)
+        in
+        let dc = s.count - c0 in
+        if dc <= 0 then []
+        else
+          [
+            (n ^ ".n", float_of_int dc);
+            (n ^ ".mean", (s.sum -. sum0) /. float_of_int dc);
+          ])
+      after.histograms
+  in
+  List.sort by_name (counters @ gauges @ hists)
+
+let pp fmt t =
+  let s = snapshot t in
+  Format.fprintf fmt "@[<v>";
+  if s.counters <> [] then begin
+    Format.fprintf fmt "%-34s %12s@," "counter" "value";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "%-34s %12d@," n v)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf fmt "%-34s %12s@," "gauge" "value";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "%-34s %12.2f@," n v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Format.fprintf fmt "%-34s %8s %10s %10s %10s %10s@," "histogram" "n"
+      "mean" "p50" "p99" "max";
+    List.iter
+      (fun (n, (h : summary)) ->
+        Format.fprintf fmt "%-34s %8d %10.2f %10.2f %10.2f %10.2f@," n
+          h.count h.mean h.p50 h.p99 h.max)
+      s.histograms
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,79 @@
+(** Named metric registries: monotone counters, gauges and histograms.
+
+    Instrumented code (the scheduler, the network, the checkers, the
+    registers) records into a registry by metric name; analysis code reads
+    it back as a {!snapshot}.  A process-wide {!global} registry is the
+    default sink — experiment drivers measure a workload by taking a
+    snapshot before and after and computing the {!delta}, so concurrent
+    accumulation from unrelated code is harmless.
+
+    Metric names are dot-separated paths ([sched.steps], [linchk.states],
+    [net.sends], [span.e1.wall_ms]); see DESIGN.md "Observability" for the
+    catalogue. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val global : t
+(** The default process-wide registry; every instrumented component
+    records here unless given another registry explicitly. *)
+
+val reset : t -> unit
+(** Drop every metric (used by tests to isolate measurements). *)
+
+(** {2 Recording} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a monotone counter (created at 0 on first use).
+    @raise Invalid_argument if [by < 0] — counters only go up. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge to its current value (e.g. messages in flight). *)
+
+val observe : t -> string -> float -> unit
+(** Add one sample to a histogram (e.g. a latency in simulated steps). *)
+
+(** {2 Reading} *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 if never incremented. *)
+
+val gauge : t -> string -> float option
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+      (** Quantiles are exact over the first 4096 samples; beyond that,
+          count/sum/min/max/mean stay exact and quantiles are computed on
+          the retained prefix. *)
+}
+
+val summary : t -> string -> summary option
+(** Summary of a histogram; [None] if it has no samples. *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * summary) list;
+}
+(** All three families, each sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val delta : before:snapshot -> after:snapshot -> (string * float) list
+(** The change between two snapshots, as flat name/value pairs suitable
+    for an experiment report: counter increments (only those [> 0]),
+    gauges at their [after] value (only those set or changed), and for
+    each histogram the sample-count increment as [name ^ ".n"] and the
+    mean over the new samples as [name ^ ".mean"]. Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** A human-readable table of the whole registry. *)

@@ -1,0 +1,34 @@
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* The active span chain, innermost first.  The simulator is single-
+   threaded (cooperative fibers under one scheduler), so one stack
+   suffices. *)
+let stack : string list ref = ref []
+
+let current_path () =
+  match !stack with
+  | [] -> None
+  | l -> Some (String.concat "/" (List.rev l))
+
+let with_span ?(metrics = Metrics.global) ?sim_clock name f =
+  stack := name :: !stack;
+  let path = Option.get (current_path ()) in
+  let t0 = now_ms () in
+  let s0 = match sim_clock with Some c -> c () | None -> 0 in
+  let finish () =
+    stack := List.tl !stack;
+    Metrics.incr metrics ("span." ^ path ^ ".calls");
+    Metrics.observe metrics ("span." ^ path ^ ".wall_ms") (now_ms () -. t0);
+    match sim_clock with
+    | Some c ->
+        Metrics.observe metrics ("span." ^ path ^ ".sim")
+          (float_of_int (c () - s0))
+    | None -> ()
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

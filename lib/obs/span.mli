@@ -1,0 +1,28 @@
+(** Nestable timing scopes over wall-clock and simulated time.
+
+    [with_span name f] times [f ()] and records, in the target registry:
+
+    - counter [span.<path>.calls];
+    - histogram [span.<path>.wall_ms] (wall-clock milliseconds);
+    - histogram [span.<path>.sim] (simulated-clock delta) when a
+      [sim_clock] is supplied — pass [fun () -> Sched.now sched] to
+      measure in scheduler time.
+
+    [<path>] is the [/]-separated chain of the enclosing spans, so nested
+    scopes produce distinguishable metrics ([span.e6/abd-run.wall_ms]).
+    Exceptions propagate; the span still closes and records. *)
+
+val with_span :
+  ?metrics:Metrics.t ->
+  ?sim_clock:(unit -> int) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Defaults to {!Metrics.global}. *)
+
+val current_path : unit -> string option
+(** The active span path, if any (for correlating ad-hoc records). *)
+
+val now_ms : unit -> float
+(** Monotonic-ish wall clock in milliseconds (the one spans use) — exposed
+    so drivers can stamp durations without opening a span. *)

@@ -211,6 +211,7 @@ let await_and_respond t slot =
   respond t slot
 
 let write t ~proc v =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.adv.writes";
   let slot = invoke t ~proc ~kind:(Op.Write v) in
   match t.mode_ with
   | Atomic ->
@@ -220,6 +221,7 @@ let write t ~proc v =
   | Write_strong | Linearizable -> await_and_respond t slot
 
 let read t ~proc =
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.adv.reads";
   let slot = invoke t ~proc ~kind:Op.Read in
   (match t.mode_ with
   | Atomic ->

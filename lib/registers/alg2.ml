@@ -31,6 +31,7 @@ let check_proc t proc =
 
 let write t ~proc v =
   check_proc t proc;
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.alg2.writes";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
   (* local new_ts starts as [∞,…,∞] (its value between operations) *)
@@ -56,6 +57,7 @@ let write t ~proc v =
 
 let read_impl t ~proc =
   check_proc t proc;
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.alg2.reads";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:Op.Read in
   (* lines 11–13: collect all Val[-] *)

@@ -31,6 +31,7 @@ let check_proc t proc =
 
 let write t ~proc v =
   check_proc t proc;
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.alg4.writes";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
   (* lines 1–3: read every Val[-] *)
@@ -48,6 +49,7 @@ let write t ~proc v =
 
 let read_impl t ~proc =
   check_proc t proc;
+  Obs.Metrics.incr (Sched.metrics t.sched) "reg.alg4.reads";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:Op.Read in
   (* lines 8–10 *)

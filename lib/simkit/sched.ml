@@ -4,24 +4,28 @@ type t = {
   fibers : (int, Fiber.t) Hashtbl.t;
   mutable crashed_ : int list;
   mutable rr_cursor : int;
+  metrics_ : Obs.Metrics.t;
 }
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
   {
-    tr = Trace.create ();
+    tr = Trace.create ~metrics ();
     rng_ = Rng.create seed;
     fibers = Hashtbl.create 16;
     crashed_ = [];
     rr_cursor = 0;
+    metrics_ = metrics;
   }
 
 let trace t = t.tr
 let rng t = t.rng_
 let now t = Trace.now t.tr
+let metrics t = t.metrics_
 
 let spawn t ~pid f =
   if Hashtbl.mem t.fibers pid then
     invalid_arg (Printf.sprintf "Sched.spawn: duplicate pid %d" pid);
+  Obs.Metrics.incr t.metrics_ "sched.spawns";
   Hashtbl.add t.fibers pid (Fiber.spawn ~pid f)
 
 let pids t =
@@ -49,6 +53,7 @@ let step t ~pid =
   (match Fiber.status f with
   | Fiber.Runnable -> ()
   | _ -> invalid_arg (Printf.sprintf "Sched.step: pid %d is not runnable" pid));
+  Obs.Metrics.incr t.metrics_ "sched.steps";
   match Fiber.step f with
   | Fiber.Failed e -> raise e
   | s -> s
@@ -57,11 +62,13 @@ let crash t ~pid =
   ignore (find t pid);
   if not (crashed t ~pid) then begin
     t.crashed_ <- pid :: t.crashed_;
+    Obs.Metrics.incr t.metrics_ "sched.crashes";
     Trace.note t.tr ~tag:"crash" ~text:(Printf.sprintf "p%d" pid)
   end
 
 let coin t ~proc =
   let v = Rng.coin t.rng_ in
+  Obs.Metrics.incr t.metrics_ "sched.coins";
   Trace.coin t.tr ~proc ~value:v;
   v
 
@@ -71,6 +78,7 @@ type policy = t -> decision
 let run t ~policy ~max_steps =
   let steps = ref 0 in
   let continue_ = ref true in
+  Obs.Metrics.incr t.metrics_ "sched.runs";
   while !continue_ && !steps < max_steps do
     if live_pids t = [] then continue_ := false
     else
@@ -80,6 +88,7 @@ let run t ~policy ~max_steps =
           ignore (step t ~pid);
           incr steps
   done;
+  Obs.Metrics.observe t.metrics_ "sched.run.steps" (float_of_int !steps);
   !steps
 
 let round_robin t =

@@ -11,10 +11,19 @@
 
 type t
 
-val create : ?seed:int64 -> unit -> t
+val create : ?seed:int64 -> ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] (default {!Obs.Metrics.global}) receives the scheduler's
+    counters — [sched.steps], [sched.coins], [sched.crashes],
+    [sched.spawns], [sched.runs] — and the per-{!run} step histogram
+    [sched.run.steps], plus everything its {!Trace.t} records. *)
+
 val trace : t -> Trace.t
 val rng : t -> Rng.t
 val now : t -> int
+
+val metrics : t -> Obs.Metrics.t
+(** The registry this scheduler (and its trace, and any component built on
+    it, e.g. {!Msgpass.Net}) records into. *)
 
 val spawn : t -> pid:int -> (unit -> unit) -> unit
 (** Register process [pid] with the given code.

@@ -11,9 +11,20 @@ type t = {
   mutable clock : int;
   mutable rev_entries : entry list;
   mutable next_op : int;
+  metrics : Obs.Metrics.t;
+  invoked_at : (int, int) Hashtbl.t; (* op_id -> invocation time *)
 }
 
-let create () = { clock = 0; rev_entries = []; next_op = 0 }
+let create ?(metrics = Obs.Metrics.global) () =
+  {
+    clock = 0;
+    rev_entries = [];
+    next_op = 0;
+    metrics;
+    invoked_at = Hashtbl.create 32;
+  }
+
+let metrics t = t.metrics
 let now t = t.clock
 
 let next_time t =
@@ -26,14 +37,24 @@ let invoke t ~proc ~obj ~kind =
   t.next_op <- t.next_op + 1;
   let op_id = t.next_op in
   let time = next_time t in
+  Hashtbl.replace t.invoked_at op_id time;
+  Obs.Metrics.incr t.metrics "trace.invokes";
   push t (Ev { History.Event.time; event = History.Event.Invoke { op_id; proc; obj; kind } });
   op_id
 
 let respond t ~op_id ~result =
   let time = next_time t in
+  Obs.Metrics.incr t.metrics "trace.responds";
+  (match Hashtbl.find_opt t.invoked_at op_id with
+  | Some t0 ->
+      Obs.Metrics.observe t.metrics "op.latency.sim" (float_of_int (time - t0))
+  | None -> ());
   push t (Ev { History.Event.time; event = History.Event.Respond { op_id; result } })
 
-let linearize t ~op_id = push t (Lin { time = next_time t; op_id })
+let linearize t ~op_id =
+  Obs.Metrics.incr t.metrics "trace.lins";
+  push t (Lin { time = next_time t; op_id })
+
 let coin t ~proc ~value = push t (Coin { time = next_time t; proc; value })
 
 let val_write t ~op_id ~proc ~idx =
@@ -90,3 +111,103 @@ let pp_entry fmt = function
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%a@]" (Format.pp_print_list pp_entry) (entries t)
+
+(* ----- JSONL serialization (see DESIGN.md "Observability") ------------- *)
+
+module J = Obs.Json
+
+let vector_json v =
+  J.List
+    (List.map
+       (function
+         | Clocks.Vector.Fin k -> J.Int k
+         | Clocks.Vector.Inf -> J.Str "inf")
+       (Clocks.Vector.to_list v))
+
+let value_json : History.Value.t -> J.t = function
+  | History.Value.Bot -> J.Obj [ ("type", J.Str "bot") ]
+  | History.Value.Int n -> J.Obj [ ("type", J.Str "int"); ("v", J.Int n) ]
+  | History.Value.Pair (a, b) ->
+      J.Obj [ ("type", J.Str "pair"); ("a", J.Int a); ("b", J.Int b) ]
+  | History.Value.VecStamped (v, ts) ->
+      J.Obj [ ("type", J.Str "vec"); ("v", J.Int v); ("ts", vector_json ts) ]
+  | History.Value.LamStamped (v, ts) ->
+      J.Obj
+        [
+          ("type", J.Str "lam");
+          ("v", J.Int v);
+          ("sq", J.Int ts.Clocks.Lamport.sq);
+          ("pid", J.Int ts.Clocks.Lamport.pid);
+        ]
+
+let entry_json = function
+  | Ev { History.Event.time; event = History.Event.Invoke { op_id; proc; obj; kind } } ->
+      J.Obj
+        ([
+           ("t", J.Int time);
+           ("kind", J.Str "invoke");
+           ("op", J.Int op_id);
+           ("proc", J.Int proc);
+           ("obj", J.Str obj);
+         ]
+        @
+        match kind with
+        | History.Op.Read -> [ ("opkind", J.Str "read") ]
+        | History.Op.Write v ->
+            [ ("opkind", J.Str "write"); ("value", value_json v) ])
+  | Ev { History.Event.time; event = History.Event.Respond { op_id; result } } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "respond");
+          ("op", J.Int op_id);
+          ( "result",
+            match result with Some v -> value_json v | None -> J.Null );
+        ]
+  | Lin { time; op_id } ->
+      J.Obj [ ("t", J.Int time); ("kind", J.Str "lin"); ("op", J.Int op_id) ]
+  | Coin { time; proc; value } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "coin");
+          ("proc", J.Int proc);
+          ("value", J.Int value);
+        ]
+  | ValWrite { time; op_id; proc; idx } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "valwrite");
+          ("op", J.Int op_id);
+          ("proc", J.Int proc);
+          ("idx", J.Int idx);
+        ]
+  | TsSnapshot { time; op_id; proc; ts } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "ts");
+          ("op", J.Int op_id);
+          ("proc", J.Int proc);
+          ("ts", vector_json ts);
+        ]
+  | ReadTs { time; op_id; proc; ts } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "readts");
+          ("op", J.Int op_id);
+          ("proc", J.Int proc);
+          ("ts", vector_json ts);
+        ]
+  | Note { time; tag; text } ->
+      J.Obj
+        [
+          ("t", J.Int time);
+          ("kind", J.Str "note");
+          ("tag", J.Str tag);
+          ("text", J.Str text);
+        ]
+
+let json_entries t = List.map entry_json (entries t)

@@ -32,7 +32,12 @@ type entry =
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] (default {!Obs.Metrics.global}) receives the trace's
+    counters ([trace.invokes], [trace.responds], [trace.lins]) and the
+    per-operation simulated-time latency histogram [op.latency.sim]. *)
+
+val metrics : t -> Obs.Metrics.t
 
 val now : t -> int
 (** The current clock: the time of the last recorded entry. *)
@@ -67,3 +72,16 @@ val coins : t -> (int * int * int) list
 val entry_time : entry -> int
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {2 JSONL serialization}
+
+    One JSON object per entry, each with a [t] (time) and [kind] field;
+    see DESIGN.md "Observability" for the full schema.  [Obs.Export]
+    provides the line-delimited writer these feed into. *)
+
+val value_json : History.Value.t -> Obs.Json.t
+val entry_json : entry -> Obs.Json.t
+
+val json_entries : t -> Obs.Json.t list
+(** The whole trace in time order — [Obs.Export.to_file] writes it as the
+    JSONL dump behind [rlin trace --out]. *)

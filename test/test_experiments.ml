@@ -7,12 +7,24 @@ let suite =
   [
     ( "experiments.battery",
       [
-        tcs "E1-E8 all reproduce the paper's claims (quick profile)" (fun () ->
+        tcs "E1-E10: claims reproduce and every report carries metrics"
+          (fun () ->
+            let reports = Experiments.all ~quick:true in
             List.iter
               (fun (r : Experiments.report) ->
                 Alcotest.(check bool)
                   (Printf.sprintf "%s: %s" r.Experiments.id r.Experiments.measured)
-                  true r.Experiments.pass)
-              (Experiments.all ~quick:true));
+                  true r.Experiments.pass;
+                let finite =
+                  List.filter
+                    (fun (_, v) -> Float.is_finite v)
+                    r.Experiments.metrics
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s carries >= 3 finite metrics"
+                     r.Experiments.id)
+                  true
+                  (List.length finite >= 3))
+              reports);
       ] );
   ]

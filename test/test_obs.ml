@@ -1,0 +1,113 @@
+(* Obs: metrics semantics, JSON round-trips, and the trace JSONL export. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ----- Metrics ------------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "a";
+  Obs.Metrics.incr m "a" ~by:4;
+  Obs.Metrics.incr m "b";
+  Alcotest.(check int) "a accumulated" 5 (Obs.Metrics.counter m "a");
+  Alcotest.(check int) "b accumulated" 1 (Obs.Metrics.counter m "b");
+  Alcotest.(check int) "unknown counter reads 0" 0 (Obs.Metrics.counter m "c");
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.incr: counters are monotone (by < 0)") (fun () ->
+      Obs.Metrics.incr m "a" ~by:(-1))
+
+let test_histogram_semantics () =
+  let m = Obs.Metrics.create () in
+  List.iter (fun v -> Obs.Metrics.observe m "h" v) [ 5.; 1.; 3.; 2.; 4. ];
+  let snap = Obs.Metrics.snapshot m in
+  match List.assoc_opt "h" snap.Obs.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 15. s.Obs.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min" 1. s.Obs.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 5. s.Obs.Metrics.max;
+      Alcotest.(check (float 1e-9)) "mean" 3. s.Obs.Metrics.mean;
+      Alcotest.(check (float 1e-9)) "p50" 3. s.Obs.Metrics.p50
+
+let test_delta () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "x" ~by:2;
+  Obs.Metrics.observe m "h" 10.;
+  let before = Obs.Metrics.snapshot m in
+  Obs.Metrics.incr m "x" ~by:3;
+  Obs.Metrics.incr m "y";
+  Obs.Metrics.set_gauge m "g" 7.;
+  Obs.Metrics.observe m "h" 20.;
+  Obs.Metrics.observe m "h" 40.;
+  let after = Obs.Metrics.snapshot m in
+  let d = Obs.Metrics.delta ~before ~after in
+  let get k =
+    match List.assoc_opt k d with
+    | Some v -> v
+    | None -> Alcotest.failf "delta missing %s" k
+  in
+  Alcotest.(check (float 1e-9)) "counter increment" 3. (get "x");
+  Alcotest.(check (float 1e-9)) "new counter" 1. (get "y");
+  Alcotest.(check (float 1e-9)) "gauge at after value" 7. (get "g");
+  Alcotest.(check (float 1e-9)) "new histogram samples" 2. (get "h.n");
+  Alcotest.(check (float 1e-9)) "mean of new samples" 30. (get "h.mean");
+  Alcotest.(check bool) "unchanged counter omitted" true
+    (List.assoc_opt "x" d = Some 3. && not (List.mem_assoc "h.count" d))
+
+(* ----- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let module J = Obs.Json in
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a \"quoted\" line\nwith \t escapes and unicode \xc3\xa9");
+        ("i", J.Int (-42));
+        ("f", J.Float 1.5);
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.Str "two"; J.List [] ]);
+      ]
+  in
+  match J.of_string (J.to_string v) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v' -> Alcotest.(check bool) "round-trip equal" true (J.equal v v')
+
+let test_json_unicode_escape () =
+  let module J = Obs.Json in
+  match J.of_string "\"caf\\u00e9\"" with
+  | Ok (J.Str s) -> Alcotest.(check string) "utf-8 decoded" "caf\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ----- Trace JSONL round-trip ---------------------------------------------- *)
+
+let test_trace_jsonl_roundtrip () =
+  let scn = Core.Scenario.fig3 () in
+  let tr = scn.Core.Scenario.trace in
+  let entries = Core.Trace.json_entries tr in
+  Alcotest.(check bool) "fig3 trace non-empty" true (entries <> []);
+  let text = Obs.Export.lines_to_string entries in
+  match Obs.Export.parse_lines text with
+  | Error e -> Alcotest.failf "JSONL parse failed: %s" e
+  | Ok back ->
+      Alcotest.(check int)
+        "entry count preserved"
+        (List.length entries) (List.length back);
+      Alcotest.(check bool)
+        "entries equal in Trace.entries order" true
+        (List.equal Obs.Json.equal entries back)
+
+let suite =
+  [
+    ( "obs",
+      [
+        tc "counter semantics" test_counter_semantics;
+        tc "histogram summary" test_histogram_semantics;
+        tc "snapshot delta" test_delta;
+        tc "json round-trip" test_json_roundtrip;
+        tc "json \\uXXXX decoding" test_json_unicode_escape;
+        tc "fig3 trace JSONL round-trip" test_trace_jsonl_roundtrip;
+      ] );
+  ]
