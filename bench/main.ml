@@ -75,14 +75,14 @@ let atomic_ops ops () =
 let checker_run =
   lazy
     (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2 ~reads_per_proc:2
-       ~seed:5L)
+       ~seed:5L ())
 
 let tests =
   [
     (* --- E1: a Theorem-6 adversary round --------------------------------- *)
     Test.make ~name:"e1/thm6-adversary-5-rounds"
       (Staged.stage (fun () ->
-           ignore (Core.Adversary.run_linearizable ~n:5 ~rounds:5 ~seed:17L)));
+           ignore (Core.Adversary.run_linearizable ~n:5 ~rounds:5 ~seed:17L ())));
     (* --- E2: a full WSL game (gate) to termination ------------------------ *)
     Test.make ~name:"e2/wsl-game-to-termination"
       (Staged.stage (fun () ->
@@ -125,13 +125,13 @@ let tests =
     (* --- E9: the mixed-mode ablation game ----------------------------------- *)
     Test.make ~name:"e9/ablation-r1-lin-aux-wsl"
       (Staged.stage (fun () ->
-           ignore (Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:5 ~seed:61L)));
+           ignore (Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:5 ~seed:61L ())));
     (* --- E10: multi-writer ABD workload + counterexample --------------------- *)
     Test.make ~name:"e10/mwabd-workload"
       (Staged.stage (fun () ->
            ignore
              (Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-                ~readers:[ 2 ] ~reads_each:2 ~seed:11L)));
+                ~readers:[ 2 ] ~reads_each:2 ~seed:11L ())));
     Test.make ~name:"e10/mwabd-tree-refutation"
       (Staged.stage (fun () -> ignore (Core.Mwabd_scenario.run ())));
   ]
@@ -156,8 +156,23 @@ let json_out () =
   in
   scan (Array.to_list Sys.argv)
 
+(* [-j N]: domains for the battery's Monte-Carlo loops (default: all). *)
+let jobs_opt () =
+  let rec scan = function
+    | "-j" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ ->
+            prerr_endline "bench: -j expects a positive integer";
+            exit 2)
+    | _ :: rest -> scan rest
+    | [] -> Core.Pool.default_jobs ()
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   let json = json_out () in
+  let jobs = jobs_opt () in
   print_endline "=== Part 1: micro-benchmarks (Bechamel, monotonic clock) ===";
   let bench_rows =
     match benchmark () with
@@ -187,17 +202,29 @@ let () =
     | _ -> assert false
   in
   print_endline "";
-  print_endline "=== Part 2: experiment battery (paper-shaped tables) ===";
-  let reports = Experiments.all ~quick:false in
+  Printf.printf "=== Part 2: experiment battery (paper-shaped tables, -j %d) ===\n"
+    jobs;
+  let battery_t0 = Obs.Span.now_ms () in
+  let reports = Experiments.all ~jobs ~quick:false () in
+  let battery_ms = Obs.Span.now_ms () -. battery_t0 in
   List.iter (fun r -> Format.printf "%a@." Experiments.pp_report r) reports;
   let passed = List.length (List.filter (fun r -> r.Experiments.pass) reports) in
   Format.printf "=== %d/%d experiments reproduce the paper's claims ===@."
     passed (List.length reports);
+  Printf.printf "battery wall time: %.0f ms (-j %d)\n" battery_ms jobs;
   match json with
   | None -> ()
   | Some path ->
+      let battery_row =
+        Obs.Json.Obj
+          [
+            ("kind", Obs.Json.Str "battery");
+            ("jobs", Obs.Json.Int jobs);
+            ("wall_ms", Obs.Json.Float battery_ms);
+          ]
+      in
       Obs.Export.to_file path
-        (bench_rows @ List.map Experiments.report_json reports);
+        (bench_rows @ List.map Experiments.report_json reports @ [ battery_row ]);
       Printf.printf "wrote %d JSONL records to %s\n"
-        (List.length bench_rows + List.length reports)
+        (List.length bench_rows + List.length reports + 1)
         path

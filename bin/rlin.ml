@@ -2,7 +2,8 @@
    and Termination" (PODC 2021).
 
    Subcommands:
-     rlin experiments [--quick] [--json FILE]   run the E1-E10 battery
+     rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
+                                       run the E1-E10 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
@@ -33,9 +34,29 @@ let write_jsonl path lines =
 
 (* ----- experiments --------------------------------------------------------- *)
 
+let jobs_arg =
+  let doc =
+    "Run independent Monte-Carlo runs on up to $(docv) domains (default: \
+     the machine's recommended domain count).  Reports are identical \
+     whatever $(docv) is; only wall-clock changes."
+  in
+  Arg.(
+    value
+    & opt int (Core.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let experiments_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller run counts (seconds).")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated experiment ids to run (e.g. $(b,E1,E5)); \
+             always executed in battery order.")
   in
   let json =
     Arg.(
@@ -46,8 +67,18 @@ let experiments_cmd =
             "Also write the battery as line-delimited JSON, one record per \
              report ('-' for stdout).")
   in
-  let run quick json =
-    let reports = Experiments.all ~quick in
+  let run quick jobs only json =
+    (match only with
+    | Some ids when
+        List.exists
+          (fun id ->
+            not (List.mem (String.uppercase_ascii id) Experiments.ids))
+          ids ->
+        Printf.eprintf "rlin: unknown experiment id in --only (know %s)\n"
+          (String.concat ", " Experiments.ids);
+        exit 2
+    | _ -> ());
+    let reports = Experiments.all ~jobs ?only ~quick () in
     List.iter
       (fun r -> Format.printf "%a@." Experiments.pp_report r)
       reports;
@@ -62,7 +93,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the full experiment battery (E1-E10), one per paper artifact.")
-    Term.(const run $ quick $ json)
+    Term.(const run $ quick $ jobs_arg $ only $ json)
 
 (* ----- game ----------------------------------------------------------------- *)
 
@@ -106,7 +137,7 @@ let game_cmd =
   let run mode rounds n seed =
     (match mode with
     | Core.Adv_register.Linearizable ->
-        let res = Core.Adversary.run_linearizable ~n ~rounds ~seed in
+        let res = Core.Adversary.run_linearizable ~n ~rounds ~seed () in
         Printf.printf
           "Theorem-6 adversary, %d rounds driven: terminated=%b, every \
            process in round %d\n"
@@ -246,7 +277,7 @@ let mwabd_cmd =
   let run seed =
     let run =
       Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-        ~readers:[ 2 ] ~reads_each:3 ~seed
+        ~readers:[ 2 ] ~reads_each:3 ~seed ()
     in
     print_string (Core.Timeline.render run.Core.Abd_runs.history);
     Printf.printf "linearizable: %b
@@ -321,11 +352,11 @@ let trace_cmd =
       | `Fig3 -> (Core.Scenario.fig3 ()).Core.Scenario.trace
       | `Alg2 ->
           (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
-             ~reads_per_proc:2 ~seed)
+             ~reads_per_proc:2 ~seed ())
             .Core.Scenario.trace
       | `Alg4 ->
           (Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
-             ~reads_per_proc:2 ~seed)
+             ~reads_per_proc:2 ~seed ())
             .Core.Scenario.trace
       | `Game ->
           let res = Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed () in
@@ -335,7 +366,7 @@ let trace_cmd =
             .Core.Abd_runs.trace
       | `Mwabd ->
           (Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-             ~readers:[ 2 ] ~reads_each:3 ~seed)
+             ~readers:[ 2 ] ~reads_each:3 ~seed ())
             .Core.Abd_runs.trace
     in
     let lines = Core.Trace.json_entries trace in
@@ -388,7 +419,7 @@ let metrics_cmd =
     let label =
       match source with
       | `Experiments ->
-          ignore (Experiments.all ~quick:true);
+          ignore (Experiments.all ~quick:true ());
           "experiments-quick"
       | `Game ->
           ignore (Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed ());

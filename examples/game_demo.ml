@@ -16,7 +16,7 @@ let () =
   print_endline "=== Theorem 6: linearizable registers, scripted adversary ===";
   List.iter
     (fun rounds ->
-      let res = Core.Adversary.run_linearizable ~n ~rounds ~seed:17L in
+      let res = Core.Adversary.run_linearizable ~n ~rounds ~seed:17L () in
       Printf.printf
         "  budget %3d rounds: game still alive = %b (every process in round \
          %d)\n"
@@ -34,12 +34,14 @@ let () =
   Format.printf "%a@." Core.Game_stats.pp_termination t;
 
   print_endline "=== Baseline: atomic registers, random scheduler ===";
-  let t = Core.Game_stats.atomic_termination ~n ~max_rounds:60 ~runs:200 ~seed:29L in
+  let t =
+    Core.Game_stats.atomic_termination ~n ~max_rounds:60 ~runs:200 ~seed:29L ()
+  in
   Format.printf "%a@." Core.Game_stats.pp_termination t;
 
   (* Show round 1 of the adversarial run in paper-figure form. *)
   print_endline "=== Figure 1/2 view: R1's history in round 1 (adversarial run) ===";
-  let res = Core.Adversary.run_linearizable ~n ~rounds:1 ~seed:17L in
+  let res = Core.Adversary.run_linearizable ~n ~rounds:1 ~seed:17L () in
   let tr = Core.Sched.trace res.Core.Game_alg1.handles.Core.Game_alg1.sched in
   let h = Core.Hist.project (Core.Trace.history tr) ~obj:"R1" in
   print_string (Core.Timeline.render h);

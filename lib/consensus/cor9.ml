@@ -21,7 +21,7 @@ let players_of n = List.init (n - 2) (fun k -> k + 2)
 (* Build 𝒜′: Algorithm 1 whose [after] hook runs the consensus body.  The
    consensus instance shares the game's scheduler; consensus process ids
    are 1-based (game pid + 1). *)
-let setup_a' cfg ~mode ~inputs =
+let setup_a' ?metrics cfg ~mode ~inputs =
   let game_cfg =
     {
       Alg1.n = cfg.n;
@@ -40,7 +40,7 @@ let setup_a' cfg ~mode ~inputs =
     | Some t -> Rand_consensus.body t ~proc:(pid + 1) ~input:(inputs pid)
     | None -> assert false
   in
-  let handles = Alg1.setup ~after game_cfg in
+  let handles = Alg1.setup ~after ?metrics game_cfg in
   let ccfg =
     {
       Rand_consensus.n = cfg.n;
@@ -51,10 +51,10 @@ let setup_a' cfg ~mode ~inputs =
   inst := Some (Rand_consensus.make ~sched:handles.Alg1.sched ccfg);
   (game_cfg, handles, Option.get !inst)
 
-let run_blocked cfg =
+let run_blocked ?metrics cfg =
   if cfg.n < 3 then invalid_arg "Cor9.run_blocked: n must be >= 3";
   let game_cfg, handles, inst =
-    setup_a' cfg ~mode:Adv.Linearizable ~inputs:(fun pid -> pid mod 2)
+    setup_a' ?metrics cfg ~mode:Adv.Linearizable ~inputs:(fun pid -> pid mod 2)
   in
   let players = players_of cfg.n in
   for _ = 1 to cfg.gate_rounds do
@@ -70,9 +70,11 @@ let run_blocked cfg =
   in
   { game; consensus; blocked }
 
-let run_live cfg ~inputs =
+let run_live ?metrics cfg ~inputs =
   if cfg.n < 3 then invalid_arg "Cor9.run_live: n must be >= 3";
-  let game_cfg, handles, inst = setup_a' cfg ~mode:Adv.Write_strong ~inputs in
+  let game_cfg, handles, inst =
+    setup_a' ?metrics cfg ~mode:Adv.Write_strong ~inputs
+  in
   let players = players_of cfg.n in
   let guess_rng = Simkit.Rng.create (Int64.logxor cfg.seed 0xBADC0DEL) in
   let continue_ = ref true in

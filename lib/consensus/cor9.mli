@@ -27,13 +27,13 @@ type outcome = {
   blocked : bool;  (** true iff no process ever started 𝒜 *)
 }
 
-val run_blocked : cfg -> outcome
+val run_blocked : ?metrics:Obs.Metrics.t -> cfg -> outcome
 (** 𝒜′ with [Linearizable] registers under the Theorem-6 adversary:
     after [gate_rounds] rounds every process is still inside Algorithm 1
     and no consensus fiber has taken a single step
     ([blocked = true], all decisions [None]). *)
 
-val run_live : cfg -> inputs:(int -> int) -> outcome
+val run_live : ?metrics:Obs.Metrics.t -> cfg -> inputs:(int -> int) -> outcome
 (** 𝒜′ with [Write_strong] registers under the same adversary: the gate
     opens almost surely; every process then decides, and agreement/
     validity hold ([blocked = false]). *)

@@ -51,6 +51,7 @@ module Rng = Simkit.Rng
 module Fiber = Simkit.Fiber
 module Sched = Simkit.Sched
 module Trace = Simkit.Trace
+module Pool = Simkit.Pool
 
 (* ----- registers ------------------------------------------------------------ *)
 

@@ -52,7 +52,9 @@ let export_jsonl reports oc =
 
 (* ---------- E1 ------------------------------------------------------------- *)
 
-let e1_nontermination ~quick =
+let pool_metrics = Obs.Metrics.global
+
+let e1_nontermination ?(jobs = 1) ~quick () =
   let budgets = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
   let runs = if quick then 5 else 20 in
   measured_report ~id:"E1"
@@ -61,7 +63,9 @@ let e1_nontermination ~quick =
        adversary prevents termination of Algorithm 1"
     ~expected:"survival 100% at every round budget, for every coin sequence"
     (fun () ->
-      let s = Core.Game_stats.e1_survival ~n:5 ~budgets ~runs ~seed:101L in
+      let s =
+        Core.Game_stats.e1_survival ~jobs ~n:5 ~budgets ~runs ~seed:101L ()
+      in
       let measured =
         String.concat ", "
           (List.map2
@@ -80,7 +84,7 @@ let e1_nontermination ~quick =
 
 (* ---------- E2 ------------------------------------------------------------- *)
 
-let e2_wsl_termination ~quick =
+let e2_wsl_termination ?(jobs = 1) ~quick () =
   let runs = if quick then 60 else 400 in
   measured_report ~id:"E2"
     ~claim:
@@ -89,7 +93,8 @@ let e2_wsl_termination ~quick =
     ~expected:"all runs terminate; P(round > j) tracks 2^-j (Lemma 19)"
     (fun () ->
       let t =
-        Core.Game_stats.e2_termination ~n:5 ~max_rounds:60 ~runs ~seed:211L ()
+        Core.Game_stats.e2_termination ~jobs ~n:5 ~max_rounds:60 ~runs
+          ~seed:211L ()
       in
       let all_terminated = t.Core.Game_stats.max < 60 in
       (* geometric shape: P(round > j) should track 2^-j; allow slack *)
@@ -119,7 +124,7 @@ let e2_wsl_termination ~quick =
 
 (* ---------- E3 ------------------------------------------------------------- *)
 
-let e3_alg2_wsl ~quick =
+let e3_alg2_wsl ?(jobs = 1) ~quick () =
   let runs = if quick then 25 else 150 in
   measured_report ~id:"E3"
     ~claim:
@@ -129,17 +134,21 @@ let e3_alg2_wsl ~quick =
       "100% of random runs pass (L) + (P); Fig-3 order w3 < w2 committed at \
        w2's completion, w1 appended later"
     (fun () ->
-      let ok = ref 0 in
-      for seed = 1 to runs do
-        let n = 2 + (seed mod 3) in
-        let run =
-          Core.Scenario.random_alg2_run ~n ~writes_per_proc:2 ~reads_per_proc:2
-            ~seed:(Int64.of_int (seed * 31))
-        in
-        match Core.Scenario.check_alg2_run run with
-        | Ok () -> incr ok
-        | Error _ -> ()
-      done;
+      let oks =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
+            let seed = i + 1 in
+            let n = 2 + (seed mod 3) in
+            let run =
+              Core.Scenario.random_alg2_run ~metrics ~n ~writes_per_proc:2
+                ~reads_per_proc:2
+                ~seed:(Int64.of_int (seed * 31))
+                ()
+            in
+            match Core.Scenario.check_alg2_run ~metrics run with
+            | Ok () -> 1
+            | Error _ -> 0)
+      in
+      let ok = ref (Array.fold_left ( + ) 0 oks) in
       let f3 = Core.Scenario.fig3 () in
       let fig3_ok =
         f3.Core.Scenario.ws_at_t = [ f3.Core.Scenario.w3; f3.Core.Scenario.w2 ]
@@ -157,7 +166,7 @@ let e3_alg2_wsl ~quick =
 
 (* ---------- E4 ------------------------------------------------------------- *)
 
-let e4_fig4_counterexample ~quick:_ =
+let e4_fig4_counterexample ?jobs:_ ~quick:_ () =
   measured_report ~id:"E4"
     ~claim:
       "Thm 13 (Fig 4): Algorithm 4 (Lamport clocks) is NOT write \
@@ -180,30 +189,34 @@ let e4_fig4_counterexample ~quick:_ =
 
 (* ---------- E5 ------------------------------------------------------------- *)
 
-let e5_alg4_linearizable ~quick =
+let e5_alg4_linearizable ?(jobs = 1) ~quick () =
   let runs = if quick then 25 else 150 in
   measured_report ~id:"E5"
     ~claim:"Thm 12: Algorithm 4 is a linearizable MWMR register"
     ~expected:"100% of random runs linearizable"
     (fun () ->
-      let ok = ref 0 in
-      for seed = 1 to runs do
-        let n = 2 + (seed mod 3) in
-        let run =
-          Core.Scenario.random_alg4_run ~n ~writes_per_proc:2 ~reads_per_proc:2
-            ~seed:(Int64.of_int (seed * 37))
-        in
-        match Core.Scenario.check_alg4_run run with
-        | Ok () -> incr ok
-        | Error _ -> ()
-      done;
+      let oks =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
+            let seed = i + 1 in
+            let n = 2 + (seed mod 3) in
+            let run =
+              Core.Scenario.random_alg4_run ~metrics ~n ~writes_per_proc:2
+                ~reads_per_proc:2
+                ~seed:(Int64.of_int (seed * 37))
+                ()
+            in
+            match Core.Scenario.check_alg4_run ~metrics run with
+            | Ok () -> 1
+            | Error _ -> 0)
+      in
+      let ok = ref (Array.fold_left ( + ) 0 oks) in
       ( Printf.sprintf "%d/%d runs linearizable" !ok runs,
         !ok = runs,
         [ ("runs", float_of_int runs); ("runs_ok", float_of_int !ok) ] ))
 
 (* ---------- E6 ------------------------------------------------------------- *)
 
-let e6_abd ~quick =
+let e6_abd ?(jobs = 1) ~quick () =
   let runs = if quick then 10 else 60 in
   measured_report ~id:"E6"
     ~claim:
@@ -213,23 +226,29 @@ let e6_abd ~quick =
       "100% of runs (incl. minority crashes) linearizable with monotone f* \
        write orders on every prefix"
     (fun () ->
-      let ok = ref 0 in
-      for seed = 1 to runs do
-        let crash = if seed mod 2 = 0 then [ 3; 4 ] else [] in
-        let w =
-          { Core.Abd_runs.default with seed = Int64.of_int (seed * 41); crash }
-        in
-        match Core.Abd_runs.check (Core.Abd_runs.execute w) with
-        | Ok () -> incr ok
-        | Error _ -> ()
-      done;
+      let oks =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
+            let seed = i + 1 in
+            let crash = if seed mod 2 = 0 then [ 3; 4 ] else [] in
+            let w =
+              {
+                Core.Abd_runs.default with
+                seed = Int64.of_int (seed * 41);
+                crash;
+              }
+            in
+            match Core.Abd_runs.check ~metrics (Core.Abd_runs.execute ~metrics w) with
+            | Ok () -> 1
+            | Error _ -> 0)
+      in
+      let ok = ref (Array.fold_left ( + ) 0 oks) in
       ( Printf.sprintf "%d/%d runs pass (half with 2/5 nodes crashed)" !ok runs,
         !ok = runs,
         [ ("runs", float_of_int runs); ("runs_ok", float_of_int !ok) ] ))
 
 (* ---------- E7 ------------------------------------------------------------- *)
 
-let e7_cor9 ~quick =
+let e7_cor9 ?(jobs = 1) ~quick () =
   let live_runs = if quick then 5 else 30 in
   measured_report ~id:"E7"
     ~claim:
@@ -248,33 +267,39 @@ let e7_cor9 ~quick =
             seed = 31L;
           }
       in
-      let live_ok = ref 0 in
-      let gate_rounds_sum = ref 0 in
-      for seed = 1 to live_runs do
-        let o =
-          Core.Cor9.run_live
-            {
-              n = 5;
-              gate_rounds = 60;
-              consensus_max_rounds = 400;
-              seed = Int64.of_int (seed * 43);
-            }
-            ~inputs:(fun pid -> pid mod 2)
-        in
-        let all_decided =
-          List.for_all
-            (fun (_, d) -> d <> None)
-            o.Core.Cor9.consensus.Core.Rand_consensus.decisions
-        in
-        if
-          all_decided
-          && o.Core.Cor9.consensus.Core.Rand_consensus.agreed
-          && o.Core.Cor9.consensus.Core.Rand_consensus.valid
-          && o.Core.Cor9.game.Core.Game_alg1.terminated
-        then incr live_ok;
-        gate_rounds_sum :=
-          !gate_rounds_sum + o.Core.Cor9.game.Core.Game_alg1.max_round
-      done;
+      let lives =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics live_runs
+          (fun ~metrics i ->
+            let seed = i + 1 in
+            let o =
+              Core.Cor9.run_live ~metrics
+                {
+                  n = 5;
+                  gate_rounds = 60;
+                  consensus_max_rounds = 400;
+                  seed = Int64.of_int (seed * 43);
+                }
+                ~inputs:(fun pid -> pid mod 2)
+            in
+            let all_decided =
+              List.for_all
+                (fun (_, d) -> d <> None)
+                o.Core.Cor9.consensus.Core.Rand_consensus.decisions
+            in
+            let ok =
+              all_decided
+              && o.Core.Cor9.consensus.Core.Rand_consensus.agreed
+              && o.Core.Cor9.consensus.Core.Rand_consensus.valid
+              && o.Core.Cor9.game.Core.Game_alg1.terminated
+            in
+            (ok, o.Core.Cor9.game.Core.Game_alg1.max_round))
+      in
+      let live_ok =
+        ref (Array.fold_left (fun a (ok, _) -> if ok then a + 1 else a) 0 lives)
+      in
+      let gate_rounds_sum =
+        ref (Array.fold_left (fun a (_, r) -> a + r) 0 lives)
+      in
       let mean_gate =
         float_of_int !gate_rounds_sum /. float_of_int live_runs
       in
@@ -314,7 +339,7 @@ let steps_per_op ~make ~write ~read ~n ~ops =
   ignore n;
   float_of_int !steps /. float_of_int (2 * ops)
 
-let e8_cost ~quick =
+let e8_cost ?jobs:_ ~quick () =
   let ops = if quick then 10 else 50 in
   let ns = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32 ] in
   measured_report ~id:"E8"
@@ -363,7 +388,7 @@ let e8_cost ~quick =
 
 (* ---------- E9 (ablation) ---------------------------------------------------- *)
 
-let e9_ablation ~quick =
+let e9_ablation ?(jobs = 1) ~quick () =
   (* Theorem 7's mechanism lives entirely in R1: give the adversary back
      R1's reordering power while making R2 and C write strongly-
      linearizable, and it still wins; conversely R1-WSL with merely
@@ -377,19 +402,22 @@ let e9_ablation ~quick =
       "R1 linearizable + R2/C WSL: adversary still prevents termination;        R1 WSL + R2/C linearizable: every run terminates"
     (fun () ->
       let a =
-        Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:budget ~seed:61L
+        Core.Adversary.run_linearizable_r1_only ~n:5 ~rounds:budget ~seed:61L ()
       in
       let adversary_still_wins = not a.Core.Game_alg1.terminated in
-      let all_terminate = ref true in
-      for r = 1 to runs do
-        let res =
-          Core.Adversary.run_write_strong
-            ~aux_mode:(Some Core.Adv_register.Linearizable) ~n:5 ~max_rounds:60
-            ~seed:(Int64.of_int ((r * 9973) + 5))
-            ()
-        in
-        if not res.Core.Game_alg1.terminated then all_terminate := false
-      done;
+      let terms =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
+            let r = i + 1 in
+            let res =
+              Core.Adversary.run_write_strong
+                ~aux_mode:(Some Core.Adv_register.Linearizable) ~metrics ~n:5
+                ~max_rounds:60
+                ~seed:(Int64.of_int ((r * 9973) + 5))
+                ()
+            in
+            res.Core.Game_alg1.terminated)
+      in
+      let all_terminate = ref (Array.for_all (fun t -> t) terms) in
       ( Printf.sprintf
           "R1-only-linearizable: alive after %d rounds = %b; R1-only-WSL:          %d/%d runs terminated"
           budget adversary_still_wins runs
@@ -403,7 +431,7 @@ let e9_ablation ~quick =
 
 (* ---------- E10 (extension) --------------------------------------------------- *)
 
-let e10_mwabd ~quick =
+let e10_mwabd ?(jobs = 1) ~quick () =
   (* §5's lesson transposed to message passing: the multi-writer ABD
      register uses Lamport timestamps like Algorithm 4, is linearizable,
      and is NOT write strongly-linearizable — shown by the same two-
@@ -417,19 +445,23 @@ let e10_mwabd ~quick =
     ~expected:
       "random runs 100% linearizable; the two-delivery-order history tree        admits no write strong-linearization"
     (fun () ->
-      let lin_ok = ref 0 in
-      for seed = 1 to runs do
-        let run =
-          Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-            ~readers:[ 2 ] ~reads_each:3
-            ~seed:(Int64.of_int (seed * 53))
-        in
-        if
-          run.Core.Abd_runs.completed
-          && Core.Lincheck.check ~init:(Core.Value.Int 0)
-               run.Core.Abd_runs.history
-        then incr lin_ok
-      done;
+      let lins =
+        Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
+            let seed = i + 1 in
+            let run =
+              Core.Abd_runs.execute_mw ~metrics ~n:3 ~writers:[ 0; 1 ]
+                ~writes_each:2 ~readers:[ 2 ] ~reads_each:3
+                ~seed:(Int64.of_int (seed * 53))
+                ()
+            in
+            if
+              run.Core.Abd_runs.completed
+              && Core.Lincheck.check ~metrics ~init:(Core.Value.Int 0)
+                   run.Core.Abd_runs.history
+            then 1
+            else 0)
+      in
+      let lin_ok = ref (Array.fold_left ( + ) 0 lins) in
       let sc = Core.Mwabd_scenario.run () in
       ( Printf.sprintf
           "%d/%d runs linearizable; tree impossible: %b (chains ok: %b, all          linearizable: %b)"
@@ -447,22 +479,42 @@ let e10_mwabd ~quick =
             if sc.Core.Mwabd_scenario.wsl_impossible then 1. else 0. );
         ] ))
 
-let all ~quick =
+let catalogue =
   [
-    e1_nontermination ~quick;
-    e2_wsl_termination ~quick;
-    e3_alg2_wsl ~quick;
-    e4_fig4_counterexample ~quick;
-    e5_alg4_linearizable ~quick;
-    e6_abd ~quick;
-    e7_cor9 ~quick;
-    e8_cost ~quick;
-    e9_ablation ~quick;
-    e10_mwabd ~quick;
+    ("E1", e1_nontermination);
+    ("E2", e2_wsl_termination);
+    ("E3", e3_alg2_wsl);
+    ("E4", e4_fig4_counterexample);
+    ("E5", e5_alg4_linearizable);
+    ("E6", e6_abd);
+    ("E7", e7_cor9);
+    ("E8", e8_cost);
+    ("E9", e9_ablation);
+    ("E10", e10_mwabd);
   ]
 
-let run_all ~quick fmt =
-  let rs = all ~quick in
+let ids = List.map fst catalogue
+
+let select only =
+  match only with
+  | None -> catalogue
+  | Some wanted ->
+      let wanted = List.map String.uppercase_ascii wanted in
+      List.iter
+        (fun id ->
+          if not (List.mem_assoc id catalogue) then
+            invalid_arg
+              (Printf.sprintf "Experiments: unknown id %S (know %s)" id
+                 (String.concat ", " ids)))
+        wanted;
+      (* battery order, not request order: the reports read E1..E10 *)
+      List.filter (fun (id, _) -> List.mem id wanted) catalogue
+
+let all ?jobs ?only ~quick () =
+  List.map (fun (_, f) -> f ?jobs ~quick ()) (select only)
+
+let run_all ?jobs ?only ~quick fmt =
+  let rs = all ?jobs ?only ~quick () in
   List.iter (fun r -> Format.fprintf fmt "%a@." pp_report r) rs;
   let passed = List.length (List.filter (fun r -> r.pass) rs) in
   Format.fprintf fmt "=== %d/%d experiments reproduce the paper's claims ===@."

@@ -5,7 +5,14 @@
 
     [quick] variants use smaller run counts (used by `dune runtest`);
     the full battery is what `dune exec bench/main.exe` and
-    `rlin experiments` print. *)
+    `rlin experiments` print.
+
+    [jobs] (default 1) runs each experiment's independent Monte-Carlo
+    runs on up to that many domains ({!Core.Pool}).  Every run records
+    into a private metric registry folded back into the global one in run
+    order, and per-run seeds depend only on the run index, so reports are
+    identical — pass/measured text and metrics alike (modulo [wall_ms])
+    — whatever [jobs] is. *)
 
 type report = {
   id : string;  (** e.g. "E1" *)
@@ -29,41 +36,50 @@ val report_json : report -> Obs.Json.t
 val export_jsonl : report list -> out_channel -> unit
 (** One {!report_json} line per report. *)
 
-val e1_nontermination : quick:bool -> report
+val e1_nontermination : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 6 / Figures 1–2: survival under the adversary. *)
 
-val e2_wsl_termination : quick:bool -> report
+val e2_wsl_termination : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 7: geometric termination with WSL registers. *)
 
-val e3_alg2_wsl : quick:bool -> report
+val e3_alg2_wsl : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 10 / Figure 3: Algorithm 2 runs are write strongly-
     linearizable, witnessed on-line by Algorithm 3. *)
 
-val e4_fig4_counterexample : quick:bool -> report
+val e4_fig4_counterexample : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 13 / Figure 4: no WSL function for Algorithm 4. *)
 
-val e5_alg4_linearizable : quick:bool -> report
+val e5_alg4_linearizable : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 12: Algorithm 4 runs are linearizable. *)
 
-val e6_abd : quick:bool -> report
+val e6_abd : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 14 / §6: ABD is linearizable and write strongly-linearizable,
     under crashes. *)
 
-val e7_cor9 : quick:bool -> report
+val e7_cor9 : ?jobs:int -> quick:bool -> unit -> report
 (** Corollary 9: the gate blocks or opens with the register mode. *)
 
-val e8_cost : quick:bool -> report
+val e8_cost : ?jobs:int -> quick:bool -> unit -> report
 (** §5 "harder than": per-operation step cost of Algorithm 2 (vector
     timestamps) vs Algorithm 4 (Lamport clocks), growing with n. *)
 
-val e9_ablation : quick:bool -> report
+val e9_ablation : ?jobs:int -> quick:bool -> unit -> report
 (** Ablation (DESIGN.md §5): only [R1]'s mode matters — swapping the modes
     of [R2]/[C] changes nothing, pinning Theorem 7's mechanism on the
     on-line ordering of [R1]'s writes. *)
 
-val e10_mwabd : quick:bool -> report
+val e10_mwabd : ?jobs:int -> quick:bool -> unit -> report
 (** Extension: multi-writer ABD is linearizable but not write
     strongly-linearizable — Figure 4 transposed to message passing. *)
 
-val all : quick:bool -> report list
-val run_all : quick:bool -> Format.formatter -> unit
+val ids : string list
+(** The battery's experiment ids, in order: ["E1"; …; "E10"]. *)
+
+val all :
+  ?jobs:int -> ?only:string list -> quick:bool -> unit -> report list
+(** Run the battery (or, with [only], the named subset — ids are
+    case-insensitive and always run in battery order).
+    @raise Invalid_argument on an unknown id in [only]. *)
+
+val run_all :
+  ?jobs:int -> ?only:string list -> quick:bool -> Format.formatter -> unit

@@ -44,10 +44,10 @@ let line27_mismatch variant ~u1 ~u2 ~c ~j =
       (not (V.equal u1 (V.Pair (c, j)))) || not (V.equal u2 (V.Pair (1 - c, j)))
   | Bounded -> (not (V.equal u1 (V.Int c))) || not (V.equal u2 (V.Int (1 - c)))
 
-let setup ?(after = fun ~pid:_ -> ()) cfg =
+let setup ?(after = fun ~pid:_ -> ()) ?metrics cfg =
   if cfg.n < 3 then invalid_arg "Alg1.setup: n must be >= 3";
   if cfg.max_rounds < 1 then invalid_arg "Alg1.setup: max_rounds must be >= 1";
-  let sched = Sched.create ~seed:cfg.seed () in
+  let sched = Sched.create ~seed:cfg.seed ?metrics () in
   let aux = Option.value ~default:cfg.mode cfg.aux_mode in
   let r1 = Adv.create ~sched ~name:"R1" ~init:V.Bot ~mode:cfg.mode in
   let r2 = Adv.create ~sched ~name:"R2" ~init:(V.Int 0) ~mode:aux in
@@ -171,16 +171,16 @@ let collect cfg h =
   in
   { outcomes; max_round; terminated; handles = h }
 
-let run_with_policy cfg ~policy ~max_steps =
-  let h = setup cfg in
+let run_with_policy ?metrics cfg ~policy ~max_steps =
+  let h = setup ?metrics cfg in
   ignore (Sched.run h.sched ~policy ~max_steps);
   collect cfg h
 
-let run_random cfg ~max_steps =
+let run_random ?metrics cfg ~max_steps =
   let rng = Simkit.Rng.create (Int64.add cfg.seed 0x5DEECE66DL) in
-  run_with_policy cfg ~policy:(Sched.random_policy rng) ~max_steps
+  run_with_policy ?metrics cfg ~policy:(Sched.random_policy rng) ~max_steps
 
-let run_round_robin cfg ~max_steps =
-  run_with_policy cfg
+let run_round_robin ?metrics cfg ~max_steps =
+  run_with_policy ?metrics cfg
     ~policy:(fun s -> Sched.round_robin s)
     ~max_steps

@@ -61,12 +61,16 @@ type handles = {
   round_of : int -> int;  (** round the process is currently in (0 if not started) *)
 }
 
-val setup : ?after:(pid:int -> unit) -> config -> handles
+val setup :
+  ?after:(pid:int -> unit) -> ?metrics:Obs.Metrics.t -> config -> handles
 (** Create the registers and spawn the [n] fibers (hosts 0,1 and players
     2…n-1).  The caller drives the scheduler — directly (adversaries) or
     with a policy.  [after] runs in the process's fiber when (and only
     when) it exits the game by returning — the composition hook used by
-    the Corollary 9 construction 𝒜′ = Algorithm 1 ; 𝒜. *)
+    the Corollary 9 construction 𝒜′ = Algorithm 1 ; 𝒜.  [metrics]
+    (default {!Obs.Metrics.global}) is handed to the run's scheduler and
+    trace; parallel harnesses pass a per-run registry so concurrent games
+    never share a sink. *)
 
 type result = {
   outcomes : (int * outcome) list;  (** pid → outcome, every pid present *)
@@ -79,10 +83,15 @@ val collect : config -> handles -> result
 (** Snapshot the run's results ([Exhausted] for processes still looping). *)
 
 val run_with_policy :
-  config -> policy:Simkit.Sched.policy -> max_steps:int -> result
+  ?metrics:Obs.Metrics.t ->
+  config ->
+  policy:Simkit.Sched.policy ->
+  max_steps:int ->
+  result
 (** Set up and drive to quiescence (all fibers done or [max_steps]). *)
 
-val run_random : config -> max_steps:int -> result
+val run_random : ?metrics:Obs.Metrics.t -> config -> max_steps:int -> result
 (** Uniformly random scheduler seeded from [config.seed]. *)
 
-val run_round_robin : config -> max_steps:int -> result
+val run_round_robin :
+  ?metrics:Obs.Metrics.t -> config -> max_steps:int -> result

@@ -4,17 +4,30 @@ type survival = {
   runs : int;
 }
 
-let e1_survival ~n ~budgets ~runs ~seed =
+let e1_survival ?(jobs = 1) ?(metrics = Obs.Metrics.global) ~n ~budgets ~runs
+    ~seed () =
+  (* flattened over budgets x runs so a single pool call load-balances the
+     whole grid; the per-run seed depends only on r, as it always did *)
+  let budgets_a = Array.of_list budgets in
+  let alive =
+    Simkit.Pool.map_runs ~jobs ~metrics
+      (Array.length budgets_a * runs)
+      (fun ~metrics i ->
+        let budget = budgets_a.(i / runs) and r = i mod runs in
+        let seed_r = Int64.add seed (Int64.of_int (r * 7919)) in
+        let res =
+          Thm6.run_linearizable ~metrics ~n ~rounds:budget ~seed:seed_r ()
+        in
+        if res.Alg1.terminated then 0 else 1)
+  in
   let alive_fraction =
-    List.map
-      (fun budget ->
-        let alive = ref 0 in
+    List.mapi
+      (fun b _ ->
+        let tally = ref 0 in
         for r = 0 to runs - 1 do
-          let seed_r = Int64.add seed (Int64.of_int (r * 7919)) in
-          let res = Thm6.run_linearizable ~n ~rounds:budget ~seed:seed_r in
-          if not res.Alg1.terminated then incr alive
+          tally := !tally + alive.((b * runs) + r)
         done;
-        float_of_int !alive /. float_of_int runs)
+        float_of_int !tally /. float_of_int runs)
       budgets
   in
   { budgets; alive_fraction; runs }
@@ -41,20 +54,22 @@ let summarize (rounds : int array) : termination =
   in
   { rounds; runs; mean; max = max_r; tail }
 
-let e2_termination ?(variant = Alg1.Unbounded) ~n ~max_rounds ~runs ~seed () =
+let e2_termination ?(variant = Alg1.Unbounded) ?(jobs = 1)
+    ?(metrics = Obs.Metrics.global) ~n ~max_rounds ~runs ~seed () =
   let rounds =
-    Array.init runs (fun r ->
+    Simkit.Pool.map_runs ~jobs ~metrics runs (fun ~metrics r ->
         let seed_r = Int64.add seed (Int64.of_int ((r * 6151) + 13)) in
         let res =
-          Thm6.run_write_strong ~variant ~n ~max_rounds ~seed:seed_r ()
+          Thm6.run_write_strong ~variant ~metrics ~n ~max_rounds ~seed:seed_r ()
         in
         res.Alg1.max_round)
   in
   summarize rounds
 
-let atomic_termination ~n ~max_rounds ~runs ~seed =
+let atomic_termination ?(jobs = 1) ?(metrics = Obs.Metrics.global) ~n
+    ~max_rounds ~runs ~seed () =
   let rounds =
-    Array.init runs (fun r ->
+    Simkit.Pool.map_runs ~jobs ~metrics runs (fun ~metrics r ->
         let seed_r = Int64.add seed (Int64.of_int ((r * 4241) + 7)) in
         let cfg =
           {
@@ -66,7 +81,7 @@ let atomic_termination ~n ~max_rounds ~runs ~seed =
             seed = seed_r;
           }
         in
-        let res = Alg1.run_random cfg ~max_steps:(max_rounds * n * 100) in
+        let res = Alg1.run_random ~metrics cfg ~max_steps:(max_rounds * n * 100) in
         res.Alg1.max_round)
   in
   summarize rounds

@@ -16,10 +16,16 @@ type survival = {
   runs : int;
 }
 
-val e1_survival : n:int -> budgets:int list -> runs:int -> seed:int64 -> survival
+val e1_survival :
+  ?jobs:int -> ?metrics:Obs.Metrics.t ->
+  n:int -> budgets:int list -> runs:int -> seed:int64 -> unit -> survival
 (** Theorem-6 adversary, linearizable registers: for each budget, the
     fraction of seeds for which the game is still alive after that many
-    rounds (expected: 1.0 everywhere). *)
+    rounds (expected: 1.0 everywhere).  Runs execute on up to [jobs]
+    domains (default 1); each run records into a private registry, folded
+    into [metrics] (default the global one) in run order, and per-run
+    seeds depend only on the run index — so the result and the folded
+    metrics are identical for every [jobs]. *)
 
 type termination = {
   rounds : int array;  (** termination round per run *)
@@ -30,15 +36,19 @@ type termination = {
 }
 
 val e2_termination :
-  ?variant:Alg1.variant -> n:int -> max_rounds:int -> runs:int -> seed:int64 ->
+  ?variant:Alg1.variant -> ?jobs:int -> ?metrics:Obs.Metrics.t ->
+  n:int -> max_rounds:int -> runs:int -> seed:int64 ->
   unit -> termination
 (** Theorem-7 experiment: the same adversary against write
-    strongly-linearizable registers, [runs] independent seeds. *)
+    strongly-linearizable registers, [runs] independent seeds.
+    [jobs]/[metrics] as in {!e1_survival}. *)
 
 val atomic_termination :
-  n:int -> max_rounds:int -> runs:int -> seed:int64 -> termination
+  ?jobs:int -> ?metrics:Obs.Metrics.t ->
+  n:int -> max_rounds:int -> runs:int -> seed:int64 -> unit -> termination
 (** Baseline: atomic registers under a random scheduler — the regime in
-    which the paper's footnote observes the adversary has no power at all. *)
+    which the paper's footnote observes the adversary has no power at all.
+    [jobs]/[metrics] as in {!e1_survival}. *)
 
 val pp_survival : Format.formatter -> survival -> unit
 val pp_termination : Format.formatter -> termination -> unit

@@ -191,7 +191,8 @@ let play_round (h : Alg1.handles) ~players ~reorder ~first_writer =
 
 let players_of n = List.init (n - 2) (fun k -> k + 2)
 
-let run_linearizable_variant ?(aux_mode = None) ~variant ~n ~rounds ~seed () =
+let run_linearizable_variant ?(aux_mode = None) ?metrics ~variant ~n ~rounds
+    ~seed () =
   if n < 3 then invalid_arg "Thm6.run_linearizable: n must be >= 3";
   if rounds < 1 then invalid_arg "Thm6.run_linearizable: rounds must be >= 1";
   let cfg =
@@ -204,7 +205,7 @@ let run_linearizable_variant ?(aux_mode = None) ~variant ~n ~rounds ~seed () =
       seed;
     }
   in
-  let h = Alg1.setup cfg in
+  let h = Alg1.setup ?metrics cfg in
   let players = players_of n in
   for _ = 1 to rounds do
     if not (play_round h ~players ~reorder:true ~first_writer:0) then
@@ -212,21 +213,21 @@ let run_linearizable_variant ?(aux_mode = None) ~variant ~n ~rounds ~seed () =
   done;
   Alg1.collect cfg h
 
-let run_linearizable ~n ~rounds ~seed =
-  run_linearizable_variant ~variant:Alg1.Unbounded ~n ~rounds ~seed ()
+let run_linearizable ?metrics ~n ~rounds ~seed () =
+  run_linearizable_variant ?metrics ~variant:Alg1.Unbounded ~n ~rounds ~seed ()
 
-let run_bounded_linearizable ~n ~rounds ~seed =
-  run_linearizable_variant ~variant:Alg1.Bounded ~n ~rounds ~seed ()
+let run_bounded_linearizable ?metrics ~n ~rounds ~seed () =
+  run_linearizable_variant ?metrics ~variant:Alg1.Bounded ~n ~rounds ~seed ()
 
-let run_linearizable_r1_only ~n ~rounds ~seed =
+let run_linearizable_r1_only ?metrics ~n ~rounds ~seed () =
   (* ablation: R1 merely linearizable, R2 and C write strongly-
      linearizable — the adversary still wins, because its power comes
      entirely from reordering R1's writes after the coin *)
-  run_linearizable_variant
+  run_linearizable_variant ?metrics
     ~aux_mode:(Some Adv.Write_strong)
     ~variant:Alg1.Unbounded ~n ~rounds ~seed ()
 
-let run_write_strong ?(variant = Alg1.Unbounded) ?(aux_mode = None) ~n
+let run_write_strong ?(variant = Alg1.Unbounded) ?(aux_mode = None) ?metrics ~n
     ~max_rounds ~seed () =
   if n < 3 then invalid_arg "Thm6.run_write_strong: n must be >= 3";
   let cfg =
@@ -239,7 +240,7 @@ let run_write_strong ?(variant = Alg1.Unbounded) ?(aux_mode = None) ~n
       seed;
     }
   in
-  let h = Alg1.setup cfg in
+  let h = Alg1.setup ?metrics cfg in
   let players = players_of n in
   let guess_rng = Simkit.Rng.create (Int64.logxor seed 0xADEADBEEFL) in
   let continue_ = ref true in

@@ -35,13 +35,17 @@ exception Stuck of string
 (** A scripted schedule could not make the progress it expected (e.g. the
     adversary attempted an edit the register's mode forbids). *)
 
-val run_linearizable : n:int -> rounds:int -> seed:int64 -> Alg1.result
+val run_linearizable :
+  ?metrics:Obs.Metrics.t -> n:int -> rounds:int -> seed:int64 -> unit ->
+  Alg1.result
 (** Drive [rounds] full rounds of the game with merely-linearizable
     registers; every process is still in the game at the end
     ([terminated = false], [max_round > rounds]).
     @raise Invalid_argument if [n < 3] or [rounds < 1]. *)
 
-val run_linearizable_r1_only : n:int -> rounds:int -> seed:int64 -> Alg1.result
+val run_linearizable_r1_only :
+  ?metrics:Obs.Metrics.t -> n:int -> rounds:int -> seed:int64 -> unit ->
+  Alg1.result
 (** Ablation (E9): [R1] merely linearizable but [R2] and [C] write
     strongly-linearizable.  The adversary still prevents termination —
     its power lies entirely in reordering [R1]'s writes after seeing the
@@ -50,13 +54,16 @@ val run_linearizable_r1_only : n:int -> rounds:int -> seed:int64 -> Alg1.result
 val run_write_strong :
   ?variant:Alg1.variant ->
   ?aux_mode:Registers.Adv_register.mode option ->
+  ?metrics:Obs.Metrics.t ->
   n:int -> max_rounds:int -> seed:int64 -> unit ->
   Alg1.result
 (** Same adversary, write strongly-linearizable registers.  Returns when
     the game ends (or at [max_rounds]).  The adversary's per-round guess
     is drawn from a stream derived from [seed]. *)
 
-val run_bounded_linearizable : n:int -> rounds:int -> seed:int64 -> Alg1.result
+val run_bounded_linearizable :
+  ?metrics:Obs.Metrics.t -> n:int -> rounds:int -> seed:int64 -> unit ->
+  Alg1.result
 (** Theorem 6 against the Appendix-B bounded-register variant: the same
     schedule works verbatim, confirming the appendix's claim that the
     bounded game has the same runs. *)

@@ -91,10 +91,10 @@ let final_ts info ~n =
   | None -> None
   | Some t -> Some (ts_at info ~t ~n)
 
-let linearize_upto tr ~obj ~time =
-  Obs.Metrics.incr Obs.Metrics.global "alg3.linearizations";
+let linearize_upto ?(metrics = Obs.Metrics.global) tr ~obj ~time =
+  Obs.Metrics.incr metrics "alg3.linearizations";
   let infos, val_writes, read_tss = gather tr ~obj ~time in
-  Obs.Metrics.incr Obs.Metrics.global ~by:(List.length infos) "alg3.ops_placed";
+  Obs.Metrics.incr metrics ~by:(List.length infos) "alg3.ops_placed";
   match dim_of infos with
   | None ->
       (* no write ever took a snapshot: history has no writes past line 1;
@@ -193,9 +193,9 @@ let linearize_upto tr ~obj ~time =
       in
       prefix_reads @ body
 
-let linearize tr ~obj = linearize_upto tr ~obj ~time:max_int
+let linearize ?metrics tr ~obj = linearize_upto ?metrics tr ~obj ~time:max_int
 
-let write_order tr ~obj ~time =
-  linearize_upto tr ~obj ~time
+let write_order ?metrics tr ~obj ~time =
+  linearize_upto ?metrics tr ~obj ~time
   |> List.filter Op.is_write
   |> List.map (fun (o : Op.t) -> o.id)

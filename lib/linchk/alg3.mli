@@ -26,14 +26,22 @@
     (L) and (P) on randomly scheduled runs by applying this function to
     every prefix of the trace. *)
 
-val linearize : Simkit.Trace.t -> obj:string -> History.Op.t list
-(** [f(H)] for the full trace. *)
+val linearize :
+  ?metrics:Obs.Metrics.t -> Simkit.Trace.t -> obj:string -> History.Op.t list
+(** [f(H)] for the full trace.  [metrics] (default {!Obs.Metrics.global})
+    receives [alg3.linearizations] / [alg3.ops_placed]; parallel drivers
+    pass the run's private registry. *)
 
 val linearize_upto :
-  Simkit.Trace.t -> obj:string -> time:int -> History.Op.t list
+  ?metrics:Obs.Metrics.t ->
+  Simkit.Trace.t ->
+  obj:string ->
+  time:int ->
+  History.Op.t list
 (** [f(G)] where [G] is the prefix of the history up to (and including)
     trace time [time].  Operations without a response by [time] are
     treated as pending, exactly as Algorithm 3 sees them on-line. *)
 
-val write_order : Simkit.Trace.t -> obj:string -> time:int -> int list
+val write_order :
+  ?metrics:Obs.Metrics.t -> Simkit.Trace.t -> obj:string -> time:int -> int list
 (** Op ids of the write sequence of [f(G)] — the object of property (P). *)

@@ -22,8 +22,8 @@ let candidate_write writes (r : Op.t) v =
   let rec scan i = if i < 0 then None else if ok i then Some i else scan (i - 1) in
   scan (n - 1)
 
-let linearize ~init h =
-  Obs.Metrics.incr Obs.Metrics.global "fstar.linearizations";
+let linearize ?(metrics = Obs.Metrics.global) ~init h =
+  Obs.Metrics.incr metrics "fstar.linearizations";
   match Hist.objects h with
   | [] -> Some []
   | _ :: _ :: _ -> invalid_arg "Fstar.linearize: multi-object history"
@@ -100,13 +100,13 @@ let rec is_int_prefix p q =
   | _, [] -> false
   | x :: p', y :: q' -> x = y && is_int_prefix p' q'
 
-let wsl_function ~init h =
+let wsl_function ?(metrics = Obs.Metrics.global) ~init h =
   let prefs = Hist.prefixes h in
-  Obs.Metrics.incr Obs.Metrics.global ~by:(List.length prefs) "fstar.prefixes";
+  Obs.Metrics.incr metrics ~by:(List.length prefs) "fstar.prefixes";
   let rec go acc prev = function
     | [] -> Ok (List.rev acc)
     | g :: rest -> (
-        match linearize ~init g with
+        match linearize ~metrics ~init g with
         | None ->
             Error
               (Printf.sprintf "prefix with %d events is not linearizable"

@@ -23,15 +23,21 @@
       execution (it is, whenever the input history is linearizable). *)
 
 val linearize :
-  init:History.Value.t -> History.Hist.t -> History.Op.t list option
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  History.Hist.t ->
+  History.Op.t list option
 (** [f*(H)] for a single-object SWMR history, or [None] if [H] is not
     linearizable (e.g. not actually single-writer, or a read returns a
     stale value).  The result, when present, satisfies Definition 2. *)
 
 val wsl_function :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   (int list list, string) result
 (** Apply [f*] to every event-prefix; on success return the write order of
     each prefix (each a prefix of the next — property (P)).  [Error]
-    explains which prefix failed to linearize or broke monotonicity. *)
+    explains which prefix failed to linearize or broke monotonicity.
+    [metrics] (default {!Obs.Metrics.global}) receives
+    [fstar.linearizations] / [fstar.prefixes]. *)

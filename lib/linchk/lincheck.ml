@@ -2,9 +2,10 @@ module V = History.Value
 module Op = History.Op
 module Hist = History.Hist
 
-(* Checker observability: counters accumulate in the global registry;
-   drivers measure a run by snapshot/delta (see Obs.Metrics). *)
-let m = Obs.Metrics.global
+(* Checker observability: counters accumulate in the caller's registry
+   (default: the global one); drivers measure a run by snapshot/delta,
+   and parallel drivers pass the run's private registry (see Obs.Metrics
+   and Simkit.Pool). *)
 
 exception Too_large
 
@@ -58,14 +59,19 @@ let writes_only : scope = Op.is_write
 
 (* Core decision DFS with failure memoization.  [forced] is an id list the
    (write) subsequence of the linearization must start with. *)
-let decide p ~forced ~scope =
+let decide ~m p ~forced ~scope =
   let n = Array.length p.ops in
   let forced = Array.of_list forced in
   let module Key = struct
     type t = int * int * V.t (* mask, forced-cursor, value *)
 
     let equal (m1, c1, v1) (m2, c2, v2) = m1 = m2 && c1 = c2 && V.equal v1 v2
-    let hash (m, c, v) = Hashtbl.hash (m, c, V.show v)
+
+    (* [V.equal] is structural, so the polymorphic hash is consistent
+       with it; hashing the value directly keeps the memo probe off the
+       allocation path (formatting the value through [V.show] dominated
+       the DFS inner loop). *)
+    let hash (k : t) = Hashtbl.hash k
   end in
   let module Memo = Hashtbl.Make (Key) in
   let failed = Memo.create 256 in
@@ -82,7 +88,7 @@ let decide p ~forced ~scope =
     else begin
       let result = ref None in
       let i = ref 0 in
-      while !result = None && !i < n do
+      while Option.is_none !result && !i < n do
         let idx = !i in
         incr i;
         if mask land (1 lsl idx) = 0 && p.pred.(idx) land mask = p.pred.(idx)
@@ -111,7 +117,7 @@ let decide p ~forced ~scope =
                 | _ -> ())
         end
       done;
-      if !result = None then begin
+      if Option.is_none !result then begin
         Obs.Metrics.incr m "linchk.backtracks";
         Memo.replace failed (mask, cursor, value) ()
       end;
@@ -120,19 +126,19 @@ let decide p ~forced ~scope =
   in
   go 0 0 p.init []
 
-let witness ~init h =
+let witness ?(metrics = Obs.Metrics.global) ~init h =
   let p = prep ~init h in
-  decide p ~forced:[] ~scope:all_ops
+  decide ~m:metrics p ~forced:[] ~scope:all_ops
 
-let check ~init h = Option.is_some (witness ~init h)
+let check ?metrics ~init h = Option.is_some (witness ?metrics ~init h)
 
-let check_multi ~init_of h =
+let check_multi ?metrics ~init_of h =
   List.for_all
-    (fun obj -> check ~init:(init_of obj) (Hist.project h ~obj))
+    (fun obj -> check ?metrics ~init:(init_of obj) (Hist.project h ~obj))
     (Hist.objects h)
 
 (* Enumeration (no memoization: we need all solutions, bounded by limit). *)
-let enum p ~forced ~scope ~limit ~collect =
+let enum ~m p ~forced ~scope ~limit ~collect =
   let n = Array.length p.ops in
   let forced = Array.of_list forced in
   let out = ref [] in
@@ -189,38 +195,42 @@ let enum p ~forced ~scope ~limit ~collect =
 let ids ops = List.map (fun (o : Op.t) -> o.id) ops
 let write_ids ops = ids (List.filter Op.is_write ops)
 
-let enumerate ~init h ~limit =
+let enumerate ?(metrics = Obs.Metrics.global) ~init h ~limit =
   let p = prep ~init h in
-  enum p ~forced:[] ~scope:all_ops ~limit ~collect:ids
+  enum ~m:metrics p ~forced:[] ~scope:all_ops ~limit ~collect:ids
 
 let sel_ids sel ops = ids (List.filter sel ops)
 
-let enumerate_write_orders ~init h ~limit =
+let enumerate_write_orders ?(metrics = Obs.Metrics.global) ~init h ~limit =
   let p = prep ~init h in
-  enum p ~forced:[] ~scope:writes_only ~limit ~collect:write_ids
+  enum ~m:metrics p ~forced:[] ~scope:writes_only ~limit ~collect:write_ids
   |> List.map (List.filter Op.is_write)
 
-let check_with_forced_write_prefix ~init h ~prefix =
+let check_with_forced_write_prefix ?(metrics = Obs.Metrics.global) ~init h
+    ~prefix =
   let p = prep ~init h in
-  Option.is_some (decide p ~forced:prefix ~scope:writes_only)
+  Option.is_some (decide ~m:metrics p ~forced:prefix ~scope:writes_only)
 
-let check_with_forced_prefix ~init h ~prefix =
+let check_with_forced_prefix ?(metrics = Obs.Metrics.global) ~init h ~prefix =
   let p = prep ~init h in
-  Option.is_some (decide p ~forced:prefix ~scope:all_ops)
+  Option.is_some (decide ~m:metrics p ~forced:prefix ~scope:all_ops)
 
-let check_with_forced_subset_prefix ~init h ~sel ~prefix =
+let check_with_forced_subset_prefix ?(metrics = Obs.Metrics.global) ~init h
+    ~sel ~prefix =
   let p = prep ~init h in
-  Option.is_some (decide p ~forced:prefix ~scope:sel)
+  Option.is_some (decide ~m:metrics p ~forced:prefix ~scope:sel)
 
-let write_orders_extending ~init h ~prefix ~limit =
+let write_orders_extending ?(metrics = Obs.Metrics.global) ~init h ~prefix
+    ~limit =
   let p = prep ~init h in
-  enum p ~forced:prefix ~scope:writes_only ~limit ~collect:write_ids
+  enum ~m:metrics p ~forced:prefix ~scope:writes_only ~limit ~collect:write_ids
   |> List.map (List.filter Op.is_write)
   |> List.map ids
   |> List.sort_uniq compare
 
-let subset_orders_extending ~init h ~sel ~prefix ~limit =
+let subset_orders_extending ?(metrics = Obs.Metrics.global) ~init h ~sel
+    ~prefix ~limit =
   let p = prep ~init h in
-  enum p ~forced:prefix ~scope:sel ~limit ~collect:(sel_ids sel)
+  enum ~m:metrics p ~forced:prefix ~scope:sel ~limit ~collect:(sel_ids sel)
   |> List.map (fun l -> sel_ids sel l)
   |> List.sort_uniq compare

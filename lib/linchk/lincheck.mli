@@ -21,21 +21,35 @@
 
 exception Too_large
 
-val check : init:History.Value.t -> History.Hist.t -> bool
+val check :
+  ?metrics:Obs.Metrics.t -> init:History.Value.t -> History.Hist.t -> bool
 (** [check ~init h]: is the single-object history [h] linearizable with
-    initial register value [init]?
+    initial register value [init]?  [metrics] (default
+    {!Obs.Metrics.global}) receives the checker's counters
+    ([linchk.states], [linchk.memo_prunes], [linchk.backtracks]) — every
+    entry point below takes the same optional registry, so parallel
+    drivers can isolate each run's numbers (see [Simkit.Pool]).
     @raise Invalid_argument if [h] spans several objects. *)
 
-val witness : init:History.Value.t -> History.Hist.t -> History.Op.t list option
+val witness :
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  History.Hist.t ->
+  History.Op.t list option
 (** A linearization order, if one exists.  Pending writes that the witness
     chose to linearize appear in place; pending reads never appear. *)
 
-val check_multi : init_of:(string -> History.Value.t) -> History.Hist.t -> bool
+val check_multi :
+  ?metrics:Obs.Metrics.t ->
+  init_of:(string -> History.Value.t) ->
+  History.Hist.t ->
+  bool
 (** Check each object's projection independently.  (Linearizability is a
     local property — Herlihy & Wing, Theorem 1 — so a multi-object history
     of registers is linearizable iff each per-object projection is.) *)
 
 val enumerate :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   limit:int ->
@@ -44,6 +58,7 @@ val enumerate :
     checkers in {!Treecheck}). *)
 
 val enumerate_write_orders :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   limit:int ->
@@ -52,17 +67,26 @@ val enumerate_write_orders :
     returned once (used by the write strong-linearizability tree check). *)
 
 val check_with_forced_write_prefix :
-  init:History.Value.t -> History.Hist.t -> prefix:int list -> bool
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  History.Hist.t ->
+  prefix:int list ->
+  bool
 (** Is there a linearization whose write subsequence starts with exactly
     the given op ids, in order?  (Used to test extendability of a parent's
     committed write order — property (P) of Definition 4.) *)
 
 val check_with_forced_prefix :
-  init:History.Value.t -> History.Hist.t -> prefix:int list -> bool
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  History.Hist.t ->
+  prefix:int list ->
+  bool
 (** Is there a linearization whose full op sequence starts with exactly the
     given op ids?  (Property (P) of Definition 3.) *)
 
 val write_orders_extending :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   prefix:int list ->
@@ -72,6 +96,7 @@ val write_orders_extending :
     [prefix], up to [limit]. *)
 
 val check_with_forced_subset_prefix :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   sel:(History.Op.t -> bool) ->
@@ -84,6 +109,7 @@ val check_with_forced_subset_prefix :
     exactly the given op ids. *)
 
 val subset_orders_extending :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   History.Hist.t ->
   sel:(History.Op.t -> bool) ->

@@ -28,46 +28,53 @@ let of_prefixes h = chain (Hist.prefixes h)
 
 let enum_limit = 4096
 
-let m = Obs.Metrics.global
-
-let rec solve_sub ~init ~sel t ~prefix =
+let rec solve_sub ~m ~init ~sel t ~prefix =
   Obs.Metrics.incr m "treecheck.nodes";
   (* candidate [sel]-subsequence orders of this node extending [prefix] *)
   let cands =
-    Lincheck.subset_orders_extending ~init t.hist ~sel ~prefix
+    Lincheck.subset_orders_extending ~metrics:m ~init t.hist ~sel ~prefix
       ~limit:enum_limit
   in
   Obs.Metrics.incr m ~by:(List.length cands) "treecheck.candidates";
   let rec try_cands = function
     | [] -> None
     | w :: rest -> (
-        match solve_children_sub ~init ~sel t.children ~prefix:w with
+        match solve_children_sub ~m ~init ~sel t.children ~prefix:w with
         | Some subs -> Some ((t.hist, w) :: subs)
         | None -> try_cands rest)
   in
   try_cands cands
 
-and solve_children_sub ~init ~sel children ~prefix =
+and solve_children_sub ~m ~init ~sel children ~prefix =
   match children with
   | [] -> Some []
   | c :: rest -> (
-      match solve_sub ~init ~sel c ~prefix with
+      match solve_sub ~m ~init ~sel c ~prefix with
       | None -> None
       | Some sub -> (
-          match solve_children_sub ~init ~sel rest ~prefix with
+          match solve_children_sub ~m ~init ~sel rest ~prefix with
           | None -> None
           | Some subs -> Some (sub @ subs)))
 
-let subset_strong_witness ~init ~sel t = solve_sub ~init ~sel t ~prefix:[]
-let subset_strong ~init ~sel t = Option.is_some (subset_strong_witness ~init ~sel t)
-let write_strong_witness ~init t = subset_strong_witness ~init ~sel:History.Op.is_write t
-let write_strong ~init t = Option.is_some (write_strong_witness ~init t)
-let read_strong ~init t = subset_strong ~init ~sel:History.Op.is_read t
+let subset_strong_witness ?(metrics = Obs.Metrics.global) ~init ~sel t =
+  solve_sub ~m:metrics ~init ~sel t ~prefix:[]
+
+let subset_strong ?metrics ~init ~sel t =
+  Option.is_some (subset_strong_witness ?metrics ~init ~sel t)
+
+let write_strong_witness ?metrics ~init t =
+  subset_strong_witness ?metrics ~init ~sel:History.Op.is_write t
+
+let write_strong ?metrics ~init t =
+  Option.is_some (write_strong_witness ?metrics ~init t)
+
+let read_strong ?metrics ~init t =
+  subset_strong ?metrics ~init ~sel:History.Op.is_read t
 
 (* Full strong linearizability: same search over full op sequences. *)
-let rec solve_s ~init t ~prefix =
+let rec solve_s ~m ~init t ~prefix =
   let cands =
-    Lincheck.enumerate ~init t.hist ~limit:enum_limit
+    Lincheck.enumerate ~metrics:m ~init t.hist ~limit:enum_limit
     |> List.map (List.map (fun (o : History.Op.t) -> o.id))
     |> List.filter (fun seq ->
            let rec starts_with p s =
@@ -79,7 +86,9 @@ let rec solve_s ~init t ~prefix =
            starts_with prefix seq)
   in
   List.exists
-    (fun seq -> List.for_all (fun c -> solve_s ~init c ~prefix:seq) t.children)
+    (fun seq ->
+      List.for_all (fun c -> solve_s ~m ~init c ~prefix:seq) t.children)
     cands
 
-let strong ~init t = solve_s ~init t ~prefix:[]
+let strong ?(metrics = Obs.Metrics.global) ~init t =
+  solve_s ~m:metrics ~init t ~prefix:[]

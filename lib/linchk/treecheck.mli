@@ -37,23 +37,33 @@ val of_prefixes : History.Hist.t -> tree
 (** The chain of all event-prefixes of a history — the tree over which
     property (P) is tested for a single execution. *)
 
-val write_strong : init:History.Value.t -> tree -> bool
+val write_strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 (** Does a write strong-linearization function exist on this tree
-    (Definition 4 restricted to the tree's histories)? *)
+    (Definition 4 restricted to the tree's histories)?  [metrics]
+    (default {!Obs.Metrics.global}) receives [treecheck.nodes] /
+    [treecheck.candidates] and the underlying {!Lincheck} counters —
+    pass a private registry to isolate a parallel run's numbers. *)
 
-val strong : init:History.Value.t -> tree -> bool
+val strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 (** Does a strong linearization function exist on this tree
     (Definition 3 restricted to the tree's histories)?  Conservative if an
     internal node has pending reads; exact otherwise. *)
 
 val write_strong_witness :
-  init:History.Value.t -> tree -> (History.Hist.t * int list) list option
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  tree ->
+  (History.Hist.t * int list) list option
 (** On success, for each node (pre-order) the chosen write order (op ids). *)
 
 (** {2 §7 generalization: strong linearizability w.r.t. a subset O} *)
 
 val subset_strong :
-  init:History.Value.t -> sel:(History.Op.t -> bool) -> tree -> bool
+  ?metrics:Obs.Metrics.t ->
+  init:History.Value.t ->
+  sel:(History.Op.t -> bool) ->
+  tree ->
+  bool
 (** Does a linearization function exist whose [sel]-subsequence is fixed
     irrevocably on-line — i.e. is a prefix along every edge of the tree?
     [sel = Op.is_write] is write strong-linearizability (Definition 4);
@@ -64,11 +74,12 @@ val subset_strong :
     [sel]: they are never included in internal nodes' linearizations. *)
 
 val subset_strong_witness :
+  ?metrics:Obs.Metrics.t ->
   init:History.Value.t ->
   sel:(History.Op.t -> bool) ->
   tree ->
   (History.Hist.t * int list) list option
 
-val read_strong : init:History.Value.t -> tree -> bool
+val read_strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 (** [subset_strong ~sel:Op.is_read]: only the {e read} order must be fixed
     on-line — the mirror image of Definition 4. *)

@@ -20,7 +20,7 @@ type run = {
   steps : int;
 }
 
-let execute w =
+let execute ?metrics w =
   if List.length w.crash >= (w.n + 1) / 2 then
     invalid_arg "Runs.execute: crash set must be a strict minority";
   if List.mem 0 w.crash then invalid_arg "Runs.execute: cannot crash the writer";
@@ -29,7 +29,7 @@ let execute w =
       if List.mem c w.readers then
         invalid_arg "Runs.execute: crashed nodes cannot be readers")
     w.crash;
-  let sched = Sched.create ~seed:w.seed () in
+  let sched = Sched.create ~seed:w.seed ?metrics () in
   let reg = Abd.create ~sched ~name:"ABD" ~n:w.n ~writer:0 ~init:0 in
   let first_write_done = ref false in
   let remaining = ref (1 + List.length w.readers) in
@@ -73,8 +73,8 @@ let execute w =
 
 (* multi-writer workload over the Mwabd register: several writer clients
    with globally distinct values, plus readers, random asynchrony *)
-let execute_mw ~n ~writers ~writes_each ~readers ~reads_each ~seed =
-  let sched = Sched.create ~seed () in
+let execute_mw ?metrics ~n ~writers ~writes_each ~readers ~reads_each ~seed () =
+  let sched = Sched.create ~seed ?metrics () in
   let reg = Mwabd.create ~sched ~name:"MW" ~n ~init:0 in
   let remaining = ref (List.length writers + List.length readers) in
   List.iter
@@ -108,11 +108,11 @@ let execute_mw ~n ~writers ~writes_each ~readers ~reads_each ~seed =
     steps;
   }
 
-let check run =
+let check ?metrics run =
   if not run.completed then Error "run did not complete"
-  else if not (Linchk.Lincheck.check ~init:(V.Int 0) run.history) then
+  else if not (Linchk.Lincheck.check ?metrics ~init:(V.Int 0) run.history) then
     Error "history is not linearizable"
   else
-    match Linchk.Fstar.wsl_function ~init:(V.Int 0) run.history with
+    match Linchk.Fstar.wsl_function ?metrics ~init:(V.Int 0) run.history with
     | Ok _ -> Ok ()
     | Error e -> Error ("f* write-prefix property failed: " ^ e)

@@ -18,7 +18,7 @@ type run = {
   steps : int;
 }
 
-val execute : workload -> run
+val execute : ?metrics:Obs.Metrics.t -> workload -> run
 (** Spawn the writer/reader clients, crash the requested minority after
     the first write completes, and drive everything with a random
     scheduler + random message delivery until the clients finish.
@@ -26,17 +26,19 @@ val execute : workload -> run
     the writer (the writer must survive to finish its workload). *)
 
 val execute_mw :
+  ?metrics:Obs.Metrics.t ->
   n:int ->
   writers:int list ->
   writes_each:int ->
   readers:int list ->
   reads_each:int ->
   seed:int64 ->
+  unit ->
   run
 (** Multi-writer workload over the {!Mwabd} register (no crashes); write
     values are globally distinct so the exact checker applies. *)
 
-val check : run -> (unit, string) result
+val check : ?metrics:Obs.Metrics.t -> run -> (unit, string) result
 (** Verify the run's history is linearizable (Lincheck) and that the
     [f*] construction of Theorem 14 yields monotone write orders on every
     prefix (write strong-linearizability, Fstar). *)

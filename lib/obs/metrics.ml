@@ -79,6 +79,53 @@ let observe t name v =
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
+(* Fold [src] into [into], exactly as if every recording made into [src]
+   had been made into [into] instead, in the same order: counters add,
+   gauges overwrite (last write wins), histograms concatenate (count, sum
+   and extrema are exact; reservoir samples append until the cap).  Used
+   by the parallel run harness (Simkit.Pool.map_runs) to fold per-run
+   registries into the experiment's registry in run order. *)
+let merge ~into src =
+  Hashtbl.iter (fun name r -> incr ~by:!r into name) src.counters;
+  Hashtbl.iter (fun name r -> set_gauge into name !r) src.gauges;
+  Hashtbl.iter
+    (fun name (h : hist) ->
+      if h.count > 0 then begin
+        let d =
+          match Hashtbl.find_opt into.hists name with
+          | Some d -> d
+          | None ->
+              let d =
+                {
+                  count = 0;
+                  sum = 0.;
+                  min_v = Float.infinity;
+                  max_v = Float.neg_infinity;
+                  samples = Float.Array.create 16;
+                  filled = 0;
+                }
+              in
+              Hashtbl.add into.hists name d;
+              d
+        in
+        d.count <- d.count + h.count;
+        d.sum <- d.sum +. h.sum;
+        if h.min_v < d.min_v then d.min_v <- h.min_v;
+        if h.max_v > d.max_v then d.max_v <- h.max_v;
+        let want = Stdlib.min reservoir_cap (d.filled + h.filled) in
+        if want > Float.Array.length d.samples then begin
+          let bigger = Float.Array.create want in
+          Float.Array.blit d.samples 0 bigger 0 d.filled;
+          d.samples <- bigger
+        end;
+        let extra = want - d.filled in
+        if extra > 0 then begin
+          Float.Array.blit h.samples 0 d.samples d.filled extra;
+          d.filled <- want
+        end
+      end)
+    src.hists
+
 let gauge t name =
   Option.map (fun r -> !r) (Hashtbl.find_opt t.gauges name)
 

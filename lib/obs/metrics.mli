@@ -35,6 +35,16 @@ val set_gauge : t -> string -> float -> unit
 val observe : t -> string -> float -> unit
 (** Add one sample to a histogram (e.g. a latency in simulated steps). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into] as if every recording made
+    into [src] had been made into [into] instead, in the same order:
+    counters add, gauges overwrite, histograms concatenate (count, sum,
+    min, max exact; retained samples appended until the reservoir cap).
+    The parallel run harness ({!Simkit.Pool.map_runs}) gives each run a
+    private registry and folds them in run order, so the merged registry
+    — and hence any snapshot {!delta} over it — is independent of the
+    degree of parallelism.  [src] is left untouched. *)
+
 (** {2 Reading} *)
 
 val counter : t -> string -> int

@@ -156,8 +156,9 @@ let fig4 () =
 
 type mwmr_run = { trace : Trace.t; history : Hist.t; completed : bool }
 
-let random_run ~n ~writes_per_proc ~reads_per_proc ~seed ~make ~write ~read =
-  let sched = Sched.create ~seed () in
+let random_run ?metrics ~n ~writes_per_proc ~reads_per_proc ~seed ~make ~write
+    ~read () =
+  let sched = Sched.create ~seed ?metrics () in
   let r = make sched in
   let remaining = ref n in
   for p = 1 to n do
@@ -178,23 +179,25 @@ let random_run ~n ~writes_per_proc ~reads_per_proc ~seed ~make ~write ~read =
   let tr = Sched.trace sched in
   { trace = tr; history = Trace.history tr; completed = !remaining = 0 }
 
-let random_alg2_run ~n ~writes_per_proc ~reads_per_proc ~seed =
-  random_run ~n ~writes_per_proc ~reads_per_proc ~seed
+let random_alg2_run ?metrics ~n ~writes_per_proc ~reads_per_proc ~seed () =
+  random_run ?metrics ~n ~writes_per_proc ~reads_per_proc ~seed
     ~make:(fun sched -> Alg2.create ~sched ~name:"R" ~n ~init:0)
     ~write:(fun r p v -> Alg2.write r ~proc:p v)
     ~read:(fun r p -> Alg2.read r ~proc:p)
+    ()
 
-let random_alg4_run ~n ~writes_per_proc ~reads_per_proc ~seed =
-  random_run ~n ~writes_per_proc ~reads_per_proc ~seed
+let random_alg4_run ?metrics ~n ~writes_per_proc ~reads_per_proc ~seed () =
+  random_run ?metrics ~n ~writes_per_proc ~reads_per_proc ~seed
     ~make:(fun sched -> Alg4.create ~sched ~name:"R" ~n ~init:0)
     ~write:(fun r p v -> Alg4.write r ~proc:p v)
     ~read:(fun r p -> Alg4.read r ~proc:p)
+    ()
 
-let check_alg2_run run =
+let check_alg2_run ?metrics run =
   if not run.completed then Error "run did not complete"
   else begin
     let init = V.Int 0 in
-    let s = Linchk.Alg3.linearize run.trace ~obj:"R" in
+    let s = Linchk.Alg3.linearize ?metrics run.trace ~obj:"R" in
     if not (Hist.Seq.is_linearization_of ~init run.history s) then
       Error "Algorithm 3's output is not a linearization (L fails)"
     else begin
@@ -202,7 +205,7 @@ let check_alg2_run run =
       let rec check_monotone prev t =
         if t > Trace.now run.trace then Ok ()
         else
-          let w = Linchk.Alg3.write_order run.trace ~obj:"R" ~time:t in
+          let w = Linchk.Alg3.write_order ?metrics run.trace ~obj:"R" ~time:t in
           let rec is_prefix p q =
             match (p, q) with
             | [], _ -> true
@@ -218,9 +221,9 @@ let check_alg2_run run =
     end
   end
 
-let check_alg4_run run =
+let check_alg4_run ?metrics run =
   if not run.completed then Error "run did not complete"
-  else if Linchk.Lincheck.check ~init:(V.Int 0) run.history then Ok ()
+  else if Linchk.Lincheck.check ?metrics ~init:(V.Int 0) run.history then Ok ()
   else Error "Algorithm 4 produced a non-linearizable history"
 
 (* Re-export: [scenarios] is a wrapped library whose main module hides its

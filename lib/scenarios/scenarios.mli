@@ -53,19 +53,25 @@ type mwmr_run = {
 }
 
 val random_alg2_run :
-  n:int -> writes_per_proc:int -> reads_per_proc:int -> seed:int64 -> mwmr_run
+  ?metrics:Obs.Metrics.t ->
+  n:int -> writes_per_proc:int -> reads_per_proc:int -> seed:int64 -> unit ->
+  mwmr_run
 (** [n] processes hammering one Algorithm 2 register under a seeded random
-    scheduler; write values are globally distinct. *)
+    scheduler; write values are globally distinct.  [metrics] is the
+    registry the run's scheduler/network instrumentation records into
+    (default the global one). *)
 
 val random_alg4_run :
-  n:int -> writes_per_proc:int -> reads_per_proc:int -> seed:int64 -> mwmr_run
+  ?metrics:Obs.Metrics.t ->
+  n:int -> writes_per_proc:int -> reads_per_proc:int -> seed:int64 -> unit ->
+  mwmr_run
 
-val check_alg2_run : mwmr_run -> (unit, string) result
+val check_alg2_run : ?metrics:Obs.Metrics.t -> mwmr_run -> (unit, string) result
 (** E3's per-run verification: Algorithm 3's output is a linearization of
     the history (Definition 2) and its write order is monotone across
     every trace prefix (property (P) of Definition 4). *)
 
-val check_alg4_run : mwmr_run -> (unit, string) result
+val check_alg4_run : ?metrics:Obs.Metrics.t -> mwmr_run -> (unit, string) result
 (** E5's per-run verification: plain linearizability (Theorem 12). *)
 
 module Chaos = Chaos

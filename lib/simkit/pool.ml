@@ -1,0 +1,69 @@
+(* A chunk-free work-sharing domain pool: tasks are indices 0..n-1 pulled
+   from a shared atomic cursor, so domains that finish early steal the
+   remaining work automatically.  No dependencies beyond the stdlib
+   (Domain / Atomic / Mutex); [jobs <= 1] degenerates to a plain
+   sequential loop on the calling domain. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Outcome of task [i]; [None] means not executed (only possible after a
+   sibling task raised and cancelled the run). *)
+type 'a cell = 'a option
+
+let map ~jobs n f =
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n (fun i -> f i)
+  else begin
+    let results : ('a, exn) result cell array = Array.make n None in
+    let next = Atomic.make 0 in
+    let cancelled = Atomic.make false in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get cancelled then continue_ := false
+        else
+          match f i with
+          | v -> results.(i) <- Some (Ok v)
+          | exception e ->
+              results.(i) <- Some (Error e);
+              Atomic.set cancelled true
+      done
+    in
+    let spawned = Stdlib.min jobs n - 1 in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* fail with the lowest-index exception for reproducible reports *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false (* unreachable: no error *))
+      results
+  end
+
+let iter ~jobs n f = ignore (map ~jobs n f : unit array)
+
+(* The per-run metrics-isolation harness (see DESIGN.md "Parallel
+   harness"): every task records into its own fresh registry — the global
+   registry is never touched off the calling domain — and the registries
+   are folded into [metrics] in task order once every domain has joined.
+   Folding in index order makes the merged registry identical whatever
+   [jobs] is, so parallel and sequential batteries report the same
+   metric deltas. *)
+let map_runs ~jobs ~metrics n f =
+  let out =
+    map ~jobs n (fun i ->
+        let m = Obs.Metrics.create () in
+        let v = f ~metrics:m i in
+        (v, m))
+  in
+  Array.map
+    (fun (v, m) ->
+      Obs.Metrics.merge ~into:metrics m;
+      v)
+    out

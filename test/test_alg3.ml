@@ -161,7 +161,7 @@ let props =
          ~count:40 seed_arb (fun seed ->
            let run =
              Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
-               ~reads_per_proc:1 ~seed
+               ~reads_per_proc:1 ~seed ()
            in
            QCheck.assume run.Core.Scenario.completed;
            let s = A3.linearize run.Core.Scenario.trace ~obj:"R" in
@@ -171,7 +171,7 @@ let props =
          ~count:25 seed_arb (fun seed ->
            let run =
              Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
-               ~reads_per_proc:1 ~seed
+               ~reads_per_proc:1 ~seed ()
            in
            QCheck.assume run.Core.Scenario.completed;
            Core.Scenario.check_alg2_run run = Ok ()));
@@ -182,7 +182,7 @@ let props =
          ~count:10 seed_arb (fun seed ->
            let run =
              Core.Scenario.random_alg2_run ~n:2 ~writes_per_proc:2
-               ~reads_per_proc:1 ~seed
+               ~reads_per_proc:1 ~seed ()
            in
            QCheck.assume run.Core.Scenario.completed;
            (* the final write order must extend to a full linearization *)

@@ -9,7 +9,7 @@ let suite =
       [
         tcs "E1-E10: claims reproduce and every report carries metrics"
           (fun () ->
-            let reports = Experiments.all ~quick:true in
+            let reports = Experiments.all ~quick:true () in
             List.iter
               (fun (r : Experiments.report) ->
                 Alcotest.(check bool)

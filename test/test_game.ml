@@ -21,44 +21,44 @@ let thm6_tests =
     tc "adversary survives any budget, multiple seeds" (fun () ->
         List.iter
           (fun seed ->
-            let res = Thm6.run_linearizable ~n:5 ~rounds:12 ~seed in
+            let res = Thm6.run_linearizable ~n:5 ~rounds:12 ~seed () in
             check_bool "alive" true (not res.Alg1.terminated);
             check_bool "deep" true (res.Alg1.max_round > 12))
           [ 1L; 2L; 3L; 4L; 5L; 1234L ]);
     tc "works for the minimum n = 3" (fun () ->
-        let res = Thm6.run_linearizable ~n:3 ~rounds:8 ~seed:9L in
+        let res = Thm6.run_linearizable ~n:3 ~rounds:8 ~seed:9L () in
         check_bool "alive" true (not res.Alg1.terminated));
     tc "works for larger n" (fun () ->
-        let res = Thm6.run_linearizable ~n:8 ~rounds:6 ~seed:10L in
+        let res = Thm6.run_linearizable ~n:8 ~rounds:6 ~seed:10L () in
         check_bool "alive" true (not res.Alg1.terminated));
     tc "bounded variant (Appendix B) behaves identically" (fun () ->
-        let res = Thm6.run_bounded_linearizable ~n:5 ~rounds:10 ~seed:11L in
+        let res = Thm6.run_bounded_linearizable ~n:5 ~rounds:10 ~seed:11L () in
         check_bool "alive" true (not res.Alg1.terminated);
         check_bool "deep" true (res.Alg1.max_round > 10));
     tc "every process is kept in the game (not just some)" (fun () ->
-        let res = Thm6.run_linearizable ~n:5 ~rounds:7 ~seed:12L in
+        let res = Thm6.run_linearizable ~n:5 ~rounds:7 ~seed:12L () in
         List.iter
           (fun (_, o) -> check_bool "no exit" true (o = Alg1.Exhausted))
           res.Alg1.outcomes);
     tc "rejects invalid parameters" (fun () ->
         Alcotest.check_raises "n"
           (Invalid_argument "Thm6.run_linearizable: n must be >= 3") (fun () ->
-            ignore (Thm6.run_linearizable ~n:2 ~rounds:1 ~seed:1L));
+            ignore (Thm6.run_linearizable ~n:2 ~rounds:1 ~seed:1L ()));
         Alcotest.check_raises "rounds"
           (Invalid_argument "Thm6.run_linearizable: rounds must be >= 1")
-          (fun () -> ignore (Thm6.run_linearizable ~n:3 ~rounds:0 ~seed:1L)));
+          (fun () -> ignore (Thm6.run_linearizable ~n:3 ~rounds:0 ~seed:1L ())));
     tc "R1's run is genuinely linearizable (witness audit)" (fun () ->
         (* the adversary's edits went through the legality checks; confirm
            independently with the exact checker on the R1 projection of a
            short run *)
-        let res = Thm6.run_linearizable ~n:4 ~rounds:2 ~seed:13L in
+        let res = Thm6.run_linearizable ~n:4 ~rounds:2 ~seed:13L () in
         let h = res.Alg1.handles in
         let tr = Sched.trace h.Alg1.sched in
         let r1h = Hist.project (Core.Trace.history tr) ~obj:"R1" in
         check_bool "linearizable" true
           (Core.Lincheck.check ~init:V.Bot r1h));
     tc "adversary's committed R1 sequence is a valid linearization" (fun () ->
-        let res = Thm6.run_linearizable ~n:4 ~rounds:3 ~seed:14L in
+        let res = Thm6.run_linearizable ~n:4 ~rounds:3 ~seed:14L () in
         let h = res.Alg1.handles in
         let tr = Sched.trace h.Alg1.sched in
         let r1h = Hist.project (Core.Trace.history tr) ~obj:"R1" in
@@ -68,7 +68,7 @@ let thm6_tests =
     tc "R1's write commit log shows a retroactive edit" (fun () ->
         (* run until a coin forces Case 2 (insertion before a committed
            write): across seeds, some round has coin=1 *)
-        let res = Thm6.run_linearizable ~n:4 ~rounds:8 ~seed:15L in
+        let res = Thm6.run_linearizable ~n:4 ~rounds:8 ~seed:15L () in
         let h = res.Alg1.handles in
         let log = List.map snd (Adv.write_commit_log h.Alg1.r1) in
         let rec is_prefix p q =
@@ -209,12 +209,12 @@ let baseline_tests =
         Alcotest.check_raises "n" (Invalid_argument "Alg1.setup: n must be >= 3")
           (fun () -> ignore (Alg1.setup { Alg1.default with n = 2 })));
     tc "e1 survival is 100% everywhere" (fun () ->
-        let s = Stats.e1_survival ~n:5 ~budgets:[ 1; 3; 9 ] ~runs:4 ~seed:50L in
+        let s = Stats.e1_survival ~n:5 ~budgets:[ 1; 3; 9 ] ~runs:4 ~seed:50L () in
         List.iter
           (fun f -> check_bool "alive" true (f = 1.0))
           s.Stats.alive_fraction);
     tc "atomic termination stats are fast" (fun () ->
-        let t = Stats.atomic_termination ~n:5 ~max_rounds:40 ~runs:30 ~seed:51L in
+        let t = Stats.atomic_termination ~n:5 ~max_rounds:40 ~runs:30 ~seed:51L () in
         check_bool "all terminate" true (t.Stats.max < 40);
         check_bool "quick" true (t.Stats.mean < 4.));
   ]

@@ -10,4 +10,5 @@ let () =
    @ Test_treecheck.suite @ Test_alg3.suite @ Test_fstar.suite
    @ Test_game.suite @ Test_abd.suite @ Test_mwabd.suite
    @ Test_consensus.suite
-   @ Test_multicore.suite @ Test_obs.suite @ Test_experiments.suite)
+   @ Test_multicore.suite @ Test_obs.suite @ Test_pool.suite
+   @ Test_experiments.suite)

@@ -65,7 +65,7 @@ let random_tests =
          (fun seed ->
            let run =
              Runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-               ~readers:[ 2 ] ~reads_each:3 ~seed
+               ~readers:[ 2 ] ~reads_each:3 ~seed ()
            in
            run.Runs.completed
            && Core.Lincheck.check ~init:(V.Int 0) run.Runs.history));
@@ -76,7 +76,7 @@ let random_tests =
          (fun seed ->
            let run =
              Runs.execute_mw ~n:5 ~writers:[ 0; 1; 2 ] ~writes_each:1
-               ~readers:[ 3; 4 ] ~reads_each:2 ~seed
+               ~readers:[ 3; 4 ] ~reads_each:2 ~seed ()
            in
            run.Runs.completed
            && Core.Lincheck.check ~init:(V.Int 0) run.Runs.history));

@@ -1,0 +1,177 @@
+(* Simkit.Pool: the work-sharing domain pool behind `-j N`, and the
+   determinism contract the experiment battery relies on (reports and
+   merged metrics independent of the degree of parallelism). *)
+
+module Pool = Simkit.Pool
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ----- map ------------------------------------------------------------------ *)
+
+let test_all_tasks_once () =
+  List.iter
+    (fun jobs ->
+      let n = 100 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      let out =
+        Pool.map ~jobs n (fun i ->
+            Atomic.incr hits.(i);
+            i * i)
+      in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: task %d ran exactly once" jobs i)
+            1 (Atomic.get c))
+        hits;
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d: results indexed by task" jobs)
+        (Array.init n (fun i -> i * i))
+        out)
+    [ 1; 2; 4; 7 ]
+
+let test_degenerate () =
+  Alcotest.(check (array int)) "n=0" [||] (Pool.map ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "n=1" [| 7 |] (Pool.map ~jobs:4 1 (fun _ -> 7));
+  Alcotest.(check (array int))
+    "jobs=1 runs in index order on the calling domain"
+    [| 0; 1; 2; 3 |]
+    (let order = ref [] in
+     let out = Pool.map ~jobs:1 4 (fun i -> order := i :: !order; i) in
+     Alcotest.(check (list int)) "index order" [ 3; 2; 1; 0 ] !order;
+     out);
+  Alcotest.check_raises "negative task count rejected"
+    (Invalid_argument "Pool.map: negative task count") (fun () ->
+      ignore (Pool.map ~jobs:2 (-1) (fun i -> i)))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          ignore (Pool.map ~jobs 50 (fun i -> if i = 17 then raise (Boom i)));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d: task 17's exception re-raised" jobs)
+        (Some 17) raised)
+    [ 1; 4 ];
+  (* several failures: the lowest-index one wins, whatever the schedule *)
+  let raised =
+    try
+      ignore
+        (Pool.map ~jobs:1 50 (fun i ->
+             if i mod 10 = 3 then raise (Boom i)));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "lowest-index failure wins" (Some 3) raised
+
+(* ----- map_runs: per-run registries, merged in run order -------------------- *)
+
+let test_map_runs_merge () =
+  let runs = 20 in
+  let record ~metrics i =
+    Obs.Metrics.incr metrics ~by:(i + 1) "pool.test.counter";
+    Obs.Metrics.observe metrics "pool.test.hist" (float_of_int i);
+    i
+  in
+  let merged jobs =
+    let m = Obs.Metrics.create () in
+    let out = Pool.map_runs ~jobs ~metrics:m runs record in
+    Alcotest.(check (array int))
+      (Printf.sprintf "jobs=%d: results" jobs)
+      (Array.init runs (fun i -> i))
+      out;
+    Obs.Metrics.snapshot m
+  in
+  let expect_counter = runs * (runs + 1) / 2 in
+  let s1 = merged 1 and s4 = merged 4 in
+  List.iter
+    (fun (label, (s : Obs.Metrics.snapshot)) ->
+      Alcotest.(check int)
+        (label ^ ": counters sum across runs")
+        expect_counter
+        (List.assoc "pool.test.counter" s.Obs.Metrics.counters);
+      match List.assoc_opt "pool.test.hist" s.Obs.Metrics.histograms with
+      | None -> Alcotest.fail (label ^ ": histogram missing")
+      | Some h ->
+          Alcotest.(check int) (label ^ ": hist count") runs h.Obs.Metrics.count;
+          Alcotest.(check (float 1e-9))
+            (label ^ ": hist sum")
+            (float_of_int (runs * (runs - 1) / 2))
+            h.Obs.Metrics.sum)
+    [ ("jobs=1", s1); ("jobs=4", s4) ];
+  Alcotest.(check bool)
+    "snapshots identical across jobs" true (s1 = s4)
+
+(* ----- battery determinism --------------------------------------------------- *)
+
+(* The guarantee `rlin experiments -j N` advertises: same ids, same
+   pass/fail, same measured text, and the same metrics — wall-clock
+   aside — whatever N is.  (The quick battery at -j 1 vs -j 4; global-
+   registry deltas are part of each report, so this also exercises the
+   merge-in-run-order path end to end.) *)
+let test_battery_independent_of_jobs () =
+  let strip (r : Experiments.report) =
+    ( r.Experiments.id,
+      r.Experiments.pass,
+      r.Experiments.measured,
+      (* anything wall-clock-derived varies run to run: the report's own
+         wall_ms plus the span histogram's wall_ms.mean *)
+      List.filter
+        (fun (k, _) ->
+          not
+            (String.length k >= 7
+            && List.exists
+                 (fun i -> String.sub k i 7 = "wall_ms")
+                 (List.init (String.length k - 6) (fun i -> i))))
+        r.Experiments.metrics )
+  in
+  let only = Some [ "E1"; "E2"; "E5"; "E9" ] in
+  let seq = List.map strip (Experiments.all ~jobs:1 ?only ~quick:true ()) in
+  let par = List.map strip (Experiments.all ~jobs:4 ?only ~quick:true ()) in
+  List.iter2
+    (fun (id1, p1, m1, k1) (id2, p2, m2, k2) ->
+      Alcotest.(check string) "id" id1 id2;
+      Alcotest.(check bool) (id1 ^ ": pass") p1 p2;
+      Alcotest.(check string) (id1 ^ ": measured") m1 m2;
+      List.iter2
+        (fun (ka, va) (kb, vb) ->
+          Alcotest.(check string) (id1 ^ ": metric name") ka kb;
+          Alcotest.(check (float 1e-9)) (id1 ^ ": metric " ^ ka) va vb)
+        k1 k2)
+    seq par
+
+let test_only_selection () =
+  let ids rs = List.map (fun r -> r.Experiments.id) rs in
+  Alcotest.(check (list string))
+    "subset in battery order, case-insensitive"
+    [ "E4"; "E8" ]
+    (ids (Experiments.all ~only:[ "e8"; "E4" ] ~quick:true ()));
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument
+       "Experiments: unknown id \"E99\" (know E1, E2, E3, E4, E5, E6, E7, \
+        E8, E9, E10)") (fun () ->
+      ignore (Experiments.all ~only:[ "E99" ] ~quick:true ()))
+
+let suite =
+  [
+    ( "simkit.pool",
+      [
+        tc "every task runs exactly once, results indexed" test_all_tasks_once;
+        tc "degenerate sizes and jobs=1 ordering" test_degenerate;
+        tc "exceptions cancel and re-raise deterministically"
+          test_exception_propagation;
+        tc "map_runs merges per-run registries independent of jobs"
+          test_map_runs_merge;
+      ] );
+    ( "experiments.parallel",
+      [
+        tc "battery reports independent of -j" test_battery_independent_of_jobs;
+        tc "--only selects in battery order" test_only_selection;
+      ] );
+  ]

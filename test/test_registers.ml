@@ -135,7 +135,7 @@ let alg2_props =
          (fun seed ->
            let run =
              Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
-               ~reads_per_proc:2 ~seed
+               ~reads_per_proc:2 ~seed ()
            in
            Core.Scenario.check_alg2_run run = Ok ()));
     QCheck_alcotest.to_alcotest
@@ -144,7 +144,7 @@ let alg2_props =
          (fun seed ->
            let run =
              Core.Scenario.random_alg2_run ~n:4 ~writes_per_proc:1
-               ~reads_per_proc:2 ~seed
+               ~reads_per_proc:2 ~seed ()
            in
            run.Core.Scenario.completed
            && Core.Lincheck.check ~init:(V.Int 0) run.Core.Scenario.history));
@@ -215,7 +215,7 @@ let alg4_props =
          (fun seed ->
            let run =
              Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
-               ~reads_per_proc:2 ~seed
+               ~reads_per_proc:2 ~seed ()
            in
            Core.Scenario.check_alg4_run run = Ok ()));
   ]
