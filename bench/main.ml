@@ -7,7 +7,7 @@
    the checkers of E3-E5, the ABD workload of E6 and the A' composition of
    E7.
 
-   Part 2: the full experiment battery E1-E8 (paper-shaped tables with
+   Part 2: the full experiment battery E1-E11 (paper-shaped tables with
    claim / expected / measured / PASS), as indexed in DESIGN.md and
    recorded in EXPERIMENTS.md.
 
@@ -134,6 +134,23 @@ let tests =
                 ~readers:[ 2 ] ~reads_each:2 ~seed:11L ())));
     Test.make ~name:"e10/mwabd-tree-refutation"
       (Staged.stage (fun () -> ignore (Core.Mwabd_scenario.run ())));
+    (* --- E11: the same ABD workload under a lossy, duplicating link -------- *)
+    Test.make ~name:"e11/abd-workload-faulty"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Abd_runs.execute
+                {
+                  Core.Abd_runs.default with
+                  seed = 9L;
+                  faults =
+                    {
+                      Core.Faults.none with
+                      Core.Faults.drop = 0.15;
+                      duplicate = 0.05;
+                      delay = 0.05;
+                      delay_bound = 4;
+                    };
+                })));
   ]
 
 let benchmark () =

@@ -3,7 +3,8 @@
 
    Subcommands:
      rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
-                                       run the E1-E10 battery
+                      [--drop P] [--dup P] [--delay P]
+                                       run the E1-E11 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
@@ -31,6 +32,41 @@ let write_jsonl path lines =
     with Sys_error msg ->
       Printf.eprintf "rlin: cannot write %s (%s)\n" path msg;
       exit 1
+
+(* ----- fault flags ------------------------------------------------------------ *)
+
+(* Shared by `experiments` and `abd`: a deterministic link-fault plan
+   (Simkit.Faults).  All-zero probabilities mean "no plan" — the benign
+   fast path, with no fault RNG attached at all. *)
+let faults_term =
+  let prob name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+  in
+  let drop = prob "drop" "Per-delivery-attempt drop probability." in
+  let dup = prob "dup" "Per-delivery-attempt duplication probability." in
+  let delay =
+    prob "delay"
+      "Per-delivery-attempt deferral probability (bounded reorder window)."
+  in
+  let delay_bound =
+    Arg.(
+      value & opt int 4
+      & info [ "delay-bound" ] ~docv:"K"
+          ~doc:"Max deferrals per message (the reorder window).")
+  in
+  let build drop dup delay delay_bound =
+    if drop = 0. && dup = 0. && delay = 0. then None
+    else
+      Some
+        {
+          Core.Faults.none with
+          Core.Faults.drop;
+          duplicate = dup;
+          delay;
+          delay_bound;
+        }
+  in
+  Term.(const build $ drop $ dup $ delay $ delay_bound)
 
 (* ----- experiments --------------------------------------------------------- *)
 
@@ -67,7 +103,7 @@ let experiments_cmd =
             "Also write the battery as line-delimited JSON, one record per \
              report ('-' for stdout).")
   in
-  let run quick jobs only json =
+  let run quick jobs only json faults =
     (match only with
     | Some ids when
         List.exists
@@ -78,7 +114,14 @@ let experiments_cmd =
           (String.concat ", " Experiments.ids);
         exit 2
     | _ -> ());
-    let reports = Experiments.all ~jobs ?only ~quick () in
+    (match faults with
+    | Some plan -> (
+        try Core.Faults.validate plan
+        with Invalid_argument msg ->
+          Printf.eprintf "rlin: bad fault plan: %s\n" msg;
+          exit 2)
+    | None -> ());
+    let reports = Experiments.all ~jobs ?only ?faults ~quick () in
     List.iter
       (fun r -> Format.printf "%a@." Experiments.pp_report r)
       reports;
@@ -92,8 +135,11 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments"
-       ~doc:"Run the full experiment battery (E1-E10), one per paper artifact.")
-    Term.(const run $ quick $ jobs_arg $ only $ json)
+       ~doc:
+         "Run the full experiment battery (E1-E11), one per paper artifact; \
+          $(b,--drop)/$(b,--dup)/$(b,--delay) subject the fault-aware \
+          experiments (E6, E10) to a deterministic link-fault plan.")
+    Term.(const run $ quick $ jobs_arg $ only $ json $ faults_term)
 
 (* ----- game ----------------------------------------------------------------- *)
 
@@ -209,7 +255,7 @@ let abd_cmd =
       value & opt (list int) []
       & info [ "crash" ] ~docv:"NODES" ~doc:"Comma-separated nodes to crash.")
   in
-  let run n writes crash seed =
+  let run n writes crash seed faults =
     let w =
       {
         Core.Abd_runs.n;
@@ -217,6 +263,7 @@ let abd_cmd =
         readers = [ 1; 2 ];
         reads_each = writes - 1;
         crash;
+        faults = Option.value faults ~default:Core.Faults.none;
         seed;
       }
     in
@@ -231,8 +278,11 @@ let abd_cmd =
         1
   in
   Cmd.v
-    (Cmd.info "abd" ~doc:"Run an ABD workload in the message-passing simulator.")
-    Term.(const run $ n_arg 5 $ writes $ crash $ seed_arg)
+    (Cmd.info "abd"
+       ~doc:
+         "Run an ABD workload in the message-passing simulator, optionally \
+          under a link-fault plan ($(b,--drop)/$(b,--dup)/$(b,--delay)).")
+    Term.(const run $ n_arg 5 $ writes $ crash $ seed_arg $ faults_term)
 
 (* ----- consensus ------------------------------------------------------------- *)
 

@@ -17,6 +17,7 @@ let () =
       readers = [ 1; 2 ];
       reads_each = 4;
       crash = [ 3; 4 ];
+      faults = Core.Faults.none;
       seed = 4242L;
     }
   in

@@ -49,6 +49,7 @@ module Export = Obs.Export
 
 module Rng = Simkit.Rng
 module Fiber = Simkit.Fiber
+module Faults = Simkit.Faults
 module Sched = Simkit.Sched
 module Trace = Simkit.Trace
 module Pool = Simkit.Pool

@@ -216,7 +216,7 @@ let e5_alg4_linearizable ?(jobs = 1) ~quick () =
 
 (* ---------- E6 ------------------------------------------------------------- *)
 
-let e6_abd ?(jobs = 1) ~quick () =
+let e6_abd ?(jobs = 1) ?(faults = Core.Faults.none) ~quick () =
   let runs = if quick then 10 else 60 in
   measured_report ~id:"E6"
     ~claim:
@@ -235,6 +235,7 @@ let e6_abd ?(jobs = 1) ~quick () =
                 Core.Abd_runs.default with
                 seed = Int64.of_int (seed * 41);
                 crash;
+                faults;
               }
             in
             match Core.Abd_runs.check ~metrics (Core.Abd_runs.execute ~metrics w) with
@@ -431,7 +432,7 @@ let e9_ablation ?(jobs = 1) ~quick () =
 
 (* ---------- E10 (extension) --------------------------------------------------- *)
 
-let e10_mwabd ?(jobs = 1) ~quick () =
+let e10_mwabd ?(jobs = 1) ?(faults = Core.Faults.none) ~quick () =
   (* §5's lesson transposed to message passing: the multi-writer ABD
      register uses Lamport timestamps like Algorithm 4, is linearizable,
      and is NOT write strongly-linearizable — shown by the same two-
@@ -449,7 +450,7 @@ let e10_mwabd ?(jobs = 1) ~quick () =
         Core.Pool.map_runs ~jobs ~metrics:pool_metrics runs (fun ~metrics i ->
             let seed = i + 1 in
             let run =
-              Core.Abd_runs.execute_mw ~metrics ~n:3 ~writers:[ 0; 1 ]
+              Core.Abd_runs.execute_mw ~metrics ~faults ~n:3 ~writers:[ 0; 1 ]
                 ~writes_each:2 ~readers:[ 2 ] ~reads_each:3
                 ~seed:(Int64.of_int (seed * 53))
                 ()
@@ -479,23 +480,168 @@ let e10_mwabd ?(jobs = 1) ~quick () =
             if sc.Core.Mwabd_scenario.wsl_impossible then 1. else 0. );
         ] ))
 
-let catalogue =
+(* ---------- E11 (fault injection) --------------------------------------------- *)
+
+let e11_faults ?(jobs = 1) ~quick () =
+  (* Sweep (drop, duplicate, scheduled crashes) over both registers.  Each
+     run gets a deterministic fault plan (drawn from its own RNG stream,
+     see Simkit.Faults), so the whole sweep is reproducible and identical
+     whatever [jobs] is. *)
+  let configs =
+    if quick then [ (0.0, 0.0, 0); (0.1, 0.05, 1); (0.2, 0.05, 2) ]
+    else
+      [
+        (0.0, 0.0, 0);
+        (0.05, 0.0, 0);
+        (0.1, 0.05, 1);
+        (0.15, 0.1, 1);
+        (0.2, 0.05, 2);
+      ]
+  in
+  let runs = if quick then 6 else 25 in
+  measured_report ~id:"E11"
+    ~claim:
+      "robustness: retransmitting ABD/MW-ABD terminate and stay \
+       linearizable under lossy links, duplication and minority crash \
+       schedules"
+    ~expected:
+      "at drop <= 0.2 with <= 2/5 replicas crashed: 100% of runs terminate \
+       before the watchdog budget and 100% of completed histories are \
+       linearizable; retransmission cost grows with the drop rate"
+    (fun () ->
+      let per_config =
+        List.map
+          (fun (drop, dup, crashes) ->
+            let plan =
+              {
+                Core.Faults.none with
+                Core.Faults.drop;
+                duplicate = dup;
+                delay = 0.05;
+                delay_bound = 4;
+                (* crash replicas 3, 4 (never clients) on the step clock *)
+                crash_at = List.init crashes (fun c -> (150 * (c + 1), 3 + c));
+              }
+            in
+            (* one task per run: first [runs] ABD, then [runs] MW-ABD;
+               retransmission counts come from each task's private registry *)
+            let results =
+              Core.Pool.map_runs ~jobs ~metrics:pool_metrics (2 * runs)
+                (fun ~metrics i ->
+                  if i < runs then begin
+                    let w =
+                      {
+                        Core.Abd_runs.default with
+                        seed = Int64.of_int (((i + 1) * 59) + crashes);
+                        faults = plan;
+                      }
+                    in
+                    let run = Core.Abd_runs.execute ~metrics w in
+                    let lin =
+                      run.Core.Abd_runs.completed
+                      && Core.Lincheck.check ~metrics ~init:(Core.Value.Int 0)
+                           run.Core.Abd_runs.history
+                    in
+                    ( run.Core.Abd_runs.completed,
+                      lin,
+                      run.Core.Abd_runs.stalled <> None,
+                      Obs.Metrics.counter metrics "reg.abd.retransmits" )
+                  end
+                  else begin
+                    let k = i - runs in
+                    let run =
+                      Core.Abd_runs.execute_mw ~metrics ~faults:plan ~n:5
+                        ~writers:[ 0; 1 ] ~writes_each:2 ~readers:[ 2 ]
+                        ~reads_each:2
+                        ~seed:(Int64.of_int (((k + 1) * 67) + crashes))
+                        ()
+                    in
+                    let lin =
+                      run.Core.Abd_runs.completed
+                      && Core.Lincheck.check ~metrics ~init:(Core.Value.Int 0)
+                           run.Core.Abd_runs.history
+                    in
+                    ( run.Core.Abd_runs.completed,
+                      lin,
+                      run.Core.Abd_runs.stalled <> None,
+                      Obs.Metrics.counter metrics "reg.mwabd.retransmits" )
+                  end)
+            in
+            let total = Array.length results in
+            let fold f init = Array.fold_left f init results in
+            let terminated =
+              fold (fun a (c, _, _, _) -> if c then a + 1 else a) 0
+            in
+            let lin_ok = fold (fun a (_, l, _, _) -> if l then a + 1 else a) 0 in
+            let stalls =
+              fold (fun a (_, _, s, _) -> if s then a + 1 else a) 0
+            in
+            let retx = fold (fun a (_, _, _, r) -> a + r) 0 in
+            (drop, dup, crashes, total, terminated, lin_ok, stalls, retx))
+          configs
+      in
+      let all_ok =
+        List.for_all
+          (fun (_, _, _, total, terminated, lin_ok, stalls, _) ->
+            terminated = total && lin_ok = total && stalls = 0)
+          per_config
+      in
+      (* retransmission cost must grow with the drop rate (benign -> max) *)
+      let retx_of (_, _, _, _, _, _, _, r) = r in
+      let cost_grows =
+        match per_config with
+        | [] | [ _ ] -> true
+        | first :: rest ->
+            retx_of (List.nth rest (List.length rest - 1)) > retx_of first
+      in
+      let measured =
+        String.concat "; "
+          (List.map
+             (fun (drop, dup, crashes, total, terminated, lin_ok, stalls, retx) ->
+               Printf.sprintf
+                 "drop=%.2f dup=%.2f crashes=%d: %d/%d done, %d/%d lin, %d \
+                  stalls, retx=%d"
+                 drop dup crashes terminated total lin_ok total stalls retx)
+             per_config)
+      in
+      ( measured,
+        all_ok && cost_grows,
+        ("configs", float_of_int (List.length configs))
+        :: ("runs_per_config", float_of_int (2 * runs))
+        :: ("cost_grows", if cost_grows then 1. else 0.)
+        :: List.concat_map
+             (fun (drop, dup, crashes, total, terminated, _, _, retx) ->
+               let tag =
+                 Printf.sprintf "drop%02.0f.dup%02.0f.crash%d" (100. *. drop)
+                   (100. *. dup) crashes
+               in
+               [
+                 ( "term_rate." ^ tag,
+                   float_of_int terminated /. float_of_int total );
+                 ("retransmits." ^ tag, float_of_int retx);
+               ])
+             per_config ))
+
+let catalogue ?faults () =
+  let faulty f ?jobs ~quick () = f ?jobs ?faults ~quick () in
   [
     ("E1", e1_nontermination);
     ("E2", e2_wsl_termination);
     ("E3", e3_alg2_wsl);
     ("E4", e4_fig4_counterexample);
     ("E5", e5_alg4_linearizable);
-    ("E6", e6_abd);
+    ("E6", faulty e6_abd);
     ("E7", e7_cor9);
     ("E8", e8_cost);
     ("E9", e9_ablation);
-    ("E10", e10_mwabd);
+    ("E10", faulty e10_mwabd);
+    ("E11", e11_faults);
   ]
 
-let ids = List.map fst catalogue
+let ids = List.map fst (catalogue ())
 
-let select only =
+let select ?faults only =
+  let catalogue = catalogue ?faults () in
   match only with
   | None -> catalogue
   | Some wanted ->
@@ -507,14 +653,14 @@ let select only =
               (Printf.sprintf "Experiments: unknown id %S (know %s)" id
                  (String.concat ", " ids)))
         wanted;
-      (* battery order, not request order: the reports read E1..E10 *)
+      (* battery order, not request order: the reports read E1..E11 *)
       List.filter (fun (id, _) -> List.mem id wanted) catalogue
 
-let all ?jobs ?only ~quick () =
-  List.map (fun (_, f) -> f ?jobs ~quick ()) (select only)
+let all ?jobs ?only ?faults ~quick () =
+  List.map (fun (_, f) -> f ?jobs ~quick ()) (select ?faults only)
 
-let run_all ?jobs ?only ~quick fmt =
-  let rs = all ?jobs ?only ~quick () in
+let run_all ?jobs ?only ?faults ~quick fmt =
+  let rs = all ?jobs ?only ?faults ~quick () in
   List.iter (fun r -> Format.fprintf fmt "%a@." pp_report r) rs;
   let passed = List.length (List.filter (fun r -> r.pass) rs) in
   Format.fprintf fmt "=== %d/%d experiments reproduce the paper's claims ===@."

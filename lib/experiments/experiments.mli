@@ -52,9 +52,11 @@ val e4_fig4_counterexample : ?jobs:int -> quick:bool -> unit -> report
 val e5_alg4_linearizable : ?jobs:int -> quick:bool -> unit -> report
 (** Theorem 12: Algorithm 4 runs are linearizable. *)
 
-val e6_abd : ?jobs:int -> quick:bool -> unit -> report
+val e6_abd :
+  ?jobs:int -> ?faults:Core.Faults.plan -> quick:bool -> unit -> report
 (** Theorem 14 / §6: ABD is linearizable and write strongly-linearizable,
-    under crashes. *)
+    under crashes — and, with [faults], under a lossy/duplicating/delaying
+    link plan too ({!Core.Faults}). *)
 
 val e7_cor9 : ?jobs:int -> quick:bool -> unit -> report
 (** Corollary 9: the gate blocks or opens with the register mode. *)
@@ -68,18 +70,38 @@ val e9_ablation : ?jobs:int -> quick:bool -> unit -> report
     of [R2]/[C] changes nothing, pinning Theorem 7's mechanism on the
     on-line ordering of [R1]'s writes. *)
 
-val e10_mwabd : ?jobs:int -> quick:bool -> unit -> report
+val e10_mwabd :
+  ?jobs:int -> ?faults:Core.Faults.plan -> quick:bool -> unit -> report
 (** Extension: multi-writer ABD is linearizable but not write
-    strongly-linearizable — Figure 4 transposed to message passing. *)
+    strongly-linearizable — Figure 4 transposed to message passing.
+    [faults] as in {!e6_abd}. *)
+
+val e11_faults : ?jobs:int -> quick:bool -> unit -> report
+(** Robustness sweep: drop/duplication rates × scheduled minority crashes
+    over both ABD registers.  Passes iff every run terminates (no watchdog
+    stall, no exhausted budget), every completed history is linearizable,
+    and the retransmission cost grows with the drop rate. *)
 
 val ids : string list
-(** The battery's experiment ids, in order: ["E1"; …; "E10"]. *)
+(** The battery's experiment ids, in order: ["E1"; …; "E11"]. *)
 
 val all :
-  ?jobs:int -> ?only:string list -> quick:bool -> unit -> report list
+  ?jobs:int ->
+  ?only:string list ->
+  ?faults:Core.Faults.plan ->
+  quick:bool ->
+  unit ->
+  report list
 (** Run the battery (or, with [only], the named subset — ids are
-    case-insensitive and always run in battery order).
+    case-insensitive and always run in battery order).  [faults] applies
+    the given link-fault plan to the fault-aware experiments (E6, E10);
+    E11 always runs its own sweep.
     @raise Invalid_argument on an unknown id in [only]. *)
 
 val run_all :
-  ?jobs:int -> ?only:string list -> quick:bool -> Format.formatter -> unit
+  ?jobs:int ->
+  ?only:string list ->
+  ?faults:Core.Faults.plan ->
+  quick:bool ->
+  Format.formatter ->
+  unit

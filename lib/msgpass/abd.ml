@@ -3,13 +3,17 @@ module Op = History.Op
 module Trace = Simkit.Trace
 module Sched = Simkit.Sched
 
+(* Replies carry the responding replica's node index: quorum counting is
+   per distinct node, which makes the protocol idempotent under
+   retransmission and message duplication (a doubled ack can never count
+   twice towards a majority). *)
 type msg =
   | Write_req of { ts : int; v : int }
-  | Write_ack of { ts : int }
+  | Write_ack of { ts : int; node : int }
   | Read_req of { rid : int; reader : int }
-  | Read_reply of { rid : int; ts : int; v : int }
+  | Read_reply of { rid : int; node : int; ts : int; v : int }
   | Wb_req of { rid : int; ts : int; v : int }
-  | Wb_ack of { rid : int }
+  | Wb_ack of { rid : int; node : int }
 
 type replica = { mutable ts : int; mutable v : int }
 
@@ -18,6 +22,7 @@ type t = {
   name_ : string;
   n_ : int;
   writer_ : int;
+  retry_ : int; (* client retransmission timeout, in own-fiber yields *)
   net : msg Net.t;
   replicas : replica array;
   mutable wseq : int; (* writer's sequence number *)
@@ -32,28 +37,31 @@ let server t node () =
   while true do
     match Net.recv t.net ~pid:me with
     | Write_req { ts; v } ->
+        (* idempotent: re-applying an old/duplicate request is a no-op,
+           but it is always re-acknowledged (the earlier ack may have
+           been dropped) *)
         if ts > rep.ts then begin
           rep.ts <- ts;
           rep.v <- v
         end;
-        Net.send t.net ~src:me ~dst:t.writer_ (Write_ack { ts })
+        Net.send t.net ~src:me ~dst:t.writer_ (Write_ack { ts; node })
     | Read_req { rid; reader } ->
         Net.send t.net ~src:me ~dst:reader
-          (Read_reply { rid; ts = rep.ts; v = rep.v })
+          (Read_reply { rid; node; ts = rep.ts; v = rep.v })
     | Wb_req { rid; ts; v } ->
         if ts > rep.ts then begin
           rep.ts <- ts;
           rep.v <- v
         end;
         (* reply to whichever client is waiting on this rid *)
-        Net.send t.net ~src:me ~dst:(rid / 1_000_000) (Wb_ack { rid })
+        Net.send t.net ~src:me ~dst:(rid / 1_000_000) (Wb_ack { rid; node })
     | Write_ack _ | Read_reply _ | Wb_ack _ ->
         (* client-bound message misrouted to a server: impossible by
-           construction *)
+           construction (faults drop/duplicate/delay, never re-address) *)
         assert false
   done
 
-let create ~sched ~name ~n ~writer ~init =
+let create ?(retry_after = 25) ~sched ~name ~n ~writer ~init () =
   if n < 2 then invalid_arg "Abd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Abd.create: n must be < 100";
   if writer < 0 || writer >= n then invalid_arg "Abd.create: writer out of range";
@@ -63,6 +71,7 @@ let create ~sched ~name ~n ~writer ~init =
       name_ = name;
       n_ = n;
       writer_ = writer;
+      retry_ = retry_after;
       net = Net.create ~sched ~n:200;
       replicas = Array.init n (fun _ -> { ts = 0; v = init });
       wseq = 0;
@@ -80,10 +89,27 @@ let n t = t.n_
 let writer t = t.writer_
 let majority t = (t.n_ / 2) + 1
 
+let send_to t ~src ~node payload =
+  Net.send t.net ~src ~dst:(server_pid ~node) payload
+
 let broadcast_servers t ~src payload =
   for node = 0 to t.n_ - 1 do
-    Net.send t.net ~src ~dst:(server_pid ~node) payload
+    send_to t ~src ~node payload
   done
+
+(* one round trip: broadcast [payload], await matching replies from a
+   majority of distinct replicas, retransmitting to the missing ones on a
+   step-count timeout *)
+let quorum_round t ~pid ~payload ~classify =
+  let m = Sched.metrics t.sched in
+  broadcast_servers t ~src:pid payload;
+  let seen = Array.make t.n_ false in
+  Net.collect_quorum t.net ~pid ~need:(majority t) ~seen ~classify
+    ~stale:(fun () -> Obs.Metrics.incr m "reg.abd.stale")
+    ~retry_after:t.retry_
+    ~resend:(fun ~missing ->
+      Obs.Metrics.incr m "reg.abd.retransmits";
+      List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
 
 let write t v =
   Obs.Metrics.incr (Sched.metrics t.sched) "reg.abd.writes";
@@ -93,14 +119,11 @@ let write t v =
   in
   t.wseq <- t.wseq + 1;
   let ts = t.wseq in
-  broadcast_servers t ~src:t.writer_ (Write_req { ts; v });
-  (* collect a majority of fresh acks *)
-  let acks = ref 0 in
-  while !acks < majority t do
-    match Net.recv t.net ~pid:t.writer_ with
-    | Write_ack { ts = ts' } when ts' = ts -> incr acks
-    | _ -> () (* stale ack from an earlier operation *)
-  done;
+  quorum_round t ~pid:t.writer_ (* collect a majority of fresh acks *)
+    ~payload:(Write_req { ts; v })
+    ~classify:(function
+      | Write_ack { ts = ts'; node } when ts' = ts -> Some node
+      | _ -> None);
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
@@ -109,28 +132,26 @@ let read t ~reader =
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   t.rseq <- t.rseq + 1;
   let rid = (reader * 1_000_000) + t.rseq in
-  broadcast_servers t ~src:reader (Read_req { rid; reader });
-  (* phase 1: majority of replies; keep the largest timestamp *)
-  let got = ref 0 in
+  (* phase 1: majority of replies; keep the largest timestamp.  Updating
+     [best] from a duplicate (or refreshed) reply of an already-counted
+     node is safe: a larger timestamp only strengthens the write-back. *)
   let best_ts = ref (-1) and best_v = ref 0 in
-  while !got < majority t do
-    match Net.recv t.net ~pid:reader with
-    | Read_reply { rid = rid'; ts; v } when rid' = rid ->
-        incr got;
-        if ts > !best_ts then begin
-          best_ts := ts;
-          best_v := v
-        end
-    | _ -> ()
-  done;
+  quorum_round t ~pid:reader
+    ~payload:(Read_req { rid; reader })
+    ~classify:(function
+      | Read_reply { rid = rid'; node; ts; v } when rid' = rid ->
+          if ts > !best_ts then begin
+            best_ts := ts;
+            best_v := v
+          end;
+          Some node
+      | _ -> None);
   (* phase 2: write back to a majority *)
-  broadcast_servers t ~src:reader (Wb_req { rid; ts = !best_ts; v = !best_v });
-  let acked = ref 0 in
-  while !acked < majority t do
-    match Net.recv t.net ~pid:reader with
-    | Wb_ack { rid = rid' } when rid' = rid -> incr acked
-    | _ -> ()
-  done;
+  quorum_round t ~pid:reader
+    ~payload:(Wb_req { rid; ts = !best_ts; v = !best_v })
+    ~classify:(function
+      | Wb_ack { rid = rid'; node } when rid' = rid -> Some node
+      | _ -> None);
   Trace.respond tr ~op_id ~result:(Some (V.Int !best_v));
   !best_v
 
@@ -139,4 +160,7 @@ let crash_node t ~node =
   (match Sched.status t.sched ~pid:node with
   | exception Invalid_argument _ -> () (* client fiber never spawned *)
   | _ -> Sched.crash t.sched ~pid:node);
+  (* the network learns the destination died: in-flight mail is dropped
+     now, later deliveries are dead-lettered instead of queueing forever *)
+  Net.mark_dead t.net ~pid:(server_pid ~node);
   Net.drop_to t.net ~dst:(server_pid ~node)

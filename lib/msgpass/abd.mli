@@ -22,7 +22,18 @@
       returns [v].
 
     Each node runs a server fiber (pid [100 + node]) holding its replica
-    and a client fiber (pid [node]) issuing operations. *)
+    and a client fiber (pid [node]) issuing operations.
+
+    {b Fault tolerance.}  The client phases are hardened against lossy
+    links (see {!Simkit.Faults} / {!Net.set_faults}): every reply carries
+    the responding replica's node index and quorums count {e distinct}
+    nodes, so duplicated messages can never double-count; requests are
+    retransmitted to the not-yet-heard replicas after [retry_after]
+    fruitless yields (a deterministic step-count timeout), and the server
+    handlers are idempotent, so both operations terminate under any fault
+    plan that keeps a majority of replicas reachable.  Stale or mismatched
+    replies are counted as [reg.abd.stale], retransmission rounds as
+    [reg.abd.retransmits]. *)
 
 type t
 
@@ -33,9 +44,18 @@ type msg
 val net : t -> msg Net.t
 
 val create :
-  sched:Simkit.Sched.t -> name:string -> n:int -> writer:int -> init:int -> t
+  ?retry_after:int ->
+  sched:Simkit.Sched.t ->
+  name:string ->
+  n:int ->
+  writer:int ->
+  init:int ->
+  unit ->
+  t
 (** [n >= 2] nodes ([< 100]); spawns the [n] server fibers.  Client code
-    runs in the node fibers the caller spawns. *)
+    runs in the node fibers the caller spawns.  [retry_after] (default 25;
+    [<= 0] disables) is the client retransmission timeout in own-fiber
+    yields. *)
 
 val name : t -> string
 val n : t -> int

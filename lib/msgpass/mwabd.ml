@@ -7,15 +7,18 @@ module Sched = Simkit.Sched
 let ts_compare (sq1, p1) (sq2, p2) =
   match Int.compare sq1 sq2 with 0 -> Int.compare p1 p2 | c -> c
 
+(* As in Abd, replies carry the responding replica's node index so the
+   client quorum loops count distinct nodes — idempotent under message
+   duplication and retransmission. *)
 type msg =
   | Ts_req of { rid : int }
-  | Ts_reply of { rid : int; sq : int }
+  | Ts_reply of { rid : int; node : int; sq : int }
   | Write_req of { wid : int; sq : int; pid : int; v : int }
-  | Write_ack of { wid : int }
+  | Write_ack of { wid : int; node : int }
   | Read_req of { rid : int }
-  | Read_reply of { rid : int; sq : int; pid : int; v : int }
+  | Read_reply of { rid : int; node : int; sq : int; pid : int; v : int }
   | Wb_req of { rid : int; sq : int; pid : int; v : int }
-  | Wb_ack of { rid : int }
+  | Wb_ack of { rid : int; node : int }
 
 type replica = { mutable sq : int; mutable pid : int; mutable v : int }
 
@@ -23,6 +26,7 @@ type t = {
   sched : Sched.t;
   name_ : string;
   n_ : int;
+  retry_ : int; (* client retransmission timeout, in own-fiber yields *)
   net : msg Net.t;
   replicas : replica array;
   mutable seq : int; (* fresh request ids *)
@@ -37,28 +41,30 @@ let server t node () =
   while true do
     match Net.recv t.net ~pid:me with
     | Ts_req { rid } ->
-        Net.send t.net ~src:me ~dst:(client_of rid) (Ts_reply { rid; sq = rep.sq })
+        Net.send t.net ~src:me ~dst:(client_of rid)
+          (Ts_reply { rid; node; sq = rep.sq })
     | Write_req { wid; sq; pid; v } ->
+        (* idempotent: duplicates re-ack without re-applying *)
         if ts_compare (sq, pid) (rep.sq, rep.pid) > 0 then begin
           rep.sq <- sq;
           rep.pid <- pid;
           rep.v <- v
         end;
-        Net.send t.net ~src:me ~dst:(client_of wid) (Write_ack { wid })
+        Net.send t.net ~src:me ~dst:(client_of wid) (Write_ack { wid; node })
     | Read_req { rid } ->
         Net.send t.net ~src:me ~dst:(client_of rid)
-          (Read_reply { rid; sq = rep.sq; pid = rep.pid; v = rep.v })
+          (Read_reply { rid; node; sq = rep.sq; pid = rep.pid; v = rep.v })
     | Wb_req { rid; sq; pid; v } ->
         if ts_compare (sq, pid) (rep.sq, rep.pid) > 0 then begin
           rep.sq <- sq;
           rep.pid <- pid;
           rep.v <- v
         end;
-        Net.send t.net ~src:me ~dst:(client_of rid) (Wb_ack { rid })
+        Net.send t.net ~src:me ~dst:(client_of rid) (Wb_ack { rid; node })
     | Ts_reply _ | Write_ack _ | Read_reply _ | Wb_ack _ -> assert false
   done
 
-let create ~sched ~name ~n ~init =
+let create ?(retry_after = 25) ~sched ~name ~n ~init () =
   if n < 2 then invalid_arg "Mwabd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Mwabd.create: n must be < 100";
   let t =
@@ -66,6 +72,7 @@ let create ~sched ~name ~n ~init =
       sched;
       name_ = name;
       n_ = n;
+      retry_ = retry_after;
       net = Net.create ~sched ~n:200;
       replicas = Array.init n (fun node -> { sq = 0; pid = node; v = init });
       seq = 0;
@@ -79,40 +86,54 @@ let create ~sched ~name ~n ~init =
 let net t = t.net
 let majority t = (t.n_ / 2) + 1
 
+let send_to t ~src ~node payload =
+  Net.send t.net ~src ~dst:(server_pid ~node) payload
+
 let broadcast_servers t ~src payload =
   for node = 0 to t.n_ - 1 do
-    Net.send t.net ~src ~dst:(server_pid ~node) payload
+    send_to t ~src ~node payload
   done
 
 let fresh_rid t ~client =
   t.seq <- t.seq + 1;
   (client * 1_000_000) + t.seq
 
+(* one round trip, shared with Abd via Net.collect_quorum: broadcast,
+   count matching replies from distinct replicas, retransmit to the
+   missing ones on a step-count timeout *)
+let quorum_round t ~pid ~payload ~classify =
+  let m = Sched.metrics t.sched in
+  broadcast_servers t ~src:pid payload;
+  let seen = Array.make t.n_ false in
+  Net.collect_quorum t.net ~pid ~need:(majority t) ~seen ~classify
+    ~stale:(fun () -> Obs.Metrics.incr m "reg.mwabd.stale")
+    ~retry_after:t.retry_
+    ~resend:(fun ~missing ->
+      Obs.Metrics.incr m "reg.mwabd.retransmits";
+      List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
+
 let write t ~proc v =
   Obs.Metrics.incr (Sched.metrics t.sched) "reg.mwabd.writes";
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
-  (* phase 1: query a majority for sequence numbers *)
+  (* phase 1: query a majority for sequence numbers.  Updating [max_sq]
+     from a duplicate reply of an already-counted node is safe: a larger
+     bound only pushes our Lamport timestamp higher. *)
   let rid = fresh_rid t ~client:proc in
-  broadcast_servers t ~src:proc (Ts_req { rid });
-  let got = ref 0 and max_sq = ref 0 in
-  while !got < majority t do
-    match Net.recv t.net ~pid:proc with
-    | Ts_reply { rid = rid'; sq } when rid' = rid ->
-        incr got;
-        if sq > !max_sq then max_sq := sq
-    | _ -> ()
-  done;
+  let max_sq = ref 0 in
+  quorum_round t ~pid:proc ~payload:(Ts_req { rid })
+    ~classify:(function
+      | Ts_reply { rid = rid'; node; sq } when rid' = rid ->
+          if sq > !max_sq then max_sq := sq;
+          Some node
+      | _ -> None);
   (* phase 2: push (v, ⟨max+1, proc⟩) to a majority *)
   let wid = fresh_rid t ~client:proc in
-  broadcast_servers t ~src:proc
-    (Write_req { wid; sq = !max_sq + 1; pid = proc; v });
-  let acks = ref 0 in
-  while !acks < majority t do
-    match Net.recv t.net ~pid:proc with
-    | Write_ack { wid = wid' } when wid' = wid -> incr acks
-    | _ -> ()
-  done;
+  quorum_round t ~pid:proc
+    ~payload:(Write_req { wid; sq = !max_sq + 1; pid = proc; v })
+    ~classify:(function
+      | Write_ack { wid = wid'; node } when wid' = wid -> Some node
+      | _ -> None);
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
@@ -120,25 +141,28 @@ let read t ~reader =
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   let rid = fresh_rid t ~client:reader in
-  broadcast_servers t ~src:reader (Read_req { rid });
-  let got = ref 0 in
   let best = ref (-1, -1, 0) in
-  while !got < majority t do
-    match Net.recv t.net ~pid:reader with
-    | Read_reply { rid = rid'; sq; pid; v } when rid' = rid ->
-        incr got;
-        let bsq, bpid, _ = !best in
-        if ts_compare (sq, pid) (bsq, bpid) > 0 then best := (sq, pid, v)
-    | _ -> ()
-  done;
+  quorum_round t ~pid:reader ~payload:(Read_req { rid })
+    ~classify:(function
+      | Read_reply { rid = rid'; node; sq; pid; v } when rid' = rid ->
+          let bsq, bpid, _ = !best in
+          if ts_compare (sq, pid) (bsq, bpid) > 0 then best := (sq, pid, v);
+          Some node
+      | _ -> None);
   let sq, pid, v = !best in
   let wbid = fresh_rid t ~client:reader in
-  broadcast_servers t ~src:reader (Wb_req { rid = wbid; sq; pid; v });
-  let acked = ref 0 in
-  while !acked < majority t do
-    match Net.recv t.net ~pid:reader with
-    | Wb_ack { rid = rid' } when rid' = wbid -> incr acked
-    | _ -> ()
-  done;
+  quorum_round t ~pid:reader
+    ~payload:(Wb_req { rid = wbid; sq; pid; v })
+    ~classify:(function
+      | Wb_ack { rid = rid'; node } when rid' = wbid -> Some node
+      | _ -> None);
   Trace.respond tr ~op_id ~result:(Some (V.Int v));
   v
+
+let crash_node t ~node =
+  Sched.crash t.sched ~pid:(server_pid ~node);
+  (match Sched.status t.sched ~pid:node with
+  | exception Invalid_argument _ -> ()
+  | _ -> Sched.crash t.sched ~pid:node);
+  Net.mark_dead t.net ~pid:(server_pid ~node);
+  Net.drop_to t.net ~dst:(server_pid ~node)

@@ -16,14 +16,29 @@
     writer 1's write has completed, with two delivery-order extensions
     forcing opposite write orders.  Theorem 14's "every linearizable SWMR
     implementation is WSL" therefore really is about the {e single}-writer
-    structure, not about message passing vs shared memory. *)
+    structure, not about message passing vs shared memory.
+
+    {b Fault tolerance.}  Hardened exactly like {!Abd}: replies carry the
+    replica's node index and quorums count distinct nodes, requests are
+    retransmitted to the not-yet-heard replicas after [retry_after]
+    fruitless yields, and servers are idempotent — so every phase
+    terminates under any {!Simkit.Faults} plan keeping a majority of
+    replicas reachable.  Counters: [reg.mwabd.stale],
+    [reg.mwabd.retransmits]. *)
 
 type t
 
 val create :
-  sched:Simkit.Sched.t -> name:string -> n:int -> init:int -> t
+  ?retry_after:int ->
+  sched:Simkit.Sched.t ->
+  name:string ->
+  n:int ->
+  init:int ->
+  unit ->
+  t
 (** [n >= 2] nodes; every node may write.  Spawns the server fibers
-    (pids [100 + node]). *)
+    (pids [100 + node]).  [retry_after] (default 25; [<= 0] disables) is
+    the client retransmission timeout in own-fiber yields. *)
 
 type msg
 
@@ -34,5 +49,9 @@ val write : t -> proc:int -> int -> unit
 (** Two-phase write; call from fiber [proc] (a node id). *)
 
 val read : t -> reader:int -> int
+
+val crash_node : t -> node:int -> unit
+(** Crash a node's server (and its client fiber if spawned); the network
+    dead-letters its mail from now on.  Keep a majority alive. *)
 
 val server_pid : node:int -> int

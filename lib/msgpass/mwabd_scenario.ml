@@ -36,7 +36,8 @@ let prefix_upto_time h t =
 (* Build the common prefix G and return everything the branches need. *)
 let build_g () =
   let sched = Sched.create ~seed:23L () in
-  let reg = Mwabd.create ~sched ~name:"MW" ~n:3 ~init:0 in
+  (* retransmission off: the scenario scripts exact message counts *)
+  let reg = Mwabd.create ~retry_after:0 ~sched ~name:"MW" ~n:3 ~init:0 () in
   let net = Mwabd.net reg in
   Sched.spawn sched ~pid:0 (fun () -> Mwabd.write reg ~proc:0 301);
   Sched.spawn sched ~pid:1 (fun () -> Mwabd.write reg ~proc:1 302);

@@ -1,15 +1,110 @@
 type 'a msg = { src : int; dst : int; payload : 'a }
 
+(* An in-flight message and how often faults already deferred it (the
+   reorder-window budget of Simkit.Faults). *)
+type 'a item = { m : 'a msg; mutable deferrals : int }
+
+(* A growable ring buffer over the in-flight messages, oldest first.
+   Replaces the previous O(n)-append list: push/length are O(1) and
+   [remove i] shifts only the shorter side, while preserving the exact
+   index semantics deliver_nth/deliver_one rely on (index i = i-th oldest,
+   removal keeps the relative order of the rest). *)
+module Dq = struct
+  type 'a t = {
+    mutable buf : 'a option array;
+    mutable head : int; (* slot of the oldest element *)
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 16 None; head = 0; len = 0 }
+  let length t = t.len
+
+  let grow t =
+    let cap = Array.length t.buf in
+    let buf' = Array.make (2 * cap) None in
+    for i = 0 to t.len - 1 do
+      buf'.(i) <- t.buf.((t.head + i) mod cap)
+    done;
+    t.buf <- buf';
+    t.head <- 0
+
+  let push_back t x =
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Net: index out of bounds";
+    match t.buf.((t.head + i) mod Array.length t.buf) with
+    | Some x -> x
+    | None -> assert false
+
+  let remove t i =
+    let x = get t i in
+    let cap = Array.length t.buf in
+    if i < t.len - 1 - i then begin
+      (* shift the prefix towards the tail, advance head *)
+      for k = i downto 1 do
+        t.buf.((t.head + k) mod cap) <- t.buf.((t.head + k - 1) mod cap)
+      done;
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod cap
+    end
+    else begin
+      for k = i to t.len - 2 do
+        t.buf.((t.head + k) mod cap) <- t.buf.((t.head + k + 1) mod cap)
+      done;
+      t.buf.((t.head + t.len - 1) mod cap) <- None
+    end;
+    t.len <- t.len - 1;
+    x
+
+  let find t p =
+    let rec go i =
+      if i >= t.len then None else if p (get t i) then Some i else go (i + 1)
+    in
+    go 0
+
+  let iter t f =
+    for i = 0 to t.len - 1 do
+      f (get t i)
+    done
+
+  let to_list t = List.init t.len (get t)
+
+  let clear t =
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.head <- 0;
+    t.len <- 0
+
+  (* keep elements satisfying [p], preserving order; returns removed count *)
+  let keep_if t p =
+    let kept = List.filter p (to_list t) in
+    let removed = t.len - List.length kept in
+    clear t;
+    List.iter (push_back t) kept;
+    removed
+end
+
 type 'a t = {
   sched : Simkit.Sched.t;
   n : int;
-  mutable flight : 'a msg list; (* oldest first *)
+  flight : 'a item Dq.t; (* oldest first *)
   mailboxes : (int, 'a Queue.t) Hashtbl.t;
+  mutable dead : int list; (* destinations whose mail is dead-lettered *)
+  mutable faults : Simkit.Faults.t option;
 }
 
 let create ~sched ~n =
   if n < 1 then invalid_arg "Net.create: n must be >= 1";
-  { sched; n; flight = []; mailboxes = Hashtbl.create 16 }
+  {
+    sched;
+    n;
+    flight = Dq.create ();
+    mailboxes = Hashtbl.create 16;
+    dead = [];
+    faults = None;
+  }
 
 let mailbox t pid =
   match Hashtbl.find_opt t.mailboxes pid with
@@ -21,13 +116,32 @@ let mailbox t pid =
 
 let metrics t = Simkit.Sched.metrics t.sched
 
+let set_faults t f =
+  if Simkit.Faults.affects_delivery (Simkit.Faults.plan f) then
+    t.faults <- Some f
+
+let faults t = t.faults
+
+let mark_dead t ~pid =
+  if not (List.mem pid t.dead) then begin
+    t.dead <- pid :: t.dead;
+    (* mail already delivered to the dead process will never be read *)
+    let q = mailbox t pid in
+    if Queue.length q > 0 then begin
+      Obs.Metrics.incr (metrics t) ~by:(Queue.length q) "net.dead_letters";
+      Queue.clear q
+    end
+  end
+
+let is_dead t ~pid = List.mem pid t.dead
+
 let note_in_flight t =
   Obs.Metrics.set_gauge (metrics t) "net.in_flight"
-    (float_of_int (List.length t.flight))
+    (float_of_int (Dq.length t.flight))
 
 let send t ~src ~dst payload =
   Obs.Metrics.incr (metrics t) "net.sends";
-  t.flight <- t.flight @ [ { src; dst; payload } ];
+  Dq.push_back t.flight { m = { src; dst; payload }; deferrals = 0 };
   note_in_flight t
 
 let broadcast t ~src payload =
@@ -49,68 +163,176 @@ let recv t ~pid =
   in
   wait ()
 
-let in_flight t = List.length t.flight
+let in_flight t = Dq.length t.flight
 let mailbox_size t ~pid = Queue.length (mailbox t pid)
 
+(* The single point where an in-flight message reaches a mailbox: dead
+   destinations and the fault policy are applied here, so every delivery
+   path (deliver_nth/_one/_now/_from) behaves identically. *)
 let deliver_nth t i =
-  let rec go k acc = function
-    | [] -> invalid_arg "Net.deliver_nth"
-    | m :: rest ->
-        if k = i then begin
-          t.flight <- List.rev_append acc rest;
-          Obs.Metrics.incr (metrics t) "net.delivered";
-          Queue.push m.payload (mailbox t m.dst)
-        end
-        else go (k + 1) (m :: acc) rest
+  if i < 0 || i >= Dq.length t.flight then invalid_arg "Net.deliver_nth";
+  let it = Dq.remove t.flight i in
+  let m = it.m in
+  let reg = metrics t in
+  let enqueue () =
+    Obs.Metrics.incr reg "net.delivered";
+    Queue.push m.payload (mailbox t m.dst)
   in
-  go 0 [] t.flight;
+  if is_dead t ~pid:m.dst then Obs.Metrics.incr reg "net.dead_letters"
+  else begin
+    match t.faults with
+    | None -> enqueue ()
+    | Some f ->
+        let step = Simkit.Sched.steps t.sched in
+        Obs.Metrics.set_gauge reg "net.faults.partition_active"
+          (if Simkit.Faults.partition_active f ~step then 1. else 0.);
+        if Simkit.Faults.partitioned f ~step ~src:m.src ~dst:m.dst then begin
+          (* held until the partition heals; does not consume a draw or
+             the message's deferral budget *)
+          Obs.Metrics.incr reg "net.faults.delayed";
+          Dq.push_back t.flight it
+        end
+        else begin
+          match Simkit.Faults.draw f ~deferrals:it.deferrals with
+          | Simkit.Faults.Drop -> Obs.Metrics.incr reg "net.faults.dropped"
+          | Simkit.Faults.Defer ->
+              it.deferrals <- it.deferrals + 1;
+              Obs.Metrics.incr reg "net.faults.delayed";
+              Dq.push_back t.flight it
+          | Simkit.Faults.Duplicate ->
+              Obs.Metrics.incr reg "net.faults.duplicated";
+              enqueue ();
+              Dq.push_back t.flight { m; deferrals = it.deferrals }
+          | Simkit.Faults.Deliver -> enqueue ()
+        end
+  end;
   note_in_flight t
 
 let deliver_one t ~rng =
-  match t.flight with
-  | [] -> false
-  | l ->
-      deliver_nth t (Simkit.Rng.int rng (List.length l));
+  match Dq.length t.flight with
+  | 0 -> false
+  | n ->
+      deliver_nth t (Simkit.Rng.int rng n);
       true
 
 let deliver_now t ~dst =
-  let rec idx k = function
-    | [] -> None
-    | m :: _ when m.dst = dst -> Some k
-    | _ :: rest -> idx (k + 1) rest
-  in
-  match idx 0 t.flight with
+  match Dq.find t.flight (fun it -> it.m.dst = dst) with
   | None -> false
   | Some i ->
       deliver_nth t i;
       true
 
 let deliver_from t ~src ~dst =
-  let rec idx k = function
-    | [] -> None
-    | m :: _ when m.dst = dst && m.src = src -> Some k
-    | _ :: rest -> idx (k + 1) rest
-  in
-  match idx 0 t.flight with
+  match Dq.find t.flight (fun it -> it.m.dst = dst && it.m.src = src) with
   | None -> false
   | Some i ->
       deliver_nth t i;
       true
 
 let deliver_all t =
-  Obs.Metrics.incr (metrics t) ~by:(List.length t.flight) "net.delivered";
-  List.iter (fun m -> Queue.push m.payload (mailbox t m.dst)) t.flight;
-  t.flight <- [];
+  (* end-of-experiment flush: bypasses the fault policy (a drain must
+     terminate whatever the plan), but still respects dead destinations *)
+  let reg = metrics t in
+  Dq.iter t.flight (fun it ->
+      if is_dead t ~pid:it.m.dst then Obs.Metrics.incr reg "net.dead_letters"
+      else begin
+        Obs.Metrics.incr reg "net.delivered";
+        Queue.push it.m.payload (mailbox t it.m.dst)
+      end);
+  Dq.clear t.flight;
   note_in_flight t
 
 let drop_to t ~dst =
-  let kept = List.filter (fun m -> m.dst <> dst) t.flight in
-  Obs.Metrics.incr (metrics t)
-    ~by:(List.length t.flight - List.length kept)
-    "net.dropped";
-  t.flight <- kept;
+  let removed = Dq.keep_if t.flight (fun it -> it.m.dst <> dst) in
+  Obs.Metrics.incr (metrics t) ~by:removed "net.dropped";
   note_in_flight t
 
 let auto_deliver_policy t ~rng inner s =
   if in_flight t > 0 && Simkit.Rng.bool rng then ignore (deliver_one t ~rng);
   inner s
+
+(* ----- quorum collection (the hardened client loop) ------------------------- *)
+
+let collect_quorum t ~pid ~need ~seen ~classify ~stale ~retry_after ~resend =
+  let count = ref 0 in
+  Array.iter (fun b -> if b then incr count) seen;
+  let idle = ref 0 in
+  while !count < need do
+    match try_recv t ~pid with
+    | Some payload -> (
+        idle := 0;
+        match classify payload with
+        | Some node when node >= 0 && node < Array.length seen ->
+            if not seen.(node) then begin
+              seen.(node) <- true;
+              incr count
+            end
+            (* duplicate reply from a counted node: idempotent, ignore *)
+        | Some _ | None -> stale ())
+    | None ->
+        Simkit.Fiber.yield ();
+        incr idle;
+        if retry_after > 0 && !idle >= retry_after then begin
+          idle := 0;
+          let missing = ref [] in
+          for node = Array.length seen - 1 downto 0 do
+            if not seen.(node) then missing := node :: !missing
+          done;
+          resend ~missing:!missing
+        end
+  done
+
+(* ----- diagnostics / watchdog ------------------------------------------------ *)
+
+let describe t =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "net: %d in flight" (Dq.length t.flight);
+  if Dq.length t.flight > 0 then begin
+    Buffer.add_string b " [";
+    let first = ref true in
+    Dq.iter t.flight (fun it ->
+        if not !first then Buffer.add_string b ", ";
+        first := false;
+        Printf.bprintf b "%d->%d%s" it.m.src it.m.dst
+          (if it.deferrals > 0 then Printf.sprintf "(x%d)" it.deferrals
+           else ""));
+    Buffer.add_string b "]"
+  end;
+  let boxes =
+    Hashtbl.fold
+      (fun pid q acc -> if Queue.length q > 0 then (pid, Queue.length q) :: acc else acc)
+      t.mailboxes []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Buffer.add_string b "\nmailboxes:";
+  if boxes = [] then Buffer.add_string b " (all empty)"
+  else
+    List.iter (fun (pid, n) -> Printf.bprintf b " p%d:%d" pid n) boxes;
+  if t.dead <> [] then begin
+    Buffer.add_string b "\ndead:";
+    List.iter (Printf.bprintf b " p%d") (List.sort Int.compare t.dead)
+  end;
+  Buffer.contents b
+
+let progress_counters =
+  [
+    "net.delivered";
+    "net.sends";
+    "net.dead_letters";
+    "net.faults.dropped";
+    "net.faults.delayed";
+    "net.faults.duplicated";
+    "trace.responds";
+  ]
+
+let watchdog ?(window = 5_000) t =
+  let reg = metrics t in
+  {
+    Simkit.Sched.window;
+    progress =
+      (fun () ->
+        List.fold_left
+          (fun acc name -> acc + Obs.Metrics.counter reg name)
+          0 progress_counters);
+    describe = (fun () -> describe t);
+  }

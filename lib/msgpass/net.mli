@@ -1,22 +1,48 @@
 (** An asynchronous message-passing network on top of the simulator.
 
-    Messages are reliable but arbitrarily delayed and reordered: a send
-    enqueues the message as {e in-flight}; it becomes receivable only once
-    the delivery policy moves it to the destination's mailbox.  Receivers
-    block (yield) until their mailbox is non-empty.  Crash faults come from
-    {!Simkit.Sched.crash} — a crashed process simply stops taking steps,
-    and its mail accumulates unread.
+    By default messages are reliable but arbitrarily delayed and reordered:
+    a send enqueues the message as {e in-flight}; it becomes receivable
+    only once the delivery policy moves it to the destination's mailbox.
+    Receivers block (yield) until their mailbox is non-empty.
 
-    The default {!auto_deliver} policy delivers a uniformly random
+    With a fault policy attached ({!set_faults}), every delivery attempt
+    is additionally subject to the plan's drop / duplication / bounded-
+    deferral probabilities and partition schedule, drawn from the policy's
+    dedicated RNG (see {!Simkit.Faults}); the [net.faults.dropped/
+    duplicated/delayed] counters and the [net.faults.partition_active]
+    gauge record what fired.  Crash faults come from {!Simkit.Sched.crash}
+    — and {!mark_dead} tells the network a destination died, so later
+    deliveries to it are dropped and counted ([net.dead_letters]) instead
+    of accumulating unread forever.
+
+    The in-flight store is a growable ring buffer: send and [in_flight]
+    are O(1), and [deliver_nth i] preserves the exact "i-th oldest,
+    relative order kept" semantics the deterministic experiments rely on.
+
+    The default {!auto_deliver_policy} delivers a uniformly random
     in-flight message between process steps, giving the random asynchrony
     the ABD experiments use; adversarial tests can instead call
-    {!deliver_now}/{!deliver_where} to impose specific delivery orders. *)
+    {!deliver_now}/{!deliver_from} to impose specific delivery orders. *)
 
 type 'a t
 
 val create : sched:Simkit.Sched.t -> n:int -> 'a t
 (** Network among processes (fiber pids) [0 … n-1] and their server
     fibers; any pid registered with the scheduler may send/receive. *)
+
+val set_faults : 'a t -> Simkit.Faults.t -> unit
+(** Attach a fault policy, applied at delivery time.  A policy whose plan
+    has no delivery-affecting fault (only crashes) is not attached, so the
+    benign fast path stays draw-free. *)
+
+val faults : 'a t -> Simkit.Faults.t option
+
+val mark_dead : 'a t -> pid:int -> unit
+(** Declare [pid] dead: its queued mail is discarded now and every later
+    delivery addressed to it is dropped, both counted as
+    [net.dead_letters].  Idempotent. *)
+
+val is_dead : 'a t -> pid:int -> bool
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Enqueue in-flight (no yield: sending is part of the current step). *)
@@ -33,23 +59,26 @@ val try_recv : 'a t -> pid:int -> 'a option
 (** Non-blocking variant (no yield). *)
 
 val in_flight : 'a t -> int
-(** Number of undelivered messages. *)
+(** Number of undelivered messages.  O(1). *)
 
 val mailbox_size : 'a t -> pid:int -> int
 
 val deliver_one : 'a t -> rng:Simkit.Rng.t -> bool
-(** Move one uniformly random in-flight message to its mailbox; [false]
-    if none are in flight. *)
+(** Attempt delivery of one uniformly random in-flight message; [false]
+    if none are in flight.  With faults attached the attempt may drop,
+    duplicate or defer instead of delivering. *)
 
 val deliver_now : 'a t -> dst:int -> bool
-(** Deliver the oldest in-flight message addressed to [dst]. *)
+(** Attempt delivery of the oldest in-flight message addressed to [dst]. *)
 
 val deliver_from : 'a t -> src:int -> dst:int -> bool
-(** Deliver the oldest in-flight message from [src] to [dst] — the
-    fine-grained control the scripted adversarial scenarios need. *)
+(** Attempt delivery of the oldest in-flight message from [src] to [dst]
+    — the fine-grained control the scripted adversarial scenarios need. *)
 
 val deliver_all : 'a t -> unit
-(** Flush every in-flight message (used to end experiments cleanly). *)
+(** Flush every in-flight message (used to end experiments cleanly).
+    Bypasses the fault policy — a drain must terminate whatever the plan
+    — but still dead-letters messages to dead destinations. *)
 
 val drop_to : 'a t -> dst:int -> unit
 (** Discard all in-flight messages addressed to [dst] — used with
@@ -58,5 +87,38 @@ val drop_to : 'a t -> dst:int -> unit
 val auto_deliver_policy :
   'a t -> rng:Simkit.Rng.t -> Simkit.Sched.policy -> Simkit.Sched.policy
 (** Wrap a scheduling policy: before each decision, with probability ~1/2
-    deliver a random in-flight message.  Keeps the network flowing under
-    any process-scheduling policy. *)
+    attempt a random delivery.  Keeps the network flowing under any
+    process-scheduling policy. *)
+
+val collect_quorum :
+  'a t ->
+  pid:int ->
+  need:int ->
+  seen:bool array ->
+  classify:('a -> int option) ->
+  stale:(unit -> unit) ->
+  retry_after:int ->
+  resend:(missing:int list -> unit) ->
+  unit
+(** The hardened client loop shared by the ABD registers: poll [pid]'s
+    mailbox until [need] {e distinct} replica nodes have been counted in
+    [seen].  [classify] maps a message to [Some node] (a matching reply
+    from that replica — duplicates of an already-counted node are ignored,
+    which is what makes retransmission + duplication faults safe for
+    quorum counting) or [None] (a stale/mismatched reply, reported via
+    [stale]).  After [retry_after] consecutive fruitless yields (a
+    step-count timeout on this fiber's clock), [resend ~missing] is called
+    with the replicas not yet heard from; [retry_after <= 0] disables
+    retransmission (the pre-fault blocking behaviour). *)
+
+val describe : 'a t -> string
+(** Structured diagnostic: in-flight messages as [src->dst] (with deferral
+    counts), non-empty mailbox sizes, dead destinations — the network half
+    of a watchdog stall report. *)
+
+val watchdog : ?window:int -> 'a t -> Simkit.Sched.watchdog
+(** A watchdog for {!Simkit.Sched.run} whose progress measure sums the
+    network counters ([net.sends]/[delivered]/[dead_letters]/[faults.*])
+    and [trace.responds] in this net's registry: it fires only on true
+    quiescent livelock — no message activity and no operation completing
+    for [window] (default 5000) consecutive steps. *)

@@ -1,5 +1,6 @@
 module V = History.Value
 module Sched = Simkit.Sched
+module Faults = Simkit.Faults
 
 type workload = {
   n : int;
@@ -7,30 +8,61 @@ type workload = {
   readers : int list;
   reads_each : int;
   crash : int list;
+  faults : Faults.plan;
   seed : int64;
 }
 
 let default =
-  { n = 5; writes = 4; readers = [ 1; 2 ]; reads_each = 3; crash = []; seed = 1L }
+  {
+    n = 5;
+    writes = 4;
+    readers = [ 1; 2 ];
+    reads_each = 3;
+    crash = [];
+    faults = Faults.none;
+    seed = 1L;
+  }
 
 type run = {
   history : History.Hist.t;
   trace : Simkit.Trace.t;
   completed : bool;
+  stalled : string option;
   steps : int;
 }
 
-let execute ?metrics w =
-  if List.length w.crash >= (w.n + 1) / 2 then
-    invalid_arg "Runs.execute: crash set must be a strict minority";
-  if List.mem 0 w.crash then invalid_arg "Runs.execute: cannot crash the writer";
+(* The fault policy draws from its own stream, derived from — but
+   independent of — the scheduler seed, so adding faults never perturbs
+   the scheduling/delivery randomness of the benign part of a run. *)
+let fault_seed seed = Int64.logxor seed 0xFA17FA17L
+
+let check_crashes ~what ~n ~clients crash_nodes =
+  if List.length crash_nodes >= (n + 1) / 2 then
+    invalid_arg (what ^ ": crash set must be a strict minority");
   List.iter
     (fun c ->
-      if List.mem c w.readers then
-        invalid_arg "Runs.execute: crashed nodes cannot be readers")
-    w.crash;
+      if c < 0 || c >= n then invalid_arg (what ^ ": crash node out of range");
+      if List.mem c clients then
+        invalid_arg (what ^ ": crashed nodes cannot be clients"))
+    crash_nodes
+
+let execute ?metrics w =
+  Faults.validate w.faults;
+  let plan_crashes =
+    List.sort_uniq Int.compare (List.map snd w.faults.Faults.crash_at)
+  in
+  check_crashes ~what:"Runs.execute" ~n:w.n ~clients:(0 :: w.readers)
+    (List.sort_uniq Int.compare (w.crash @ plan_crashes));
   let sched = Sched.create ~seed:w.seed ?metrics () in
-  let reg = Abd.create ~sched ~name:"ABD" ~n:w.n ~writer:0 ~init:0 in
+  let reg = Abd.create ~sched ~name:"ABD" ~n:w.n ~writer:0 ~init:0 () in
+  let faults =
+    if Faults.is_benign w.faults then None
+    else begin
+      let f = Faults.create ~seed:(fault_seed w.seed) w.faults in
+      Net.set_faults (Abd.net reg) f;
+      Some f
+    end
+  in
   let first_write_done = ref false in
   let remaining = ref (1 + List.length w.readers) in
   let finish () = decr remaining in
@@ -56,26 +88,55 @@ let execute ?metrics w =
       crashed := true;
       List.iter (fun node -> Abd.crash_node reg ~node) w.crash
     end;
+    (* the fault plan's scheduled crashes, keyed on the step clock *)
+    (match faults with
+    | Some f ->
+        List.iter
+          (fun node -> Abd.crash_node reg ~node)
+          (Faults.crashes_due f ~step:(Sched.steps sched))
+    | None -> ());
     if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
   in
   let policy = Net.auto_deliver_policy (Abd.net reg) ~rng base_policy in
   let max_steps =
     (w.writes + (List.length w.readers * w.reads_each)) * w.n * 600
   in
-  let steps = Sched.run sched ~policy ~max_steps in
+  let stalled = ref None in
+  let steps =
+    try Sched.run sched ~watchdog:(Net.watchdog (Abd.net reg)) ~policy ~max_steps
+    with Sched.Stalled diag ->
+      stalled := Some diag;
+      Sched.steps sched
+  in
   {
     history =
       History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"ABD";
     trace = Sched.trace sched;
     completed = !remaining = 0;
+    stalled = !stalled;
     steps;
   }
 
 (* multi-writer workload over the Mwabd register: several writer clients
    with globally distinct values, plus readers, random asynchrony *)
-let execute_mw ?metrics ~n ~writers ~writes_each ~readers ~reads_each ~seed () =
+let execute_mw ?metrics ?(faults = Faults.none) ~n ~writers ~writes_each
+    ~readers ~reads_each ~seed () =
+  Faults.validate faults;
+  let plan_crashes =
+    List.sort_uniq Int.compare (List.map snd faults.Faults.crash_at)
+  in
+  check_crashes ~what:"Runs.execute_mw" ~n ~clients:(writers @ readers)
+    plan_crashes;
   let sched = Sched.create ~seed ?metrics () in
-  let reg = Mwabd.create ~sched ~name:"MW" ~n ~init:0 in
+  let reg = Mwabd.create ~sched ~name:"MW" ~n ~init:0 () in
+  let fpolicy =
+    if Faults.is_benign faults then None
+    else begin
+      let f = Faults.create ~seed:(fault_seed seed) faults in
+      Net.set_faults (Mwabd.net reg) f;
+      Some f
+    end
+  in
   let remaining = ref (List.length writers + List.length readers) in
   List.iter
     (fun wnode ->
@@ -95,21 +156,40 @@ let execute_mw ?metrics ~n ~writers ~writes_each ~readers ~reads_each ~seed () =
     readers;
   let rng = Simkit.Rng.create (Int64.logxor seed 0x7E57AB1EL) in
   let policy s =
+    (match fpolicy with
+    | Some f ->
+        List.iter
+          (fun node -> Mwabd.crash_node reg ~node)
+          (Faults.crashes_due f ~step:(Sched.steps sched))
+    | None -> ());
     if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
   in
   let policy = Net.auto_deliver_policy (Mwabd.net reg) ~rng policy in
   let ops = (List.length writers * writes_each) + (List.length readers * reads_each) in
-  let steps = Sched.run sched ~policy ~max_steps:(ops * n * 800) in
+  let max_steps = ops * n * 800 in
+  let stalled = ref None in
+  let steps =
+    try
+      Sched.run sched ~watchdog:(Net.watchdog (Mwabd.net reg)) ~policy ~max_steps
+    with Sched.Stalled diag ->
+      stalled := Some diag;
+      Sched.steps sched
+  in
   {
     history =
       History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj:"MW";
     trace = Sched.trace sched;
     completed = !remaining = 0;
+    stalled = !stalled;
     steps;
   }
 
 let check ?metrics run =
-  if not run.completed then Error "run did not complete"
+  if not run.completed then
+    Error
+      (match run.stalled with
+      | None -> "run did not complete"
+      | Some diag -> "run stalled: " ^ diag)
   else if not (Linchk.Lincheck.check ?metrics ~init:(V.Int 0) run.history) then
     Error "history is not linearizable"
   else

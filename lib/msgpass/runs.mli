@@ -1,4 +1,4 @@
-(** Workload drivers for the ABD experiments (E6). *)
+(** Workload drivers for the ABD experiments (E6, E10, E11). *)
 
 type workload = {
   n : int;  (** nodes *)
@@ -6,27 +6,40 @@ type workload = {
   readers : int list;  (** client nodes issuing reads *)
   reads_each : int;
   crash : int list;  (** nodes crashed mid-run (must keep a majority) *)
+  faults : Simkit.Faults.plan;
+      (** deterministic link faults + scheduled crashes/partitions; drawn
+          from a seed derived from [seed], so faulty and benign parts of a
+          run stay independently reproducible *)
   seed : int64;
 }
 
 val default : workload
+(** Benign: [faults = Simkit.Faults.none]. *)
 
 type run = {
   history : History.Hist.t;  (** the ABD register's history *)
   trace : Simkit.Trace.t;  (** the full trace (for [rlin trace] JSONL dumps) *)
   completed : bool;  (** all client fibers finished *)
+  stalled : string option;
+      (** the watchdog's diagnostic dump, when {!Simkit.Sched.run}
+          detected quiescent livelock instead of finishing *)
   steps : int;
 }
 
 val execute : ?metrics:Obs.Metrics.t -> workload -> run
 (** Spawn the writer/reader clients, crash the requested minority after
-    the first write completes, and drive everything with a random
-    scheduler + random message delivery until the clients finish.
-    @raise Invalid_argument if the crash set is not a minority or contains
-    the writer (the writer must survive to finish its workload). *)
+    the first write completes (plus the fault plan's [crash_at] schedule,
+    keyed on the scheduler's step clock), and drive everything with a
+    random scheduler + random message delivery — under the workload's
+    fault plan — until the clients finish, [Sched.run]'s budget runs out,
+    or the network watchdog detects a stall.
+    @raise Invalid_argument if the union of [crash] and the plan's
+    [crash_at] nodes is not a strict minority or contains a client (the
+    writer and readers must survive to finish their workloads). *)
 
 val execute_mw :
   ?metrics:Obs.Metrics.t ->
+  ?faults:Simkit.Faults.plan ->
   n:int ->
   writers:int list ->
   writes_each:int ->
@@ -35,10 +48,13 @@ val execute_mw :
   seed:int64 ->
   unit ->
   run
-(** Multi-writer workload over the {!Mwabd} register (no crashes); write
-    values are globally distinct so the exact checker applies. *)
+(** Multi-writer workload over the {!Mwabd} register; write values are
+    globally distinct so the exact checker applies.  [faults] (default
+    {!Simkit.Faults.none}) works as in {!execute}; its [crash_at] nodes
+    must be a strict minority disjoint from [writers] and [readers]. *)
 
 val check : ?metrics:Obs.Metrics.t -> run -> (unit, string) result
 (** Verify the run's history is linearizable (Lincheck) and that the
     [f*] construction of Theorem 14 yields monotone write orders on every
-    prefix (write strong-linearizability, Fstar). *)
+    prefix (write strong-linearizability, Fstar).  A stalled run reports
+    the watchdog diagnostic. *)

@@ -1,0 +1,102 @@
+type plan = {
+  drop : float;
+  duplicate : float;
+  delay : float;
+  delay_bound : int;
+  crash_at : (int * int) list;
+  partitions : (int * int * int list) list;
+}
+
+let none =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    delay_bound = 0;
+    crash_at = [];
+    partitions = [];
+  }
+
+let is_benign p =
+  p.drop = 0. && p.duplicate = 0. && p.delay = 0. && p.crash_at = []
+  && p.partitions = []
+
+let affects_delivery p =
+  p.drop > 0. || p.duplicate > 0. || p.delay > 0. || p.partitions <> []
+
+let validate p =
+  let prob name v =
+    if not (v >= 0. && v <= 1.) then
+      invalid_arg (Printf.sprintf "Faults: %s must be in [0,1] (got %g)" name v)
+  in
+  prob "drop" p.drop;
+  prob "duplicate" p.duplicate;
+  prob "delay" p.delay;
+  if p.drop +. p.duplicate +. p.delay > 1. then
+    invalid_arg "Faults: drop + duplicate + delay must be <= 1";
+  if p.delay_bound < 0 then invalid_arg "Faults: delay_bound must be >= 0";
+  if p.delay > 0. && p.delay_bound = 0 then
+    invalid_arg "Faults: delay > 0 needs delay_bound > 0";
+  List.iter
+    (fun (step, _) ->
+      if step < 0 then invalid_arg "Faults: crash_at steps must be >= 0")
+    p.crash_at;
+  List.iter
+    (fun (start, len, _) ->
+      if start < 0 || len < 0 then
+        invalid_arg "Faults: partition intervals must be non-negative")
+    p.partitions
+
+let pp_plan fmt p =
+  Format.fprintf fmt "drop=%g dup=%g delay=%g(<=%d) crashes=%d partitions=%d"
+    p.drop p.duplicate p.delay p.delay_bound
+    (List.length p.crash_at)
+    (List.length p.partitions)
+
+type action = Deliver | Drop | Duplicate | Defer
+
+type t = {
+  plan_ : plan;
+  rng : Rng.t;
+  mutable pending_crashes : (int * int) list; (* ascending by step *)
+}
+
+let create ?(seed = 0xFA17L) plan_ =
+  validate plan_;
+  {
+    plan_;
+    rng = Rng.create seed;
+    pending_crashes =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) plan_.crash_at;
+  }
+
+let plan t = t.plan_
+
+let draw t ~deferrals =
+  let p = t.plan_ in
+  let u = Rng.float t.rng in
+  if u < p.drop then Drop
+  else if u < p.drop +. p.duplicate then Duplicate
+  else if u < p.drop +. p.duplicate +. p.delay && deferrals < p.delay_bound
+  then Defer
+  else Deliver
+
+let partition_active t ~step =
+  List.exists
+    (fun (start, len, _) -> step >= start && step < start + len)
+    t.plan_.partitions
+
+let partitioned t ~step ~src ~dst =
+  List.exists
+    (fun (start, len, isolated) ->
+      step >= start
+      && step < start + len
+      && List.mem src isolated <> List.mem dst isolated)
+    t.plan_.partitions
+
+let crashes_due t ~step =
+  let due, rest =
+    List.partition (fun (s, _) -> s <= step) t.pending_crashes
+  in
+  t.pending_crashes <- rest;
+  List.map snd due

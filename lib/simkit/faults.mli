@@ -1,0 +1,90 @@
+(** Deterministic, seed-driven fault plans for the message-passing layer.
+
+    The paper's model is adversarial: Theorem 6's non-termination and the
+    ABD constructions only make sense relative to a scheduler/network that
+    may misbehave.  A {!plan} describes the misbehaviour statistically —
+    per-delivery drop / duplication / deferral probabilities, a bounded
+    reorder window, a crash schedule, and partition intervals — and a
+    {!t} turns it into a reproducible stream of fault decisions drawn from
+    a {e dedicated} {!Rng} (never the scheduler's or the delivery
+    policy's), so attaching or detaching faults perturbs no other random
+    stream, and identical (plan, seed) pairs replay identical faults
+    whatever the degree of experiment parallelism.
+
+    Faults apply at {e delivery} time ({!Msgpass.Net} consults {!draw}
+    once per delivery attempt):
+    - [Drop]: the message is discarded;
+    - [Duplicate]: the message is delivered {e and} a copy is re-enqueued
+      in flight (the copy is itself subject to faults later);
+    - [Defer]: the message returns to the back of the in-flight queue —
+      bounded per message by [delay_bound], so deferral alone can reorder
+      a message past at most [delay_bound] delivery attempts and can never
+      starve it forever;
+    - [Deliver]: normal delivery.
+
+    Crash schedules ([crash_at]) and partitions are time-based, keyed on
+    the scheduler's step counter ({!Sched.steps}); the run driver applies
+    {!crashes_due} from its policy, the network consults {!partitioned}
+    before drawing.  All of it is deterministic in (plan, seed, schedule). *)
+
+type plan = {
+  drop : float;  (** per-delivery-attempt drop probability, in [0,1] *)
+  duplicate : float;  (** per-delivery duplication probability, in [0,1] *)
+  delay : float;  (** per-delivery deferral probability, in [0,1] *)
+  delay_bound : int;
+      (** max deferrals per message (the reorder window); must be > 0 for
+          [delay] to have any effect *)
+  crash_at : (int * int) list;
+      (** [(step, node)]: crash [node] once the scheduler step counter
+          reaches [step] — consumed via {!crashes_due} by the run driver *)
+  partitions : (int * int * int list) list;
+      (** [(start, length, isolated)]: during scheduler steps
+          [start <= step < start + length], messages crossing the boundary
+          between [isolated] and the rest are deferred (held in flight) *)
+}
+
+val none : plan
+(** The benign plan: all probabilities 0, no crashes, no partitions. *)
+
+val is_benign : plan -> bool
+(** No fault of any kind can ever fire. *)
+
+val affects_delivery : plan -> bool
+(** Some per-delivery fault (drop/duplicate/delay/partition) can fire —
+    i.e. the network needs to consult the fault stream at delivery time. *)
+
+val validate : plan -> unit
+(** @raise Invalid_argument unless all probabilities are in [0,1], their
+    sum is <= 1 (one uniform draw decides the action), [delay_bound >= 0]
+    (and > 0 whenever [delay > 0]), and schedule entries are sane. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** One-line rendering, e.g. [drop=0.1 dup=0.05 delay=0 crashes=2]. *)
+
+type action = Deliver | Drop | Duplicate | Defer
+
+type t
+(** A plan plus its dedicated fault RNG and crash-schedule cursor. *)
+
+val create : ?seed:int64 -> plan -> t
+(** Validates the plan.  [seed] (default [0xFA17L]) seeds the dedicated
+    fault stream. *)
+
+val plan : t -> plan
+
+val draw : t -> deferrals:int -> action
+(** Decide the fate of one delivery attempt, consuming exactly one RNG
+    draw whatever the outcome (so fault streams stay aligned across
+    plans with equal probabilities).  [deferrals] is how often this
+    message was already deferred; at [delay_bound] the [Defer] band
+    resolves to [Deliver]. *)
+
+val partitioned : t -> step:int -> src:int -> dst:int -> bool
+(** Does a partition interval active at [step] separate [src] from
+    [dst]?  (Both inside or both outside an isolated set communicate.) *)
+
+val partition_active : t -> step:int -> bool
+
+val crashes_due : t -> step:int -> int list
+(** Nodes whose [crash_at] step has arrived, each returned exactly once
+    across the life of [t] (ascending schedule order). *)

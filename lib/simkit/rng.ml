@@ -19,6 +19,11 @@ let int t bound =
   let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   x mod bound
 
+let float t =
+  (* 53 high-quality bits -> uniform in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  *. (1. /. 9007199254740992.)
+
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 let coin t = if bool t then 1 else 0
 

@@ -16,6 +16,10 @@ val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)
 
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)] (53 bits of precision) — used by the
+    fault-injection layer to test per-message probabilities. *)
+
 val bool : t -> bool
 
 val coin : t -> int

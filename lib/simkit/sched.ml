@@ -4,6 +4,7 @@ type t = {
   fibers : (int, Fiber.t) Hashtbl.t;
   mutable crashed_ : int list;
   mutable rr_cursor : int;
+  mutable steps_ : int;
   metrics_ : Obs.Metrics.t;
 }
 
@@ -14,12 +15,14 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
     fibers = Hashtbl.create 16;
     crashed_ = [];
     rr_cursor = 0;
+    steps_ = 0;
     metrics_ = metrics;
   }
 
 let trace t = t.tr
 let rng t = t.rng_
 let now t = Trace.now t.tr
+let steps t = t.steps_
 let metrics t = t.metrics_
 
 let spawn t ~pid f =
@@ -54,6 +57,7 @@ let step t ~pid =
   | Fiber.Runnable -> ()
   | _ -> invalid_arg (Printf.sprintf "Sched.step: pid %d is not runnable" pid));
   Obs.Metrics.incr t.metrics_ "sched.steps";
+  t.steps_ <- t.steps_ + 1;
   match Fiber.step f with
   | Fiber.Failed e -> raise e
   | s -> s
@@ -75,9 +79,40 @@ let coin t ~proc =
 type decision = Step of int | Halt
 type policy = t -> decision
 
-let run t ~policy ~max_steps =
+exception Stalled of string
+
+type watchdog = {
+  window : int;
+  progress : unit -> int;
+  describe : unit -> string;
+}
+
+let stall_report t w =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "scheduler watchdog: no progress for %d steps (total steps %d)\nfibers:\n"
+    w.window t.steps_;
+  List.iter
+    (fun pid ->
+      Printf.bprintf b "  p%d: %s%s\n" pid
+        (match status t ~pid with
+        | Fiber.Runnable -> "runnable"
+        | Fiber.Finished -> "finished"
+        | Fiber.Failed _ -> "failed")
+        (if crashed t ~pid then " (crashed)" else ""))
+    (pids t);
+  let extra = w.describe () in
+  if extra <> "" then Printf.bprintf b "%s\n" extra;
+  Buffer.contents b
+
+let run ?watchdog t ~policy ~max_steps =
   let steps = ref 0 in
   let continue_ = ref true in
+  (* watchdog state: the progress value at the last window boundary *)
+  let last_progress =
+    ref (match watchdog with Some w -> w.progress () | None -> 0)
+  in
+  let since = ref 0 in
   Obs.Metrics.incr t.metrics_ "sched.runs";
   while !continue_ && !steps < max_steps do
     if live_pids t = [] then continue_ := false
@@ -86,7 +121,27 @@ let run t ~policy ~max_steps =
       | Halt -> continue_ := false
       | Step pid ->
           ignore (step t ~pid);
-          incr steps
+          incr steps;
+          (match watchdog with
+          | None -> ()
+          | Some w ->
+              incr since;
+              if !since >= w.window then begin
+                let p = w.progress () in
+                if p = !last_progress then begin
+                  Obs.Metrics.incr t.metrics_ "sched.watchdog.fired";
+                  Obs.Metrics.observe t.metrics_ "sched.run.steps"
+                    (float_of_int !steps);
+                  let report = stall_report t w in
+                  Trace.note t.tr ~tag:"watchdog"
+                    ~text:
+                      (Printf.sprintf "stalled after %d steps without progress"
+                         w.window);
+                  raise (Stalled report)
+                end;
+                last_progress := p;
+                since := 0
+              end)
   done;
   Obs.Metrics.observe t.metrics_ "sched.run.steps" (float_of_int !steps);
   !steps

@@ -21,6 +21,11 @@ val trace : t -> Trace.t
 val rng : t -> Rng.t
 val now : t -> int
 
+val steps : t -> int
+(** Total process steps taken so far, across every {!step}/{!run} call —
+    the scheduler-step clock that time-based fault schedules
+    ({!Faults.plan}'s [crash_at] and partitions) are keyed on. *)
+
 val metrics : t -> Obs.Metrics.t
 (** The registry this scheduler (and its trace, and any component built on
     it, e.g. {!Msgpass.Net}) records into. *)
@@ -59,10 +64,34 @@ type decision = Step of int | Halt
 type policy = t -> decision
 (** A schedule policy; consulted before every step. *)
 
-val run : t -> policy:policy -> max_steps:int -> int
+exception Stalled of string
+(** Raised by {!run} when its watchdog fires; the payload is the full
+    diagnostic dump (fiber statuses, crash markers, and whatever the
+    watchdog's [describe] adds — mailbox and in-flight state when built
+    with [Net.watchdog]). *)
+
+type watchdog = {
+  window : int;  (** steps without progress before firing *)
+  progress : unit -> int;
+      (** a monotone progress measure (e.g. a sum of delivery and
+          response counters); if it is unchanged across a whole window
+          the system is quiescent-livelocked *)
+  describe : unit -> string;
+      (** extra component state for the stall report (may be [""]) *)
+}
+
+val run : ?watchdog:watchdog -> t -> policy:policy -> max_steps:int -> int
 (** Drive the system with [policy] until it halts, no process is runnable,
     or [max_steps] decisions have been taken.  Returns the number of steps
-    taken. *)
+    taken.
+
+    With [watchdog], every [window] steps the [progress] measure is
+    polled; if it did not move at all, the run is livelocked (every live
+    fiber just spins/yields with nothing in flight and nothing completing)
+    and {!Stalled} is raised with a structured diagnostic — instead of
+    silently burning the remaining [max_steps].  Fires the
+    [sched.watchdog.fired] counter and leaves a [watchdog] note in the
+    trace. *)
 
 val round_robin : policy
 (** Fair policy: cycles over live processes. *)

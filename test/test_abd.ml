@@ -76,7 +76,7 @@ let abd_tests =
   [
     tc "writer reads back its own last write" (fun () ->
         let sched = Sched.create ~seed:1L () in
-        let reg = Abd.create ~sched ~name:"ABD" ~n:3 ~writer:0 ~init:0 in
+        let reg = Abd.create ~sched ~name:"ABD" ~n:3 ~writer:0 ~init:0 () in
         let got = ref (-1) in
         Sched.spawn sched ~pid:0 (fun () ->
             Abd.write reg 5;
@@ -89,28 +89,29 @@ let abd_tests =
         check_int "read back" 5 !got);
     tc "majority is computed correctly" (fun () ->
         let reg =
-          Abd.create ~sched:(Sched.create ()) ~name:"A" ~n:5 ~writer:0 ~init:0
+          Abd.create ~sched:(Sched.create ()) ~name:"A" ~n:5 ~writer:0 ~init:0 ()
         in
         check_int "majority of 5" 3 (Abd.majority reg);
         let reg4 =
-          Abd.create ~sched:(Sched.create ()) ~name:"B" ~n:4 ~writer:0 ~init:0
+          Abd.create ~sched:(Sched.create ()) ~name:"B" ~n:4 ~writer:0 ~init:0 ()
         in
         check_int "majority of 4" 3 (Abd.majority reg4));
     tc "create validates parameters" (fun () ->
         let sched = Sched.create () in
         Alcotest.check_raises "n" (Invalid_argument "Abd.create: n must be >= 2")
-          (fun () -> ignore (Abd.create ~sched ~name:"X" ~n:1 ~writer:0 ~init:0));
+          (fun () ->
+            ignore (Abd.create ~sched ~name:"X" ~n:1 ~writer:0 ~init:0 ()));
         Alcotest.check_raises "writer"
           (Invalid_argument "Abd.create: writer out of range") (fun () ->
-            ignore (Abd.create ~sched ~name:"Y" ~n:3 ~writer:5 ~init:0)));
+            ignore (Abd.create ~sched ~name:"Y" ~n:3 ~writer:5 ~init:0 ())));
     tc "operations complete despite minority crash" (fun () ->
         let w = { Runs.default with crash = [ 3; 4 ]; seed = 77L } in
         let run = Runs.execute w in
         check_bool "completed" true run.Runs.completed);
     tc "crashing the writer is rejected by the driver" (fun () ->
         Alcotest.check_raises "writer"
-          (Invalid_argument "Runs.execute: cannot crash the writer") (fun () ->
-            ignore (Runs.execute { Runs.default with crash = [ 0 ] })));
+          (Invalid_argument "Runs.execute: crashed nodes cannot be clients")
+          (fun () -> ignore (Runs.execute { Runs.default with crash = [ 0 ] })));
     tc "crashing a majority is rejected by the driver" (fun () ->
         Alcotest.check_raises "majority"
           (Invalid_argument "Runs.execute: crash set must be a strict minority")

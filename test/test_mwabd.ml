@@ -15,7 +15,7 @@ let basic_tests =
   [
     tc "any node can write; readers see the latest" (fun () ->
         let sched = Sched.create ~seed:1L () in
-        let reg = Mw.create ~sched ~name:"MW" ~n:3 ~init:0 in
+        let reg = Mw.create ~sched ~name:"MW" ~n:3 ~init:0 () in
         let got = ref (-1) in
         Sched.spawn sched ~pid:0 (fun () -> Mw.write reg ~proc:0 5);
         Sched.spawn sched ~pid:1 (fun () ->
@@ -29,7 +29,7 @@ let basic_tests =
         check_bool "one of the writes" true (!got = 5 || !got = 6));
     tc "reader of a quiescent register reads the last write" (fun () ->
         let sched = Sched.create ~seed:3L () in
-        let reg = Mw.create ~sched ~name:"MW" ~n:3 ~init:0 in
+        let reg = Mw.create ~sched ~name:"MW" ~n:3 ~init:0 () in
         let got = ref (-1) in
         let w_done = ref false in
         Sched.spawn sched ~pid:0 (fun () ->
@@ -53,7 +53,7 @@ let basic_tests =
         Alcotest.check_raises "n" (Invalid_argument "Mwabd.create: n must be >= 2")
           (fun () ->
             ignore
-              (Mw.create ~sched:(Sched.create ()) ~name:"X" ~n:1 ~init:0)));
+              (Mw.create ~sched:(Sched.create ()) ~name:"X" ~n:1 ~init:0 ())));
   ]
 
 let random_tests =

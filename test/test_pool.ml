@@ -131,8 +131,14 @@ let test_battery_independent_of_jobs () =
                  (List.init (String.length k - 6) (fun i -> i))))
         r.Experiments.metrics )
   in
-  let only = Some [ "E1"; "E2"; "E5"; "E9" ] in
+  let only = Some [ "E1"; "E2"; "E5"; "E9"; "E11" ] in
+  (* each battery starts from a clean registry, as `rlin experiments`
+     does in a fresh process: gauges (e.g. net.in_flight) are last-write
+     -wins, so a stale value from a previous battery would hide an
+     identical gauge from the second delta *)
+  Obs.Metrics.reset Obs.Metrics.global;
   let seq = List.map strip (Experiments.all ~jobs:1 ?only ~quick:true ()) in
+  Obs.Metrics.reset Obs.Metrics.global;
   let par = List.map strip (Experiments.all ~jobs:4 ?only ~quick:true ()) in
   List.iter2
     (fun (id1, p1, m1, k1) (id2, p2, m2, k2) ->
@@ -155,7 +161,7 @@ let test_only_selection () =
   Alcotest.check_raises "unknown id rejected"
     (Invalid_argument
        "Experiments: unknown id \"E99\" (know E1, E2, E3, E4, E5, E6, E7, \
-        E8, E9, E10)") (fun () ->
+        E8, E9, E10, E11)") (fun () ->
       ignore (Experiments.all ~only:[ "E99" ] ~quick:true ()))
 
 let suite =
