@@ -3,13 +3,16 @@
 
    Subcommands:
      rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
-                      [--drop P] [--dup P] [--delay P]
-                                       run the E1-E11 battery
+                      [--drop P] [--dup P] [--delay P] [--crash n@s,...]
+                                       run the E1-E12 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
      rlin mwabd                        multi-writer ABD + its non-WSL refutation
-     rlin chaos --mode MODE            chaos adversary vs the exact checker
+     rlin chaos run ...                random config search + online monitors
+     rlin chaos replay PATH            replay the regression corpus verbatim
+     rlin chaos shrink PATH            re-minimize corpus entries
+     rlin chaos adv --mode MODE        chaos adversary vs the exact checker
      rlin consensus ...                run Corollary 9's A'
      rlin trace --source S --out FILE  dump a run's trace as JSONL
      rlin metrics --source S           run a workload, print its metrics
@@ -68,6 +71,42 @@ let faults_term =
   in
   Term.(const build $ drop $ dup $ delay $ delay_bound)
 
+(* ----- crash schedules -------------------------------------------------------- *)
+
+(* `--crash` entries: either a bare node (crash once the run is underway —
+   the legacy `rlin abd` form) or node@step (crash on the scheduler's step
+   clock, the Simkit.Faults.crash_at form). *)
+let crash_item_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> (
+        match int_of_string_opt s with
+        | Some node -> Ok (`Node node)
+        | None -> Error (`Msg (Printf.sprintf "bad crash entry %S" s)))
+    | Some i -> (
+        let node = String.sub s 0 i in
+        let step = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt node, int_of_string_opt step) with
+        | Some node, Some step when step >= 0 -> Ok (`At (step, node))
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf "bad crash entry %S (want NODE or NODE@STEP)"
+                    s)))
+  in
+  let print fmt = function
+    | `Node n -> Format.fprintf fmt "%d" n
+    | `At (s, n) -> Format.fprintf fmt "%d@%d" n s
+  in
+  Arg.conv (parse, print)
+
+let crash_arg ~doc = Arg.(value & opt (list crash_item_conv) [] & info [ "crash" ] ~docv:"SPECS" ~doc)
+
+let split_crash_items items =
+  List.partition_map
+    (function `Node n -> Left n | `At (s, n) -> Right (s, n))
+    items
+
 (* ----- experiments --------------------------------------------------------- *)
 
 let jobs_arg =
@@ -103,7 +142,7 @@ let experiments_cmd =
             "Also write the battery as line-delimited JSON, one record per \
              report ('-' for stdout).")
   in
-  let run quick jobs only json faults =
+  let run quick jobs only json faults crash =
     (match only with
     | Some ids when
         List.exists
@@ -114,6 +153,30 @@ let experiments_cmd =
           (String.concat ", " Experiments.ids);
         exit 2
     | _ -> ());
+    let faults =
+      (* --crash n@s[,n@s...] joins the link-fault plan as its crash_at
+         schedule; validated against E6's topology (5 nodes, clients
+         0/1/2) — the only fault-aware experiment with crashable nodes *)
+      let legacy, schedule = split_crash_items crash in
+      if legacy <> [] then begin
+        Printf.eprintf
+          "rlin: experiments --crash takes NODE@STEP entries (got a bare \
+           node)\n";
+        exit 2
+      end;
+      (try
+         Core.Abd_runs.validate_crash_schedule ~what:"rlin experiments" ~n:5
+           ~clients:[ 0; 1; 2 ] schedule
+       with Invalid_argument msg ->
+         Printf.eprintf "rlin: %s\n" msg;
+         exit 2);
+      match (faults, schedule) with
+      | None, [] -> None
+      | Some plan, schedule ->
+          Some { plan with Core.Faults.crash_at = schedule }
+      | None, schedule ->
+          Some { Core.Faults.none with Core.Faults.crash_at = schedule }
+    in
     (match faults with
     | Some plan -> (
         try Core.Faults.validate plan
@@ -136,10 +199,18 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
-         "Run the full experiment battery (E1-E11), one per paper artifact; \
-          $(b,--drop)/$(b,--dup)/$(b,--delay) subject the fault-aware \
-          experiments (E6, E10) to a deterministic link-fault plan.")
-    Term.(const run $ quick $ jobs_arg $ only $ json $ faults_term)
+         "Run the full experiment battery (E1-E12), one per paper artifact; \
+          $(b,--drop)/$(b,--dup)/$(b,--delay)/$(b,--crash) subject the \
+          fault-aware experiments (E6, E10) to a deterministic link-fault \
+          plan (crash schedules affect E6 only: E10's nodes are all \
+          clients).")
+    Term.(
+      const run $ quick $ jobs_arg $ only $ json $ faults_term
+      $ crash_arg
+          ~doc:
+            "Comma-separated NODE@STEP crash schedule for the fault-aware \
+             experiments, e.g. $(b,3@150,4@300) (E6 topology: 5 nodes, \
+             clients 0-2).")
 
 (* ----- game ----------------------------------------------------------------- *)
 
@@ -250,24 +321,35 @@ let abd_cmd =
   let writes =
     Arg.(value & opt int 5 & info [ "writes" ] ~docv:"K" ~doc:"Writer operations.")
   in
-  let crash =
-    Arg.(
-      value & opt (list int) []
-      & info [ "crash" ] ~docv:"NODES" ~doc:"Comma-separated nodes to crash.")
-  in
   let run n writes crash seed faults =
+    (* bare nodes crash once the run is underway (the legacy behaviour);
+       NODE@STEP entries join the fault plan's step-clock schedule *)
+    let legacy, schedule = split_crash_items crash in
+    (try
+       Core.Abd_runs.validate_crash_schedule ~what:"rlin abd" ~n
+         ~clients:[ 0; 1; 2 ] schedule
+     with Invalid_argument msg ->
+       Printf.eprintf "rlin: %s\n" msg;
+       exit 2);
+    let faults = Option.value faults ~default:Core.Faults.none in
+    let faults = { faults with Core.Faults.crash_at = schedule } in
     let w =
       {
         Core.Abd_runs.n;
         writes;
         readers = [ 1; 2 ];
         reads_each = writes - 1;
-        crash;
-        faults = Option.value faults ~default:Core.Faults.none;
+        crash = legacy;
+        faults;
         seed;
       }
     in
-    let run = Core.Abd_runs.execute w in
+    let run =
+      try Core.Abd_runs.execute w
+      with Invalid_argument msg ->
+        Printf.eprintf "rlin: %s\n" msg;
+        exit 2
+    in
     print_string (Core.Timeline.render run.Core.Abd_runs.history);
     match Core.Abd_runs.check run with
     | Ok () ->
@@ -281,8 +363,17 @@ let abd_cmd =
     (Cmd.info "abd"
        ~doc:
          "Run an ABD workload in the message-passing simulator, optionally \
-          under a link-fault plan ($(b,--drop)/$(b,--dup)/$(b,--delay)).")
-    Term.(const run $ n_arg 5 $ writes $ crash $ seed_arg $ faults_term)
+          under a link-fault plan ($(b,--drop)/$(b,--dup)/$(b,--delay)) \
+          and a crash schedule ($(b,--crash 3,4@200): crash node 3 once \
+          underway, node 4 at step 200).")
+    Term.(
+      const run $ n_arg 5 $ writes
+      $ crash_arg
+          ~doc:
+            "Comma-separated crash entries: a bare NODE crashes after the \
+             first write completes, NODE@STEP crashes on the scheduler's \
+             step clock."
+      $ seed_arg $ faults_term)
 
 (* ----- consensus ------------------------------------------------------------- *)
 
@@ -347,7 +438,191 @@ let mwabd_cmd =
 
 (* ----- chaos ------------------------------------------------------------------ *)
 
-let chaos_cmd =
+let violation_line (v : Core.Monitor.violation) =
+  Printf.sprintf "%s: %s" v.Core.Monitor.monitor v.Core.Monitor.detail
+
+let chaos_run_cmd =
+  let budget =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Number of random configurations to execute.")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-quorum-bug" ]
+          ~doc:
+            "Self-test: generate configs whose quorum override is majority \
+             - 1 (no quorum intersection), proving the monitor -> shrinker \
+             -> corpus loop catches a real protocol bug.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Append every minimal reproducer to \
+             $(docv)/found-SEED.jsonl for $(b,rlin chaos replay).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the search report as one JSONL record ('-' for stdout); \
+             carries no wall-clock, so reports diff clean across -j.")
+  in
+  let run budget seed jobs inject corpus json =
+    let report =
+      Core.Chaos.search ~jobs
+        ?inject:(if inject then Some Core.Chaos.Quorum_too_small else None)
+        ~telemetry:Obs.Metrics.global ~seed ~budget ()
+    in
+    let findings = report.Core.Chaos.findings in
+    Printf.printf "chaos: %d configs explored (seed %Ld), %d violations\n"
+      budget seed (List.length findings);
+    List.iter
+      (fun f ->
+        Printf.printf "  [%d] %s\n      shrunk to %s in %d executions\n"
+          f.Core.Chaos.index
+          (violation_line f.Core.Chaos.first)
+          (Core.Json.to_string
+             (Core.Run_config.json f.Core.Chaos.shrunk.Core.Shrink.config))
+          f.Core.Chaos.shrunk.Core.Shrink.attempts)
+      findings;
+    Option.iter
+      (fun dir ->
+        if findings <> [] then begin
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path =
+            Filename.concat dir (Printf.sprintf "found-%Ld.jsonl" seed)
+          in
+          List.iter (Core.Corpus.append path) (Core.Chaos.to_entries report);
+          Printf.printf "wrote %d reproducers to %s\n" (List.length findings)
+            path
+        end)
+      corpus;
+    Option.iter
+      (fun path -> write_jsonl path [ Core.Chaos.report_json report ])
+      json;
+    if findings = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Random chaos search: sample (workload x fault plan x crash \
+          schedule x policy) configurations, execute each against the \
+          online monitors (linearizability, termination, quorum sanity), \
+          and delta-debug every violation to a minimal reproducer.  Exits \
+          non-zero when violations were found.")
+    Term.(const run $ budget $ seed_arg $ jobs_arg $ inject $ corpus $ json)
+
+let replay_path path =
+  match Core.Corpus.load path with
+  | Error e ->
+      Printf.eprintf "rlin chaos replay: %s\n" e;
+      2
+  | Ok [] ->
+      Printf.printf "no corpus entries under %s\n" path;
+      0
+  | Ok entries ->
+      let drift = ref 0 in
+      List.iteri
+        (fun i (e : Core.Corpus.entry) ->
+          match Core.Corpus.replay e with
+          | Core.Corpus.Reproduced ->
+              Printf.printf "[%d] reproduced: %s\n" i
+                (violation_line e.Core.Corpus.violation)
+          | Core.Corpus.Changed v ->
+              incr drift;
+              Printf.printf "[%d] CHANGED: stored %s, now %s\n" i
+                (violation_line e.Core.Corpus.violation)
+                (violation_line v)
+          | Core.Corpus.Fixed ->
+              incr drift;
+              Printf.printf "[%d] FIXED: %s no longer reproduces\n" i
+                (violation_line e.Core.Corpus.violation))
+        entries;
+      let total = List.length entries in
+      Printf.printf "%d/%d entries reproduce verbatim\n" (total - !drift)
+        total;
+      if !drift = 0 then 0 else 1
+
+let corpus_path_arg =
+  Arg.(
+    value & pos 0 string "corpus"
+    & info [] ~docv:"PATH"
+        ~doc:"A .jsonl corpus file, or a directory of them.")
+
+let chaos_replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute every regression-corpus entry from its recorded \
+          config and demand the byte-identical violation.  Exits non-zero \
+          on drift — a silently fixed entry and a changed failure mode \
+          both count.")
+    Term.(const replay_path $ corpus_path_arg)
+
+let chaos_shrink_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the re-minimized entries as a fresh corpus file.")
+  in
+  let run path out =
+    match Core.Corpus.load path with
+    | Error e ->
+        Printf.eprintf "rlin chaos shrink: %s\n" e;
+        2
+    | Ok entries ->
+        let shrunk =
+          List.filter_map
+            (fun (e : Core.Corpus.entry) ->
+              match Core.Monitor.run_config e.Core.Corpus.config with
+              | None ->
+                  Printf.printf "dropping fixed entry (%s)\n"
+                    (violation_line e.Core.Corpus.violation);
+                  None
+              | Some v ->
+                  let o =
+                    Core.Shrink.minimize ~violation:v e.Core.Corpus.config
+                  in
+                  Printf.printf
+                    "%s: %d further reduction(s) in %d executions\n"
+                    v.Core.Monitor.monitor o.Core.Shrink.steps
+                    o.Core.Shrink.attempts;
+                  Some
+                    {
+                      e with
+                      Core.Corpus.config = o.Core.Shrink.config;
+                      violation = o.Core.Shrink.violation;
+                      shrink_attempts =
+                        e.Core.Corpus.shrink_attempts + o.Core.Shrink.attempts;
+                    })
+            entries
+        in
+        (match out with
+        | Some f ->
+            Core.Corpus.save f shrunk;
+            Printf.printf "wrote %d entries to %s\n" (List.length shrunk) f
+        | None -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Re-run the delta-debugging shrinker over existing corpus entries \
+          (useful after widening the shrink lattice); entries that no \
+          longer fail are dropped.")
+    Term.(const run $ corpus_path_arg $ out)
+
+let chaos_adv_cmd =
   let run mode seed =
     let o = Core.Scenario.Chaos.run ~mode ~n_procs:3 ~ops_per_proc:4 ~seed in
     print_string (Core.Timeline.render o.Core.Scenario.Chaos.history);
@@ -360,9 +635,34 @@ let chaos_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "adv"
        ~doc:"Drive a register with the chaos adversary and check the history.")
     Term.(const run $ mode_conv_term $ seed_arg)
+
+let chaos_cmd =
+  let replay_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:"Shorthand for $(b,rlin chaos replay) $(docv).")
+  in
+  let default =
+    Term.(
+      ret
+        (const (function
+           | Some path -> `Ok (replay_path path)
+           | None -> `Help (`Pager, Some "chaos"))
+        $ replay_opt))
+  in
+  Cmd.group ~default
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos search with online invariant monitors, counterexample \
+          shrinking and a replayable regression corpus ($(b,run), \
+          $(b,replay), $(b,shrink)); $(b,adv) drives the adversarial \
+          register from the earlier scenarios.")
+    [ chaos_run_cmd; chaos_replay_cmd; chaos_shrink_cmd; chaos_adv_cmd ]
 
 (* ----- trace ------------------------------------------------------------------ *)
 

@@ -1,0 +1,149 @@
+module Config = Msgpass.Runs.Config
+module Faults = Simkit.Faults
+module Rng = Simkit.Rng
+module Pool = Simkit.Pool
+
+type bug = Quorum_too_small
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+(* the generator stays below the top prob_ladder rungs: heavy loss is the
+   shrinker's territory, the search must never trip the termination
+   monitor on healthy code *)
+let gen_rungs = [ 0.; 0.01; 0.02; 0.05; 0.1; 0.15; 0.2 ]
+
+(* Per-index stream: configs depend only on (seed, index), never on
+   scheduling order.  The [split] matters — it routes the raw counter
+   through the SplitMix finalizer twice, so adjacent indices get
+   avalanche-decorrelated streams rather than one stream offset by a
+   draw (which is what a golden-gamma stride alone would produce). *)
+let task_seed ~seed index =
+  Int64.add seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L)
+
+let gen_config ?inject ~seed index =
+  let rng = Rng.split (Rng.create (task_seed ~seed index)) in
+  let proto = if Rng.bool rng then Config.Sw else Config.Mw in
+  let n = if Rng.bool rng then 3 else 5 in
+  let writers =
+    match proto with
+    | Config.Sw -> [ 0 ]
+    | Config.Mw -> if n = 5 && Rng.bool rng then [ 0; 1 ] else [ 0 ]
+  in
+  let rest = List.filter (fun x -> not (List.mem x writers)) (List.init n Fun.id) in
+  let n_readers = 1 + Rng.int rng 2 in
+  let readers = List.filteri (fun i _ -> i < n_readers) rest in
+  let writes_each = 1 + Rng.int rng 3 in
+  let reads_each = Rng.int rng 4 in
+  let drop = pick rng gen_rungs in
+  let duplicate = pick rng gen_rungs in
+  let delay = pick rng gen_rungs in
+  let delay_bound = if delay > 0. then pick rng [ 2; 5; 10 ] else 0 in
+  let clients = writers @ readers in
+  let crashable =
+    List.filter (fun x -> not (List.mem x clients)) (List.init n Fun.id)
+  in
+  let max_crashes = min (List.length crashable) ((n - 1) / 2) in
+  let n_crashes = Rng.int rng (max_crashes + 1) in
+  let crash_at =
+    List.filteri (fun i _ -> i < n_crashes) crashable
+    |> List.map (fun node -> (Rng.int rng 1500, node))
+  in
+  let partitions =
+    if Rng.int rng 4 = 0 then
+      [ (Rng.int rng 800, 100 + Rng.int rng 300, [ Rng.int rng n ]) ]
+    else []
+  in
+  let policy = if Rng.int rng 4 = 0 then `Round_robin else `Random in
+  let quorum =
+    match inject with
+    | Some Quorum_too_small -> Some (n / 2) (* majority - 1: no intersection *)
+    | None -> None
+  in
+  let c =
+    {
+      Config.proto;
+      n;
+      writers;
+      writes_each;
+      readers;
+      reads_each;
+      faults =
+        { Faults.drop; duplicate; delay; delay_bound; crash_at; partitions };
+      seed = Rng.next_int64 rng;
+      policy;
+      max_steps = None;
+      quorum;
+    }
+  in
+  Config.validate c;
+  c
+
+type finding = {
+  index : int;
+  original : Config.t;
+  first : Monitor.violation;
+  shrunk : Shrink.outcome;
+}
+
+type report = { seed : int64; budget : int; findings : finding list }
+
+let search ?(monitors = Monitor.standard) ?(jobs = 1) ?inject
+    ?(shrink_attempts = 400) ?telemetry ~seed ~budget () =
+  let metrics =
+    match telemetry with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  (* the parallel part is pure per-index search; shrinking runs
+     sequentially afterwards, in index order, so the whole report is a
+     function of (seed, budget) alone — byte-identical at any [-j] *)
+  let hits =
+    Pool.map_runs ~jobs ~metrics budget (fun ~metrics i ->
+        let c = gen_config ?inject ~seed i in
+        match Monitor.run_config ~monitors ~telemetry:metrics c with
+        | None -> None
+        | Some v -> Some (i, c, v))
+  in
+  let findings =
+    Array.to_list hits
+    |> List.filter_map Fun.id
+    |> List.map (fun (index, original, first) ->
+           let shrunk =
+             Shrink.minimize ~monitors ~max_attempts:shrink_attempts
+               ~violation:first original
+           in
+           { index; original; first; shrunk })
+  in
+  { seed; budget; findings }
+
+let to_entries report =
+  List.map
+    (fun f ->
+      {
+        Corpus.config = f.shrunk.Shrink.config;
+        violation = f.shrunk.Shrink.violation;
+        original = Some f.original;
+        shrink_attempts = f.shrunk.Shrink.attempts;
+      })
+    report.findings
+
+let finding_json f =
+  Obs.Json.Obj
+    [
+      ("index", Obs.Json.Int f.index);
+      ("first", Monitor.violation_json f.first);
+      ("violation", Monitor.violation_json f.shrunk.Shrink.violation);
+      ("original", Config.json f.original);
+      ("minimal", Config.json f.shrunk.Shrink.config);
+      ("shrink_attempts", Obs.Json.Int f.shrunk.Shrink.attempts);
+      ("shrink_steps", Obs.Json.Int f.shrunk.Shrink.steps);
+    ]
+
+(* deliberately no wall-clock field: CI diffs these across [-j] *)
+let report_json r =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "chaos_report");
+      ("seed", Obs.Json.Str (Int64.to_string r.seed));
+      ("budget", Obs.Json.Int r.budget);
+      ("violations", Obs.Json.Int (List.length r.findings));
+      ("findings", Obs.Json.List (List.map finding_json r.findings));
+    ]

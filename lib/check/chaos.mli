@@ -1,0 +1,54 @@
+(** Randomized chaos search over run configurations.
+
+    Samples (workload × fault plan × crash schedule × scheduler policy)
+    configurations from a seed, executes each against the online
+    {!Monitor}s, and delta-debugs every violation down to a minimal
+    reproducer.  The whole report is a deterministic function of
+    [(seed, budget)]: per-index config generation uses a SplitMix-style
+    stride, the parallel phase runs under the {!Simkit.Pool} determinism
+    contract, and shrinking is sequential in index order — so [-j 1] and
+    [-j N] produce byte-identical reports. *)
+
+type bug = Quorum_too_small
+    (** Self-test fault injection: generate configs whose [quorum]
+        override is [majority - 1], breaking quorum intersection.  E12
+        uses it to prove the search → shrink → corpus loop catches a real
+        protocol bug. *)
+
+val gen_config :
+  ?inject:bug -> seed:int64 -> int -> Msgpass.Runs.Config.t
+(** The [index]-th config of stream [seed]; always {!Msgpass.Runs.Config.validate}-clean.
+    Probabilities stay on the lower {!Simkit.Faults.prob_ladder} rungs,
+    crash schedules are strict minorities of non-client nodes. *)
+
+type finding = {
+  index : int;  (** which sampled config *)
+  original : Msgpass.Runs.Config.t;
+  first : Monitor.violation;  (** as found, pre-shrink *)
+  shrunk : Shrink.outcome;  (** the minimal reproducer *)
+}
+
+type report = { seed : int64; budget : int; findings : finding list }
+
+val search :
+  ?monitors:Monitor.t list ->
+  ?jobs:int ->
+  ?inject:bug ->
+  ?shrink_attempts:int ->
+  ?telemetry:Obs.Metrics.t ->
+  seed:int64 ->
+  budget:int ->
+  unit ->
+  report
+(** Execute configs [0..budget-1] on [jobs] domains (default 1), shrink
+    every violation ([shrink_attempts] oracle executions each, default
+    400).  Per-run metrics are folded into [telemetry] in index order
+    when given. *)
+
+val to_entries : report -> Corpus.entry list
+(** The findings as corpus entries (minimal config + violation +
+    pre-shrink original). *)
+
+val report_json : report -> Obs.Json.t
+(** [{"kind":"chaos_report",…}] — carries no wall-clock or job-count
+    fields, so reports from different [-j] runs diff clean. *)

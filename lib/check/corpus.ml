@@ -1,0 +1,102 @@
+module Config = Msgpass.Runs.Config
+
+type entry = {
+  config : Config.t;
+  violation : Monitor.violation;
+  original : Config.t option;
+  shrink_attempts : int;
+}
+
+let entry_json e =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "chaos_repro");
+      ("config", Config.json e.config);
+      ("violation", Monitor.violation_json e.violation);
+      ( "original",
+        match e.original with
+        | Some c -> Config.json c
+        | None -> Obs.Json.Null );
+      ("shrink_attempts", Obs.Json.Int e.shrink_attempts);
+    ]
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Obs.Json.member "kind" j) Obs.Json.to_string_opt with
+    | Some "chaos_repro" -> Ok ()
+    | _ -> Error "Corpus.entry_of_json: kind is not \"chaos_repro\""
+  in
+  let* config =
+    match Obs.Json.member "config" j with
+    | Some c -> Config.of_json c
+    | None -> Error "Corpus.entry_of_json: missing \"config\""
+  in
+  let* violation =
+    match Obs.Json.member "violation" j with
+    | Some v -> Monitor.violation_of_json v
+    | None -> Error "Corpus.entry_of_json: missing \"violation\""
+  in
+  let* original =
+    match Obs.Json.member "original" j with
+    | None | Some Obs.Json.Null -> Ok None
+    | Some c -> Result.map Option.some (Config.of_json c)
+  in
+  let shrink_attempts =
+    match
+      Option.bind (Obs.Json.member "shrink_attempts" j) Obs.Json.to_int_opt
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  Ok { config; violation; original; shrink_attempts }
+
+let load_file path =
+  let ( let* ) = Result.bind in
+  let* values = Obs.Export.parse_file path in
+  List.fold_left
+    (fun acc v ->
+      let* entries = acc in
+      let* e =
+        Result.map_error (fun m -> path ^ ": " ^ m) (entry_of_json v)
+      in
+      Ok (entries @ [ e ]))
+    (Ok []) values
+
+let load path =
+  if Sys.file_exists path && Sys.is_directory path then
+    let files =
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+      |> List.sort String.compare
+      |> List.map (Filename.concat path)
+    in
+    List.fold_left
+      (fun acc f ->
+        Result.bind acc (fun entries ->
+            Result.map (fun es -> entries @ es) (load_file f)))
+      (Ok []) files
+  else load_file path
+
+let save path entries = Obs.Export.to_file path (List.map entry_json entries)
+
+let append path entry =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs.Export.write_line oc (entry_json entry))
+
+type replay_outcome = Reproduced | Changed of Monitor.violation | Fixed
+
+(* "Byte-for-byte": compare the serialized violations, which is what the
+   JSONL corpus stores and what CI diffs. *)
+let replay ?monitors entry =
+  match Monitor.run_config ?monitors entry.config with
+  | None -> Fixed
+  | Some v ->
+      if
+        String.equal
+          (Obs.Json.to_string (Monitor.violation_json v))
+          (Obs.Json.to_string (Monitor.violation_json entry.violation))
+      then Reproduced
+      else Changed v

@@ -1,0 +1,61 @@
+(** Online invariant monitors for chaos runs.
+
+    A monitor audits one executed {!Msgpass.Runs.Config.t} — its run
+    record and the private metric registry the execution recorded into —
+    and reports at most one {!violation}.  Monitors are pure in the
+    (config, run, metrics) triple, so re-executing a config reproduces
+    its violation exactly; that is what makes the corpus replayable. *)
+
+type violation = {
+  monitor : string;
+      (** which invariant failed: ["linearizability"],
+          ["termination/stalled"], ["termination/budget"] or
+          ["quorum-sanity"] *)
+  detail : string;  (** human-readable specifics *)
+}
+
+val violation_json : violation -> Obs.Json.t
+(** [{"kind":"violation","monitor":…,"detail":…}]. *)
+
+val violation_of_json : Obs.Json.t -> (violation, string) result
+
+type t = {
+  name : string;
+  check :
+    config:Msgpass.Runs.Config.t ->
+    run:Msgpass.Runs.run ->
+    metrics:Obs.Metrics.t ->
+    violation option;
+}
+
+val linearizability : t
+(** The run's projected history passes {!Linchk.Lincheck.check}.  Applies
+    to incomplete runs too (pending operations are handled exactly). *)
+
+val termination : t
+(** The run completed within its step budget and the watchdog never
+    fired.  Reports as ["termination/stalled"] (with the structured
+    watchdog diagnostic rendered) or ["termination/budget"] — two names,
+    so the shrinker cannot silently trade one failure mode for the
+    other. *)
+
+val quorum_sanity : t
+(** Every quorum round waited for enough replies to guarantee
+    intersection ([2*need > n]), audited from the [reg.*.quorum.need]
+    histogram.  Catches the test-only [quorum] override of
+    {!Msgpass.Abd.create} even on schedules where the history happens to
+    linearize anyway. *)
+
+val standard : t list
+(** The three monitors above, in that order. *)
+
+val run_config :
+  ?monitors:t list ->
+  ?telemetry:Obs.Metrics.t ->
+  Msgpass.Runs.Config.t ->
+  violation option
+(** Execute the config against a fresh private registry and return the
+    first violation ([monitors] order; default {!standard}).  The private
+    registry is merged into [telemetry] afterwards when given, so
+    parallel searches can aggregate without polluting the monitors'
+    per-run view.  Deterministic in the config. *)

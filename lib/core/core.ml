@@ -83,6 +83,14 @@ module Abd = Msgpass.Abd
 module Mwabd = Msgpass.Mwabd
 module Mwabd_scenario = Msgpass.Mwabd_scenario
 module Abd_runs = Msgpass.Runs
+module Run_config = Msgpass.Runs.Config
+
+(* ----- chaos checking --------------------------------------------------------- *)
+
+module Monitor = Check.Monitor
+module Shrink = Check.Shrink
+module Corpus = Check.Corpus
+module Chaos = Check.Chaos
 
 (* ----- consensus / Corollary 9 ----------------------------------------------- *)
 

@@ -433,6 +433,10 @@ let e9_ablation ?(jobs = 1) ~quick () =
 (* ---------- E10 (extension) --------------------------------------------------- *)
 
 let e10_mwabd ?(jobs = 1) ?(faults = Core.Faults.none) ~quick () =
+  (* E10's 3-node topology makes every node a client (writers 0, 1 and
+     reader 2), so a crash schedule cannot apply here: keep the link
+     faults, drop the crashes (they stay in force for E6's 5-node runs) *)
+  let faults = { faults with Core.Faults.crash_at = [] } in
   (* §5's lesson transposed to message passing: the multi-writer ABD
      register uses Lamport timestamps like Algorithm 4, is linearizable,
      and is NOT write strongly-linearizable — shown by the same two-
@@ -622,6 +626,97 @@ let e11_faults ?(jobs = 1) ~quick () =
                ])
              per_config ))
 
+(* ---------- E12 (chaos self-test) ---------------------------------------------- *)
+
+let e12_chaos ?(jobs = 1) ~quick () =
+  (* Two sweeps from one seed: the production registers must survive the
+     whole chaos budget with zero violations, and the same search pointed
+     at a seeded quorum bug (each round waits for majority-1 replies, so
+     quorums need not intersect) must catch it, shrink it to a minimal
+     reproducer, and replay that reproducer verbatim — all byte-identical
+     whatever [jobs] is. *)
+  let seed = 12L in
+  let clean_budget = if quick then 30 else 120 in
+  let bug_budget = if quick then 4 else 10 in
+  measured_report ~id:"E12"
+    ~claim:
+      "chaos loop: random (workload x faults x crashes x policy) search \
+       with online monitors finds nothing on the real registers, and \
+       finds + shrinks + replays a seeded quorum-intersection bug"
+    ~expected:
+      "0 violations on clean code; every injected-bug run caught by the \
+       quorum-sanity monitor, shrunk to <= 1 crash and zero link faults, \
+       reproduced verbatim from its corpus entry; reports identical at -j \
+       1 and -j 2"
+    (fun () ->
+      let clean =
+        Core.Chaos.search ~jobs ~telemetry:pool_metrics ~seed
+          ~budget:clean_budget ()
+      in
+      let clean_ok = clean.Core.Chaos.findings = [] in
+      let buggy =
+        Core.Chaos.search ~jobs ~inject:Core.Chaos.Quorum_too_small
+          ~telemetry:pool_metrics ~seed ~budget:bug_budget ()
+      in
+      let found = List.length buggy.Core.Chaos.findings in
+      let shrunk_ok =
+        found > 0
+        && List.for_all
+             (fun f ->
+               let m = f.Core.Chaos.shrunk.Core.Shrink.config in
+               f.Core.Chaos.first.Core.Monitor.monitor = "quorum-sanity"
+               && m.Core.Run_config.quorum <> None
+               && List.length m.Core.Run_config.faults.Core.Faults.crash_at
+                  <= 1
+               && m.Core.Run_config.faults.Core.Faults.drop = 0.
+               && m.Core.Run_config.writes_each = 1)
+             buggy.Core.Chaos.findings
+      in
+      let entries = Core.Chaos.to_entries buggy in
+      let replay_ok =
+        entries <> []
+        && List.for_all
+             (fun e -> Core.Corpus.replay e = Core.Corpus.Reproduced)
+             entries
+      in
+      (* cross-run determinism: the full report (including every shrink
+         trajectory) must not depend on the degree of parallelism *)
+      let again =
+        Core.Chaos.search ~jobs:(if jobs = 1 then 2 else 1)
+          ~inject:Core.Chaos.Quorum_too_small ~seed ~budget:bug_budget ()
+      in
+      let deterministic =
+        Core.Json.to_string (Core.Chaos.report_json buggy)
+        = Core.Json.to_string (Core.Chaos.report_json again)
+      in
+      let shrink_attempts =
+        List.fold_left
+          (fun a f -> a + f.Core.Chaos.shrunk.Core.Shrink.attempts)
+          0 buggy.Core.Chaos.findings
+      in
+      ( Printf.sprintf
+          "clean: %d/%d runs violation-free; bug: %d/%d caught, shrunk in \
+           %d executions, %d/%d reproducers replay verbatim; deterministic \
+           across jobs: %b"
+          (clean_budget - List.length clean.Core.Chaos.findings)
+          clean_budget found bug_budget shrink_attempts
+          (List.length
+             (List.filter
+                (fun e -> Core.Corpus.replay e = Core.Corpus.Reproduced)
+                entries))
+          (List.length entries) deterministic,
+        clean_ok && found = bug_budget && shrunk_ok && replay_ok
+        && deterministic,
+        [
+          ("clean_runs", float_of_int clean_budget);
+          ( "clean_violations",
+            float_of_int (List.length clean.Core.Chaos.findings) );
+          ("bug_runs", float_of_int bug_budget);
+          ("bug_found", float_of_int found);
+          ("shrink_attempts", float_of_int shrink_attempts);
+          ("deterministic", if deterministic then 1. else 0.);
+        ] ))
+
 let catalogue ?faults () =
   let faulty f ?jobs ~quick () = f ?jobs ?faults ~quick () in
   [
@@ -636,6 +731,7 @@ let catalogue ?faults () =
     ("E9", e9_ablation);
     ("E10", faulty e10_mwabd);
     ("E11", e11_faults);
+    ("E12", e12_chaos);
   ]
 
 let ids = List.map fst (catalogue ())

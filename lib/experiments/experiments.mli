@@ -74,7 +74,9 @@ val e10_mwabd :
   ?jobs:int -> ?faults:Core.Faults.plan -> quick:bool -> unit -> report
 (** Extension: multi-writer ABD is linearizable but not write
     strongly-linearizable — Figure 4 transposed to message passing.
-    [faults] as in {!e6_abd}. *)
+    [faults] as in {!e6_abd}, except its [crash_at] schedule is ignored:
+    E10's 3-node topology makes every node a client, so there is nothing
+    crashable ([rlin experiments --crash] therefore only affects E6). *)
 
 val e11_faults : ?jobs:int -> quick:bool -> unit -> report
 (** Robustness sweep: drop/duplication rates × scheduled minority crashes
@@ -82,8 +84,17 @@ val e11_faults : ?jobs:int -> quick:bool -> unit -> report
     stall, no exhausted budget), every completed history is linearizable,
     and the retransmission cost grows with the drop rate. *)
 
+val e12_chaos : ?jobs:int -> quick:bool -> unit -> report
+(** Chaos self-test ({!Core.Chaos}): a clean sweep of randomly sampled
+    (workload × fault plan × crash schedule × policy) configs must report
+    zero monitor violations, while the same search with the seeded
+    quorum-intersection bug ({!Core.Chaos.Quorum_too_small}) must catch
+    every run, shrink each to a minimal reproducer ([<= 1] crash, zero
+    link-fault probabilities, one write), and replay the corpus entries
+    verbatim — with byte-identical reports at any [jobs]. *)
+
 val ids : string list
-(** The battery's experiment ids, in order: ["E1"; …; "E11"]. *)
+(** The battery's experiment ids, in order: ["E1"; …; "E12"]. *)
 
 val all :
   ?jobs:int ->
@@ -95,7 +106,7 @@ val all :
 (** Run the battery (or, with [only], the named subset — ids are
     case-insensitive and always run in battery order).  [faults] applies
     the given link-fault plan to the fault-aware experiments (E6, E10);
-    E11 always runs its own sweep.
+    E11 and E12 always run their own sweeps.
     @raise Invalid_argument on an unknown id in [only]. *)
 
 val run_all :

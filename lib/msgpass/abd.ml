@@ -23,6 +23,7 @@ type t = {
   n_ : int;
   writer_ : int;
   retry_ : int; (* client retransmission timeout, in own-fiber yields *)
+  quorum_ : int; (* replies per round; majority unless overridden *)
   net : msg Net.t;
   replicas : replica array;
   mutable wseq : int; (* writer's sequence number *)
@@ -61,10 +62,13 @@ let server t node () =
         assert false
   done
 
-let create ?(retry_after = 25) ~sched ~name ~n ~writer ~init () =
+let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~writer ~init () =
   if n < 2 then invalid_arg "Abd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Abd.create: n must be < 100";
   if writer < 0 || writer >= n then invalid_arg "Abd.create: writer out of range";
+  let quorum_ = match quorum with Some q -> q | None -> (n / 2) + 1 in
+  if quorum_ < 1 || quorum_ > n then
+    invalid_arg "Abd.create: quorum out of range";
   let t =
     {
       sched;
@@ -72,6 +76,7 @@ let create ?(retry_after = 25) ~sched ~name ~n ~writer ~init () =
       n_ = n;
       writer_ = writer;
       retry_ = retry_after;
+      quorum_;
       net = Net.create ~sched ~n:200;
       replicas = Array.init n (fun _ -> { ts = 0; v = init });
       wseq = 0;
@@ -102,9 +107,12 @@ let broadcast_servers t ~src payload =
    step-count timeout *)
 let quorum_round t ~pid ~payload ~classify =
   let m = Sched.metrics t.sched in
+  (* every round records the quorum size it waits for: the chaos
+     quorum-intersection monitor checks min(need) >= majority *)
+  Obs.Metrics.observe m "reg.abd.quorum.need" (float_of_int t.quorum_);
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
-  Net.collect_quorum t.net ~pid ~need:(majority t) ~seen ~classify
+  Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
     ~stale:(fun () -> Obs.Metrics.incr m "reg.abd.stale")
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->

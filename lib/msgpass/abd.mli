@@ -45,6 +45,7 @@ val net : t -> msg Net.t
 
 val create :
   ?retry_after:int ->
+  ?quorum:int ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -55,7 +56,15 @@ val create :
 (** [n >= 2] nodes ([< 100]); spawns the [n] server fibers.  Client code
     runs in the node fibers the caller spawns.  [retry_after] (default 25;
     [<= 0] disables) is the client retransmission timeout in own-fiber
-    yields. *)
+    yields.
+
+    [quorum] (default the majority [⌊n/2⌋+1]) overrides how many distinct
+    replies each round waits for.  {b Test-only bug injection}: any value
+    with [2*quorum <= n] breaks quorum intersection and with it
+    linearizability — it exists so the chaos self-test (E12) can prove the
+    monitor → shrinker → corpus loop catches a real protocol bug.  Every
+    round records the size it waited for in the [reg.abd.quorum.need]
+    histogram, which is what the quorum-sanity monitor audits. *)
 
 val name : t -> string
 val n : t -> int

@@ -27,6 +27,7 @@ type t = {
   name_ : string;
   n_ : int;
   retry_ : int; (* client retransmission timeout, in own-fiber yields *)
+  quorum_ : int; (* replies per round; majority unless overridden *)
   net : msg Net.t;
   replicas : replica array;
   mutable seq : int; (* fresh request ids *)
@@ -64,15 +65,19 @@ let server t node () =
     | Ts_reply _ | Write_ack _ | Read_reply _ | Wb_ack _ -> assert false
   done
 
-let create ?(retry_after = 25) ~sched ~name ~n ~init () =
+let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~init () =
   if n < 2 then invalid_arg "Mwabd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Mwabd.create: n must be < 100";
+  let quorum_ = match quorum with Some q -> q | None -> (n / 2) + 1 in
+  if quorum_ < 1 || quorum_ > n then
+    invalid_arg "Mwabd.create: quorum out of range";
   let t =
     {
       sched;
       name_ = name;
       n_ = n;
       retry_ = retry_after;
+      quorum_;
       net = Net.create ~sched ~n:200;
       replicas = Array.init n (fun node -> { sq = 0; pid = node; v = init });
       seq = 0;
@@ -103,9 +108,11 @@ let fresh_rid t ~client =
    missing ones on a step-count timeout *)
 let quorum_round t ~pid ~payload ~classify =
   let m = Sched.metrics t.sched in
+  (* see Abd.quorum_round: the quorum-sanity monitor audits this *)
+  Obs.Metrics.observe m "reg.mwabd.quorum.need" (float_of_int t.quorum_);
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
-  Net.collect_quorum t.net ~pid ~need:(majority t) ~seen ~classify
+  Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
     ~stale:(fun () -> Obs.Metrics.incr m "reg.mwabd.stale")
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->

@@ -30,6 +30,7 @@ type t
 
 val create :
   ?retry_after:int ->
+  ?quorum:int ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -38,7 +39,9 @@ val create :
   t
 (** [n >= 2] nodes; every node may write.  Spawns the server fibers
     (pids [100 + node]).  [retry_after] (default 25; [<= 0] disables) is
-    the client retransmission timeout in own-fiber yields. *)
+    the client retransmission timeout in own-fiber yields.  [quorum]
+    (default the majority) is the test-only bug-injection hook described
+    in {!Abd.create}; rounds record it in [reg.mwabd.quorum.need]. *)
 
 type msg
 

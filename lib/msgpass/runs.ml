@@ -27,7 +27,7 @@ type run = {
   history : History.Hist.t;
   trace : Simkit.Trace.t;
   completed : bool;
-  stalled : string option;
+  stalled : Sched.stall option;
   steps : int;
 }
 
@@ -45,6 +45,10 @@ let check_crashes ~what ~n ~clients crash_nodes =
       if List.mem c clients then
         invalid_arg (what ^ ": crashed nodes cannot be clients"))
     crash_nodes
+
+let validate_crash_schedule ~what ~n ~clients schedule =
+  check_crashes ~what ~n ~clients
+    (List.sort_uniq Int.compare (List.map snd schedule))
 
 let execute ?metrics w =
   Faults.validate w.faults;
@@ -184,12 +188,272 @@ let execute_mw ?metrics ?(faults = Faults.none) ~n ~writers ~writes_each
     steps;
   }
 
+(* ----- re-runnable configs ---------------------------------------------------- *)
+
+(* One record capturing everything a run depends on — protocol, workload
+   shape, fault plan, crash schedule (inside the plan), scheduler policy,
+   seeds, step budget, and the test-only quorum override.  The chaos
+   search explores this space, the shrinker minimizes within it, and the
+   regression corpus serializes it, so [execute_config] on an equal config
+   is byte-for-byte the same run whatever found it. *)
+
+module Config = struct
+  type proto = Sw | Mw
+
+  type t = {
+    proto : proto;
+    n : int;
+    writers : int list;
+    writes_each : int;
+    readers : int list;
+    reads_each : int;
+    faults : Faults.plan;
+    seed : int64;
+    policy : [ `Random | `Round_robin ];
+    max_steps : int option;
+    quorum : int option;
+  }
+
+  let default =
+    {
+      proto = Sw;
+      n = 5;
+      writers = [ 0 ];
+      writes_each = 3;
+      readers = [ 1; 2 ];
+      reads_each = 2;
+      faults = Faults.none;
+      seed = 1L;
+      policy = `Random;
+      max_steps = None;
+      quorum = None;
+    }
+
+  let auto_max_steps c =
+    let ops =
+      (List.length c.writers * c.writes_each)
+      + (List.length c.readers * c.reads_each)
+    in
+    max 1 ops * c.n * 800
+
+  let obj c = match c.proto with Sw -> "ABD" | Mw -> "MW"
+
+  let validate c =
+    let bad msg = invalid_arg ("Runs.Config: " ^ msg) in
+    if c.n < 2 || c.n >= 100 then bad "n must be in [2, 100)";
+    (match c.proto with
+    | Sw ->
+        if List.length c.writers <> 1 then bad "Sw takes exactly one writer"
+    | Mw -> if c.writers = [] then bad "Mw needs at least one writer");
+    if c.writes_each < 1 then bad "writes_each must be >= 1";
+    if c.reads_each < 0 then bad "reads_each must be >= 0";
+    let clients = c.writers @ c.readers in
+    if
+      List.length (List.sort_uniq Int.compare clients) <> List.length clients
+    then bad "writers and readers must be distinct nodes";
+    List.iter
+      (fun p -> if p < 0 || p >= c.n then bad "client node out of range")
+      clients;
+    Faults.validate c.faults;
+    check_crashes ~what:"Runs.Config" ~n:c.n ~clients
+      (List.sort_uniq Int.compare (List.map snd c.faults.Faults.crash_at));
+    (match c.quorum with
+    | Some q when q < 1 || q > c.n -> bad "quorum out of range"
+    | _ -> ());
+    match c.max_steps with
+    | Some m when m < 1 -> bad "max_steps must be >= 1"
+    | _ -> ()
+
+  let json c =
+    let int_list xs = Obs.Json.List (List.map (fun i -> Obs.Json.Int i) xs) in
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "chaos_config");
+        ( "proto",
+          Obs.Json.Str (match c.proto with Sw -> "abd" | Mw -> "mwabd") );
+        ("n", Obs.Json.Int c.n);
+        ("writers", int_list c.writers);
+        ("writes_each", Obs.Json.Int c.writes_each);
+        ("readers", int_list c.readers);
+        ("reads_each", Obs.Json.Int c.reads_each);
+        ("faults", Faults.plan_json c.faults);
+        ("seed", Obs.Json.Str (Int64.to_string c.seed));
+        ( "policy",
+          Obs.Json.Str
+            (match c.policy with
+            | `Random -> "random"
+            | `Round_robin -> "round_robin") );
+        ( "max_steps",
+          match c.max_steps with
+          | Some m -> Obs.Json.Int m
+          | None -> Obs.Json.Null );
+        ( "quorum",
+          match c.quorum with
+          | Some q -> Obs.Json.Int q
+          | None -> Obs.Json.Null );
+      ]
+
+  let of_json j =
+    let ( let* ) = Result.bind in
+    let field name conv =
+      match Option.bind (Obs.Json.member name j) conv with
+      | Some x -> Ok x
+      | None ->
+          Error (Printf.sprintf "Runs.Config.of_json: bad or missing %S" name)
+    in
+    let int_list v =
+      Option.map (List.filter_map Obs.Json.to_int_opt) (Obs.Json.to_list_opt v)
+    in
+    let opt_int name =
+      match Obs.Json.member name j with
+      | None | Some Obs.Json.Null -> Ok None
+      | Some v -> (
+          match Obs.Json.to_int_opt v with
+          | Some i -> Ok (Some i)
+          | None -> Error (Printf.sprintf "Runs.Config.of_json: bad %S" name))
+    in
+    let* proto =
+      field "proto" (fun v ->
+          match Obs.Json.to_string_opt v with
+          | Some "abd" -> Some Sw
+          | Some "mwabd" -> Some Mw
+          | _ -> None)
+    in
+    let* n = field "n" Obs.Json.to_int_opt in
+    let* writers = field "writers" int_list in
+    let* writes_each = field "writes_each" Obs.Json.to_int_opt in
+    let* readers = field "readers" int_list in
+    let* reads_each = field "reads_each" Obs.Json.to_int_opt in
+    let* faults_j =
+      match Obs.Json.member "faults" j with
+      | Some v -> Ok v
+      | None -> Error "Runs.Config.of_json: missing \"faults\""
+    in
+    let* faults = Faults.plan_of_json faults_j in
+    let* seed =
+      field "seed" (fun v ->
+          Option.bind (Obs.Json.to_string_opt v) Int64.of_string_opt)
+    in
+    let* policy =
+      field "policy" (fun v ->
+          match Obs.Json.to_string_opt v with
+          | Some "random" -> Some `Random
+          | Some "round_robin" -> Some `Round_robin
+          | _ -> None)
+    in
+    let* max_steps = opt_int "max_steps" in
+    let* quorum = opt_int "quorum" in
+    let c =
+      {
+        proto;
+        n;
+        writers;
+        writes_each;
+        readers;
+        reads_each;
+        faults;
+        seed;
+        policy;
+        max_steps;
+        quorum;
+      }
+    in
+    match validate c with
+    | () -> Ok c
+    | exception Invalid_argument msg -> Error msg
+end
+
+let execute_config ?metrics (c : Config.t) =
+  Config.validate c;
+  let sched = Sched.create ~seed:c.Config.seed ?metrics () in
+  let fpolicy =
+    if Faults.is_benign c.Config.faults then None
+    else Some (Faults.create ~seed:(fault_seed c.Config.seed) c.Config.faults)
+  in
+  let remaining =
+    ref (List.length c.Config.writers + List.length c.Config.readers)
+  in
+  (* generic over the register's message type: attach faults, spawn the
+     client fibers, drive to quiescence under the configured policy *)
+  let drive net ~obj ~crash ~write ~read =
+    Option.iter (Net.set_faults net) fpolicy;
+    List.iter
+      (fun w ->
+        Sched.spawn sched ~pid:w (fun () ->
+            for k = 1 to c.Config.writes_each do
+              write w k
+            done;
+            decr remaining))
+      c.Config.writers;
+    List.iter
+      (fun r ->
+        Sched.spawn sched ~pid:r (fun () ->
+            for _ = 1 to c.Config.reads_each do
+              read r
+            done;
+            decr remaining))
+      c.Config.readers;
+    let rng = Simkit.Rng.create (Int64.logxor c.Config.seed 0x7E57AB1EL) in
+    let base s =
+      (match fpolicy with
+      | Some f ->
+          List.iter crash (Faults.crashes_due f ~step:(Sched.steps sched))
+      | None -> ());
+      if !remaining = 0 then Sched.Halt
+      else
+        match c.Config.policy with
+        | `Random -> Sched.random_policy rng s
+        | `Round_robin -> Sched.round_robin s
+    in
+    let policy = Net.auto_deliver_policy net ~rng base in
+    let max_steps =
+      match c.Config.max_steps with
+      | Some m -> m
+      | None -> Config.auto_max_steps c
+    in
+    let stalled = ref None in
+    let steps =
+      try Sched.run sched ~watchdog:(Net.watchdog net) ~policy ~max_steps
+      with Sched.Stalled diag ->
+        stalled := Some diag;
+        Sched.steps sched
+    in
+    {
+      history =
+        History.Hist.project (Simkit.Trace.history (Sched.trace sched)) ~obj;
+      trace = Sched.trace sched;
+      completed = !remaining = 0;
+      stalled = !stalled;
+      steps;
+    }
+  in
+  match c.Config.proto with
+  | Config.Sw ->
+      let writer = List.hd c.Config.writers in
+      let reg =
+        Abd.create ?quorum:c.Config.quorum ~sched ~name:"ABD" ~n:c.Config.n
+          ~writer ~init:0 ()
+      in
+      drive (Abd.net reg) ~obj:"ABD"
+        ~crash:(fun node -> Abd.crash_node reg ~node)
+        ~write:(fun _ k -> Abd.write reg (100 + k))
+        ~read:(fun r -> ignore (Abd.read reg ~reader:r))
+  | Config.Mw ->
+      let reg =
+        Mwabd.create ?quorum:c.Config.quorum ~sched ~name:"MW" ~n:c.Config.n
+          ~init:0 ()
+      in
+      drive (Mwabd.net reg) ~obj:"MW"
+        ~crash:(fun node -> Mwabd.crash_node reg ~node)
+        ~write:(fun w k -> Mwabd.write reg ~proc:w ((1000 * (w + 1)) + k))
+        ~read:(fun r -> ignore (Mwabd.read reg ~reader:r))
+
 let check ?metrics run =
   if not run.completed then
     Error
       (match run.stalled with
       | None -> "run did not complete"
-      | Some diag -> "run stalled: " ^ diag)
+      | Some diag -> "run stalled: " ^ Sched.stall_message diag)
   else if not (Linchk.Lincheck.check ?metrics ~init:(V.Int 0) run.history) then
     Error "history is not linearizable"
   else

@@ -20,9 +20,10 @@ type run = {
   history : History.Hist.t;  (** the ABD register's history *)
   trace : Simkit.Trace.t;  (** the full trace (for [rlin trace] JSONL dumps) *)
   completed : bool;  (** all client fibers finished *)
-  stalled : string option;
-      (** the watchdog's diagnostic dump, when {!Simkit.Sched.run}
-          detected quiescent livelock instead of finishing *)
+  stalled : Simkit.Sched.stall option;
+      (** the watchdog's structured diagnostic, when {!Simkit.Sched.run}
+          detected quiescent livelock instead of finishing; render with
+          {!Simkit.Sched.stall_message} / {!Simkit.Sched.stall_json} *)
   steps : int;
 }
 
@@ -58,3 +59,56 @@ val check : ?metrics:Obs.Metrics.t -> run -> (unit, string) result
     [f*] construction of Theorem 14 yields monotone write orders on every
     prefix (write strong-linearizability, Fstar).  A stalled run reports
     the watchdog diagnostic. *)
+
+val validate_crash_schedule :
+  what:string -> n:int -> clients:int list -> (int * int) list -> unit
+(** Validate a [(step, node)] crash schedule against an [n]-node register
+    with the given client nodes: the crashed set must be a strict
+    minority of in-range non-client nodes.
+    @raise Invalid_argument otherwise, prefixed with [what]. *)
+
+(** A self-contained, serializable description of one register run — the
+    unit the chaos search samples, the shrinker minimizes, and the
+    regression corpus replays.  Equal configs produce byte-for-byte equal
+    runs. *)
+module Config : sig
+  type proto = Sw | Mw  (** {!Abd} (one writer) or {!Mwabd}. *)
+
+  type t = {
+    proto : proto;
+    n : int;  (** nodes, in [\[2, 100)] *)
+    writers : int list;  (** exactly one for [Sw]; [>= 1] for [Mw] *)
+    writes_each : int;
+    readers : int list;
+    reads_each : int;
+    faults : Simkit.Faults.plan;
+    seed : int64;
+    policy : [ `Random | `Round_robin ];
+    max_steps : int option;  (** [None] = {!auto_max_steps} *)
+    quorum : int option;
+        (** test-only quorum override ({!Abd.create}); [None] = majority *)
+  }
+
+  val default : t
+  val auto_max_steps : t -> int
+
+  val obj : t -> string
+  (** The register name used in the trace ("ABD" or "MW"). *)
+
+  val validate : t -> unit
+  (** @raise Invalid_argument on any ill-formed field (bad node counts,
+      non-distinct clients, out-of-range crash schedule, invalid fault
+      plan, quorum or step budget out of range). *)
+
+  val json : t -> Obs.Json.t
+  val of_json : Obs.Json.t -> (t, string) result
+  (** Inverse of {!json}; validates the decoded config. *)
+end
+
+val execute_config : ?metrics:Obs.Metrics.t -> Config.t -> run
+(** Run a config to quiescence: attach its fault plan, spawn the writer
+    and reader client fibers, apply the plan's [crash_at] schedule on the
+    step clock, and drive with the configured scheduling policy until the
+    clients finish, the step budget runs out, or the watchdog trips.
+    Deterministic in the config alone.
+    @raise Invalid_argument if {!Config.validate} does. *)

@@ -42,10 +42,166 @@ let validate p =
       if step < 0 then invalid_arg "Faults: crash_at steps must be >= 0")
     p.crash_at;
   List.iter
-    (fun (start, len, _) ->
-      if start < 0 || len < 0 then
-        invalid_arg "Faults: partition intervals must be non-negative")
-    p.partitions
+    (fun (start, len, isolated) ->
+      if start < 0 then
+        invalid_arg
+          (Printf.sprintf "Faults: partition start must be >= 0 (got %d)" start);
+      if len <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Faults: partition interval [%d, %d) is inverted or empty (length \
+              %d must be > 0)"
+             start (start + len) len);
+      if isolated = [] then
+        invalid_arg
+          (Printf.sprintf
+             "Faults: partition at step %d isolates nothing (empty node set)"
+             start))
+    p.partitions;
+  (* overlapping intervals would make [partitioned] an implicit OR of two
+     cuts — almost never what a plan author meant; reject loudly *)
+  let by_start =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      p.partitions
+  in
+  let rec check_overlap = function
+    | (s1, l1, _) :: ((s2, l2, _) :: _ as rest) ->
+        if s1 + l1 > s2 then
+          invalid_arg
+            (Printf.sprintf
+               "Faults: partition intervals [%d, %d) and [%d, %d) overlap" s1
+               (s1 + l1) s2 (s2 + l2));
+        check_overlap rest
+    | _ -> ()
+  in
+  check_overlap by_start
+
+(* ----- serialization --------------------------------------------------------- *)
+
+let plan_json p =
+  Obs.Json.Obj
+    [
+      ("drop", Obs.Json.Float p.drop);
+      ("duplicate", Obs.Json.Float p.duplicate);
+      ("delay", Obs.Json.Float p.delay);
+      ("delay_bound", Obs.Json.Int p.delay_bound);
+      ( "crash_at",
+        Obs.Json.List
+          (List.map
+             (fun (step, node) ->
+               Obs.Json.Obj
+                 [ ("step", Obs.Json.Int step); ("node", Obs.Json.Int node) ])
+             p.crash_at) );
+      ( "partitions",
+        Obs.Json.List
+          (List.map
+             (fun (start, len, isolated) ->
+               Obs.Json.Obj
+                 [
+                   ("start", Obs.Json.Int start);
+                   ("length", Obs.Json.Int len);
+                   ( "isolated",
+                     Obs.Json.List
+                       (List.map (fun n -> Obs.Json.Int n) isolated) );
+                 ])
+             p.partitions) );
+    ]
+
+let plan_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Obs.Json.member name j with
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "Faults.plan_of_json: bad %S" name))
+    | None -> Error (Printf.sprintf "Faults.plan_of_json: missing %S" name)
+  in
+  let list_field name item =
+    field name (fun v ->
+        Option.map (List.filter_map item) (Obs.Json.to_list_opt v))
+  in
+  let* drop = field "drop" Obs.Json.to_float_opt in
+  let* duplicate = field "duplicate" Obs.Json.to_float_opt in
+  let* delay = field "delay" Obs.Json.to_float_opt in
+  let* delay_bound = field "delay_bound" Obs.Json.to_int_opt in
+  let* crash_at =
+    list_field "crash_at" (fun e ->
+        match
+          ( Option.bind (Obs.Json.member "step" e) Obs.Json.to_int_opt,
+            Option.bind (Obs.Json.member "node" e) Obs.Json.to_int_opt )
+        with
+        | Some step, Some node -> Some (step, node)
+        | _ -> None)
+  in
+  let* partitions =
+    list_field "partitions" (fun e ->
+        match
+          ( Option.bind (Obs.Json.member "start" e) Obs.Json.to_int_opt,
+            Option.bind (Obs.Json.member "length" e) Obs.Json.to_int_opt,
+            Option.bind (Obs.Json.member "isolated" e) Obs.Json.to_list_opt )
+        with
+        | Some start, Some len, Some iso ->
+            Some (start, len, List.filter_map Obs.Json.to_int_opt iso)
+        | _ -> None)
+  in
+  let p = { drop; duplicate; delay; delay_bound; crash_at; partitions } in
+  match validate p with
+  | () -> Ok p
+  | exception Invalid_argument msg -> Error msg
+
+(* ----- the shrink lattice ----------------------------------------------------- *)
+
+(* The probability ladder the chaos generator draws from and the shrinker
+   descends: shrinking replaces a probability by the next rung below it,
+   so "minimal drop probability" is a well-defined lattice point and the
+   shrinker terminates in at most (ladder length) moves per axis. *)
+let prob_ladder = [ 0.; 0.01; 0.02; 0.05; 0.1; 0.15; 0.2; 0.3; 0.5 ]
+
+let rung_below v =
+  if v <= 0. then None
+  else
+    List.fold_left
+      (fun best rung -> if rung < v then Some rung else best)
+      None prob_ladder
+
+(* Every plan strictly smaller along exactly one axis, in a fixed order
+   (probabilities toward 0, crash schedule by single-element subsets,
+   partitions dropped, the reorder window halved).  All candidates
+   validate: the shrinker never has to catch Invalid_argument. *)
+let shrink_plan p =
+  let drop_nth xs k = List.filteri (fun i _ -> i <> k) xs in
+  let probs =
+    List.concat
+      [
+        (match rung_below p.drop with
+        | Some d -> [ { p with drop = d } ]
+        | None -> []);
+        (match rung_below p.duplicate with
+        | Some d -> [ { p with duplicate = d } ]
+        | None -> []);
+        (match rung_below p.delay with
+        | Some d ->
+            [ { p with delay = d; delay_bound = (if d = 0. then 0 else p.delay_bound) } ]
+        | None -> []);
+      ]
+  in
+  let crashes =
+    List.init (List.length p.crash_at) (fun k ->
+        { p with crash_at = drop_nth p.crash_at k })
+  in
+  let partitions =
+    List.init (List.length p.partitions) (fun k ->
+        { p with partitions = drop_nth p.partitions k })
+  in
+  let window =
+    if p.delay = 0. && p.delay_bound > 0 then [ { p with delay_bound = 0 } ]
+    else if p.delay > 0. && p.delay_bound > 1 then
+      [ { p with delay_bound = p.delay_bound / 2 } ]
+    else []
+  in
+  probs @ crashes @ partitions @ window
 
 let pp_plan fmt p =
   Format.fprintf fmt "drop=%g dup=%g delay=%g(<=%d) crashes=%d partitions=%d"

@@ -56,7 +56,29 @@ val affects_delivery : plan -> bool
 val validate : plan -> unit
 (** @raise Invalid_argument unless all probabilities are in [0,1], their
     sum is <= 1 (one uniform draw decides the action), [delay_bound >= 0]
-    (and > 0 whenever [delay > 0]), and schedule entries are sane. *)
+    (and > 0 whenever [delay > 0]), crash steps are non-negative, and the
+    partition intervals are non-inverted (positive length), non-empty
+    (isolate at least one node) and pairwise non-overlapping in time. *)
+
+val plan_json : plan -> Obs.Json.t
+(** The plan as data — embedded verbatim in chaos regression-corpus
+    entries, so a minimal reproducer replays the exact fault plan. *)
+
+val plan_of_json : Obs.Json.t -> (plan, string) result
+(** Inverse of {!plan_json}; the parsed plan is {!validate}d, so a corpus
+    entry can never smuggle in a malformed plan. *)
+
+val prob_ladder : float list
+(** The probability lattice (ascending, starting at 0) that the chaos
+    generator draws drop/duplicate/delay rates from and the shrinker
+    descends one rung at a time. *)
+
+val shrink_plan : plan -> plan list
+(** Mutation hook for the delta-debugging shrinker: every plan strictly
+    smaller than [p] along exactly one axis — each probability moved one
+    {!prob_ladder} rung toward 0, each [crash_at] entry dropped, each
+    partition dropped, the reorder window halved.  Every candidate
+    {!validate}s; a fully-benign plan has no candidates. *)
 
 val pp_plan : Format.formatter -> plan -> unit
 (** One-line rendering, e.g. [drop=0.1 dup=0.05 delay=0 crashes=2]. *)

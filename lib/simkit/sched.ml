@@ -79,7 +79,14 @@ let coin t ~proc =
 type decision = Step of int | Halt
 type policy = t -> decision
 
-exception Stalled of string
+type stall = {
+  window : int;
+  total_steps : int;
+  fibers : (int * string * bool) list;
+  detail : string;
+}
+
+exception Stalled of stall
 
 type watchdog = {
   window : int;
@@ -88,22 +95,54 @@ type watchdog = {
 }
 
 let stall_report t w =
+  {
+    window = w.window;
+    total_steps = t.steps_;
+    fibers =
+      List.map
+        (fun pid ->
+          ( pid,
+            (match status t ~pid with
+            | Fiber.Runnable -> "runnable"
+            | Fiber.Finished -> "finished"
+            | Fiber.Failed _ -> "failed"),
+            crashed t ~pid ))
+        (pids t);
+    detail = w.describe ();
+  }
+
+let stall_message (s : stall) =
   let b = Buffer.create 256 in
   Printf.bprintf b
     "scheduler watchdog: no progress for %d steps (total steps %d)\nfibers:\n"
-    w.window t.steps_;
+    s.window s.total_steps;
   List.iter
-    (fun pid ->
-      Printf.bprintf b "  p%d: %s%s\n" pid
-        (match status t ~pid with
-        | Fiber.Runnable -> "runnable"
-        | Fiber.Finished -> "finished"
-        | Fiber.Failed _ -> "failed")
-        (if crashed t ~pid then " (crashed)" else ""))
-    (pids t);
-  let extra = w.describe () in
-  if extra <> "" then Printf.bprintf b "%s\n" extra;
+    (fun (pid, status, crashed) ->
+      Printf.bprintf b "  p%d: %s%s\n" pid status
+        (if crashed then " (crashed)" else ""))
+    s.fibers;
+  if s.detail <> "" then Printf.bprintf b "%s\n" s.detail;
   Buffer.contents b
+
+let stall_json (s : stall) =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "stall");
+      ("window", Obs.Json.Int s.window);
+      ("total_steps", Obs.Json.Int s.total_steps);
+      ( "fibers",
+        Obs.Json.List
+          (List.map
+             (fun (pid, status, crashed) ->
+               Obs.Json.Obj
+                 [
+                   ("pid", Obs.Json.Int pid);
+                   ("status", Obs.Json.Str status);
+                   ("crashed", Obs.Json.Bool crashed);
+                 ])
+             s.fibers) );
+      ("detail", Obs.Json.Str s.detail);
+    ]
 
 let run ?watchdog t ~policy ~max_steps =
   let steps = ref 0 in

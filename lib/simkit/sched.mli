@@ -64,11 +64,28 @@ type decision = Step of int | Halt
 type policy = t -> decision
 (** A schedule policy; consulted before every step. *)
 
-exception Stalled of string
-(** Raised by {!run} when its watchdog fires; the payload is the full
-    diagnostic dump (fiber statuses, crash markers, and whatever the
-    watchdog's [describe] adds — mailbox and in-flight state when built
-    with [Net.watchdog]). *)
+type stall = {
+  window : int;  (** the watchdog window that elapsed without progress *)
+  total_steps : int;  (** scheduler step-clock value when it fired *)
+  fibers : (int * string * bool) list;
+      (** [(pid, status, crashed)] for every spawned fiber, ascending pid;
+          status is ["runnable"], ["finished"] or ["failed"] *)
+  detail : string;
+      (** whatever the watchdog's [describe] adds — mailbox and in-flight
+          state when built with [Net.watchdog]; [""] if none *)
+}
+(** A structured stall diagnostic: chaos reports and the regression corpus
+    embed it as data ({!stall_json}); the CLI renders {!stall_message}. *)
+
+exception Stalled of stall
+(** Raised by {!run} when its watchdog fires. *)
+
+val stall_message : stall -> string
+(** The pre-rendered multi-line dump the CLI prints (fiber statuses, crash
+    markers, the [detail] block). *)
+
+val stall_json : stall -> Obs.Json.t
+(** [{"kind":"stall","window":…,"total_steps":…,"fibers":[…],"detail":…}] *)
 
 type watchdog = {
   window : int;  (** steps without progress before firing *)

@@ -1,0 +1,189 @@
+(* The chaos loop end-to-end: clean code is quiet, an injected quorum
+   bug is caught, shrunk to a fixpoint, stored, and replays verbatim. *)
+
+module Config = Msgpass.Runs.Config
+module Monitor = Check.Monitor
+module Shrink = Check.Shrink
+module Corpus = Check.Corpus
+module Chaos = Check.Chaos
+
+let tc name f = Alcotest.test_case name `Quick f
+let tcs name f = Alcotest.test_case name `Slow f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let json_str j = Obs.Json.to_string j
+
+let monitor_tests =
+  [
+    tc "a benign default config passes every monitor" (fun () ->
+        check_bool "no violation" true
+          (Monitor.run_config Config.default = None));
+    tc "the quorum override trips quorum-sanity" (fun () ->
+        let c = { Config.default with Config.quorum = Some 2 } in
+        match Monitor.run_config ~monitors:[ Monitor.quorum_sanity ] c with
+        | Some v -> check_str "monitor" "quorum-sanity" v.Monitor.monitor
+        | None -> Alcotest.fail "quorum-sanity did not fire");
+    tc "an impossible step budget trips termination/budget" (fun () ->
+        let c = { Config.default with Config.max_steps = Some 5 } in
+        match Monitor.run_config ~monitors:[ Monitor.termination ] c with
+        | Some v -> check_str "monitor" "termination/budget" v.Monitor.monitor
+        | None -> Alcotest.fail "termination did not fire");
+    tc "violations round-trip through JSON" (fun () ->
+        let v = { Monitor.monitor = "linearizability"; detail = "d" } in
+        match Monitor.violation_of_json (Monitor.violation_json v) with
+        | Ok v' -> check_bool "equal" true (v = v')
+        | Error e -> Alcotest.fail e);
+    tc "configs round-trip through JSON" (fun () ->
+        let c = Chaos.gen_config ~seed:99L 3 in
+        match Config.of_json (Config.json c) with
+        | Ok c' ->
+            check_str "same rendering" (json_str (Config.json c))
+              (json_str (Config.json c'))
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* an injected-bug config that fails fast: the shrink tests below
+   minimize it, so keep the starting point small but not minimal *)
+let buggy =
+  {
+    Config.default with
+    Config.writes_each = 2;
+    reads_each = 2;
+    quorum = Some 2;
+    faults = { Simkit.Faults.none with Simkit.Faults.drop = 0.05 };
+  }
+
+let buggy_violation () =
+  match Monitor.run_config buggy with
+  | Some v -> v
+  | None -> Alcotest.fail "injected bug did not trip a monitor"
+
+let shrink_tests =
+  [
+    tc "candidates are strictly simpler and valid" (fun () ->
+        let cands = Shrink.candidates buggy in
+        check_bool "some candidates" true (cands <> []);
+        List.iter Config.validate cands;
+        check_bool "drop ladder descends" true
+          (List.exists
+             (fun c -> c.Config.faults.Simkit.Faults.drop = 0.02)
+             cands));
+    tcs "minimize reaches a fixpoint and keeps the monitor" (fun () ->
+        let v = buggy_violation () in
+        let out = Shrink.minimize ~violation:v buggy in
+        check_bool "not exhausted" false out.Shrink.exhausted;
+        check_str "same monitor" v.Monitor.monitor
+          out.Shrink.violation.Monitor.monitor;
+        check_bool "made progress" true (out.Shrink.steps > 0);
+        check_bool "drop shrunk to 0" true
+          (out.Shrink.config.Config.faults.Simkit.Faults.drop = 0.);
+        check_int "writes shrunk" 1 out.Shrink.config.Config.writes_each;
+        (* a fixpoint: minimizing the minimum accepts nothing *)
+        let again =
+          Shrink.minimize ~violation:out.Shrink.violation out.Shrink.config
+        in
+        check_int "fixpoint" 0 again.Shrink.steps;
+        check_str "fixpoint config unchanged"
+          (json_str (Config.json out.Shrink.config))
+          (json_str (Config.json again.Shrink.config)));
+    tcs "minimize is deterministic" (fun () ->
+        let v = buggy_violation () in
+        let a = Shrink.minimize ~violation:v buggy in
+        let b = Shrink.minimize ~violation:v buggy in
+        check_str "same minimal config"
+          (json_str (Config.json a.Shrink.config))
+          (json_str (Config.json b.Shrink.config));
+        check_int "same attempts" a.Shrink.attempts b.Shrink.attempts);
+  ]
+
+let corpus_tests =
+  [
+    tcs "entries replay to the identical violation" (fun () ->
+        let v = buggy_violation () in
+        let out = Shrink.minimize ~violation:v buggy in
+        let entry =
+          {
+            Corpus.config = out.Shrink.config;
+            violation = out.Shrink.violation;
+            original = Some buggy;
+            shrink_attempts = out.Shrink.attempts;
+          }
+        in
+        (match Corpus.replay entry with
+        | Corpus.Reproduced -> ()
+        | Corpus.Changed v' ->
+            Alcotest.fail ("violation changed: " ^ v'.Monitor.detail)
+        | Corpus.Fixed -> Alcotest.fail "violation vanished on replay");
+        (* and byte-for-byte through the JSONL file format *)
+        let path = Filename.temp_file "corpus" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Corpus.save path [ entry ];
+            Corpus.append path entry;
+            match Corpus.load path with
+            | Ok [ e1; e2 ] ->
+                check_str "line 1" (json_str (Corpus.entry_json entry))
+                  (json_str (Corpus.entry_json e1));
+                check_str "line 2" (json_str (Corpus.entry_json entry))
+                  (json_str (Corpus.entry_json e2))
+            | Ok es ->
+                Alcotest.fail
+                  (Printf.sprintf "expected 2 entries, got %d" (List.length es))
+            | Error e -> Alcotest.fail e));
+    tc "a fixed bug is reported as drift, not success" (fun () ->
+        (* same config minus the bug: the stored violation must not
+           reproduce any more *)
+        let entry =
+          {
+            Corpus.config = { buggy with Config.quorum = None };
+            violation = { Monitor.monitor = "quorum-sanity"; detail = "old" };
+            original = None;
+            shrink_attempts = 0;
+          }
+        in
+        check_bool "fixed" true (Corpus.replay entry = Corpus.Fixed));
+  ]
+
+let chaos_tests =
+  [
+    tcs "a clean sweep reports zero violations" (fun () ->
+        let r = Chaos.search ~seed:42L ~budget:40 () in
+        check_int "violations" 0 (List.length r.Chaos.findings));
+    tcs "the report is identical at -j 1 and -j 2" (fun () ->
+        let r1 = Chaos.search ~jobs:1 ~seed:42L ~budget:24 () in
+        let r2 = Chaos.search ~jobs:2 ~seed:42L ~budget:24 () in
+        check_str "byte-identical"
+          (json_str (Chaos.report_json r1))
+          (json_str (Chaos.report_json r2)));
+    tcs "the injected quorum bug is found and shrunk" (fun () ->
+        let r =
+          Chaos.search ~inject:Chaos.Quorum_too_small ~seed:42L ~budget:6 ()
+        in
+        check_bool "found" true (r.Chaos.findings <> []);
+        List.iter
+          (fun f ->
+            check_str "monitor" "quorum-sanity"
+              f.Chaos.first.Monitor.monitor;
+            let m = f.Chaos.shrunk.Shrink.config in
+            check_bool "kept the bug" true (m.Config.quorum <> None);
+            check_bool "at most one crash" true
+              (List.length m.Config.faults.Simkit.Faults.crash_at <= 1);
+            check_bool "drop shrunk away" true
+              (m.Config.faults.Simkit.Faults.drop = 0.))
+          r.Chaos.findings;
+        (* every finding replays from its corpus entry *)
+        List.iter
+          (fun e ->
+            check_bool "replays" true (Corpus.replay e = Corpus.Reproduced))
+          (Chaos.to_entries r));
+  ]
+
+let suite =
+  [
+    ("check.monitor", monitor_tests);
+    ("check.shrink", shrink_tests);
+    ("check.corpus", corpus_tests);
+    ("check.chaos", chaos_tests);
+  ]

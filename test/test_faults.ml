@@ -38,6 +38,67 @@ let faults_tests =
         check_bool "benign ok" true (not (bad Faults.none));
         check_bool "mixed ok" true
           (not (bad (plan ~drop:0.2 ~dup:0.1 ~delay:0.1 ~delay_bound:4 ()))));
+    tc "validate rejects bad partition intervals" (fun () ->
+        let bad p = try Faults.validate p; false with Invalid_argument _ -> true in
+        check_bool "negative start" true
+          (bad (plan ~partitions:[ (-5, 10, [ 1 ]) ] ()));
+        check_bool "inverted (non-positive length)" true
+          (bad (plan ~partitions:[ (10, 0, [ 1 ]) ] ()));
+        check_bool "empty isolated set" true
+          (bad (plan ~partitions:[ (10, 5, []) ] ()));
+        check_bool "overlapping intervals" true
+          (bad (plan ~partitions:[ (0, 100, [ 1 ]); (50, 100, [ 2 ]) ] ()));
+        check_bool "touching intervals ok" true
+          (not (bad (plan ~partitions:[ (0, 50, [ 1 ]); (50, 50, [ 2 ]) ] ())));
+        check_bool "unsorted but disjoint ok" true
+          (not (bad (plan ~partitions:[ (100, 10, [ 2 ]); (0, 10, [ 1 ]) ] ()))));
+    tc "plans round-trip through JSON and reject malformed input" (fun () ->
+        let p =
+          plan ~drop:0.1 ~dup:0.05 ~delay:0.2 ~delay_bound:4
+            ~crash_at:[ (150, 3); (300, 4) ]
+            ~partitions:[ (10, 40, [ 0; 2 ]) ]
+            ()
+        in
+        (match Faults.plan_of_json (Faults.plan_json p) with
+        | Ok p' -> check_bool "round-trip" true (p = p')
+        | Error e -> Alcotest.fail e);
+        (match Faults.plan_of_json (Faults.plan_json Faults.none) with
+        | Ok p' -> check_bool "benign round-trip" true (p' = Faults.none)
+        | Error e -> Alcotest.fail e);
+        (* the parser re-validates: a hand-edited corpus entry cannot
+           smuggle in an illegal plan *)
+        let evil = Faults.plan_json (plan ()) in
+        let evil =
+          match evil with
+          | Obs.Json.Obj fields ->
+              Obs.Json.Obj
+                (List.map
+                   (function
+                     | "drop", _ -> ("drop", Obs.Json.Float 2.5)
+                     | kv -> kv)
+                   fields)
+          | _ -> assert false
+        in
+        check_bool "illegal probability rejected" true
+          (Result.is_error (Faults.plan_of_json evil)));
+    tc "shrink_plan descends one axis at a time" (fun () ->
+        let p =
+          plan ~drop:0.1 ~delay:0.05 ~delay_bound:4
+            ~crash_at:[ (150, 3); (300, 4) ]
+            ~partitions:[ (10, 40, [ 0 ]) ]
+            ()
+        in
+        let cands = Faults.shrink_plan p in
+        List.iter Faults.validate cands;
+        check_bool "drop steps down the ladder" true
+          (List.exists (fun q -> q.Faults.drop = 0.05 && q.Faults.delay = 0.05) cands);
+        check_bool "crash entries dropped one at a time" true
+          (List.exists (fun q -> q.Faults.crash_at = [ (300, 4) ]) cands
+          && List.exists (fun q -> q.Faults.crash_at = [ (150, 3) ]) cands);
+        check_bool "partition dropped" true
+          (List.exists (fun q -> q.Faults.partitions = []) cands);
+        check_bool "benign has no candidates" true
+          (Faults.shrink_plan Faults.none = []));
     tc "none is benign; delivery-affecting is detected" (fun () ->
         check_bool "benign" true (Faults.is_benign Faults.none);
         check_bool "no delivery effect" false
@@ -225,16 +286,31 @@ let watchdog_tests =
         (match fired with
         | None -> Alcotest.fail "watchdog did not fire"
         | Some diag ->
+            let msg = Sched.stall_message diag in
             let has needle =
-              let nl = String.length needle and dl = String.length diag in
+              let nl = String.length needle and dl = String.length msg in
               let rec go i =
-                i + nl <= dl && (String.sub diag i nl = needle || go (i + 1))
+                i + nl <= dl && (String.sub msg i nl = needle || go (i + 1))
               in
               go 0
             in
             check_bool "names the window" true (has "no progress for 50 steps");
             check_bool "lists fibers" true (has "p0: runnable");
-            check_bool "includes the network state" true (has "mailboxes"));
+            check_bool "includes the network state" true (has "mailboxes");
+            (* the structured record carries the same facts *)
+            check_int "window" 50 diag.Sched.window;
+            check_bool "both fibers listed" true
+              (List.length diag.Sched.fibers = 2);
+            (* and it exports as structured JSON for the obs layer *)
+            let j = Sched.stall_json diag in
+            check_bool "kind" true
+              (Obs.Json.member "kind" j = Some (Obs.Json.Str "stall"));
+            check_bool "window field" true
+              (Obs.Json.member "window" j = Some (Obs.Json.Int 50));
+            check_bool "fibers field" true
+              (match Option.bind (Obs.Json.member "fibers" j) Obs.Json.to_list_opt with
+              | Some fs -> List.length fs = 2
+              | None -> false));
         check_int "metric fired" 1
           (Obs.Metrics.counter metrics "sched.watchdog.fired"));
     tc "the watchdog stays quiet while messages flow" (fun () ->
