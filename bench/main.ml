@@ -77,6 +77,80 @@ let checker_run =
     (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2 ~reads_per_proc:2
        ~seed:5L ())
 
+(* ----- Part 1b: checker hot-path throughput --------------------------------
+
+   The perf gate for the allocation-free checker loops: fixed-seed history
+   sets, rates computed from the checker's own counters (linchk.states,
+   treecheck.nodes) over a timed window.  Rows are written as
+   {"kind":"bench","name":"hot/...","per_sec":...} and diffed across
+   commits by scripts/bench_compare. *)
+
+let hot_rng seed = Random.State.make [| 0x5EED; seed |]
+
+let gen_histories spec gen ~count ~seed =
+  let rand = hot_rng seed in
+  List.init count (fun _ -> gen spec rand)
+
+(* Checker-heavy set: concurrent atomic histories (always linearizable —
+   the DFS must find a witness) and arbitrary histories (often not — the
+   DFS must exhaust the state space through the memo set). *)
+let hot_decide_histories =
+  lazy
+    (gen_histories
+       { Core.Histgen.default_spec with n_ops = 14; n_procs = 4 }
+       Core.Histgen.atomic_history ~count:12 ~seed:1
+    @ gen_histories
+        { Core.Histgen.default_spec with n_ops = 12; n_procs = 4 }
+        Core.Histgen.arbitrary_history ~count:12 ~seed:2)
+
+let hot_trees =
+  lazy
+    (gen_histories
+       { Core.Histgen.default_spec with n_ops = 8; n_procs = 3 }
+       Core.Histgen.atomic_history ~count:8 ~seed:3
+    |> List.map Core.Treecheck.of_prefixes)
+
+(* Run [pass] repeatedly for [window_ms], then report
+   counter-increments-per-second read from a private registry. *)
+let measure_rate ~name ~counter ~window_ms pass =
+  pass (Obs.Metrics.create ());
+  (* warmup *)
+  let m = Obs.Metrics.create () in
+  let t0 = Obs.Span.now_ms () in
+  let reps = ref 0 in
+  while Obs.Span.now_ms () -. t0 < window_ms do
+    pass m;
+    incr reps
+  done;
+  let dt_s = (Obs.Span.now_ms () -. t0) /. 1000. in
+  let total = Obs.Metrics.counter m counter in
+  let per_sec = float_of_int total /. dt_s in
+  Printf.printf "%-36s %16.0f %s/sec  (%d passes)\n" name per_sec counter
+    !reps;
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.Str "bench");
+      ("name", Obs.Json.Str name);
+      ("per_sec", Obs.Json.Float per_sec);
+      ("counter", Obs.Json.Str counter);
+      ("passes", Obs.Json.Int !reps);
+    ]
+
+let throughput_rows ~window_ms () =
+  let init = Core.Value.Int 0 in
+  [
+    measure_rate ~name:"hot/decide-states-per-sec" ~counter:"linchk.states"
+      ~window_ms (fun m ->
+        List.iter
+          (fun h -> ignore (Core.Lincheck.witness ~metrics:m ~init h))
+          (Lazy.force hot_decide_histories));
+    measure_rate ~name:"hot/treecheck-nodes-per-sec"
+      ~counter:"treecheck.nodes" ~window_ms (fun m ->
+        List.iter
+          (fun t -> ignore (Core.Treecheck.write_strong ~metrics:m ~init t))
+          (Lazy.force hot_trees));
+  ]
+
 let tests =
   [
     (* --- E1: a Theorem-6 adversary round --------------------------------- *)
@@ -187,9 +261,24 @@ let jobs_opt () =
   in
   scan (Array.to_list Sys.argv)
 
+(* [--quick]: only the checker-throughput rows (Part 1b), with a short
+   measurement window — the CI perf gate. *)
+let quick_opt () = Array.exists (String.equal "--quick") Sys.argv
+
 let () =
   let json = json_out () in
   let jobs = jobs_opt () in
+  if quick_opt () then begin
+    print_endline "=== checker hot-path throughput (--quick) ===";
+    let rows = throughput_rows ~window_ms:500. () in
+    (match json with
+    | None -> ()
+    | Some path ->
+        Obs.Export.to_file path rows;
+        Printf.printf "wrote %d JSONL records to %s\n" (List.length rows) path);
+    exit 0
+  end;
+  begin
   print_endline "=== Part 1: micro-benchmarks (Bechamel, monotonic clock) ===";
   let bench_rows =
     match benchmark () with
@@ -219,6 +308,9 @@ let () =
     | _ -> assert false
   in
   print_endline "";
+  print_endline "=== Part 1b: checker hot-path throughput ===";
+  let hot_rows = throughput_rows ~window_ms:1000. () in
+  print_endline "";
   Printf.printf "=== Part 2: experiment battery (paper-shaped tables, -j %d) ===\n"
     jobs;
   let battery_t0 = Obs.Span.now_ms () in
@@ -240,8 +332,11 @@ let () =
             ("wall_ms", Obs.Json.Float battery_ms);
           ]
       in
-      Obs.Export.to_file path
-        (bench_rows @ List.map Experiments.report_json reports @ [ battery_row ]);
-      Printf.printf "wrote %d JSONL records to %s\n"
-        (List.length bench_rows + List.length reports + 1)
-        path
+      let rows =
+        bench_rows @ hot_rows
+        @ List.map Experiments.report_json reports
+        @ [ battery_row ]
+      in
+      Obs.Export.to_file path rows;
+      Printf.printf "wrote %d JSONL records to %s\n" (List.length rows) path
+  end

@@ -49,7 +49,7 @@ let linearizability =
                   Printf.sprintf "history of %d ops is not linearizable"
                     (History.Hist.length run.Runs.history);
               }
-        | exception Linchk.Lincheck.Too_large ->
+        | exception Linchk.Lincheck.Too_large _ ->
             (* unreachable for chaos-sized workloads; never misreport *)
             None);
   }

@@ -44,10 +44,11 @@ let gather tr ~obj ~time:cutoff =
       match e with
       | Trace.TsSnapshot { time; op_id; ts; _ }
         when Hashtbl.mem ops_tbl op_id ->
+          (* accumulate reversed (cons, not append) — reversed once below *)
           let prev =
             Option.value ~default:[] (Hashtbl.find_opt snapshots op_id)
           in
-          Hashtbl.replace snapshots op_id (prev @ [ (time, ts) ])
+          Hashtbl.replace snapshots op_id ((time, ts) :: prev)
       | Trace.ValWrite { time; op_id; _ } when Hashtbl.mem ops_tbl op_id ->
           val_writes := (time, op_id) :: !val_writes
       | Trace.ReadTs { op_id; ts; _ } when Hashtbl.mem ops_tbl op_id ->
@@ -61,7 +62,9 @@ let gather tr ~obj ~time:cutoff =
            ( id,
              {
                op;
-               snapshots = Option.value ~default:[] (Hashtbl.find_opt snapshots id);
+               snapshots =
+                 List.rev
+                   (Option.value ~default:[] (Hashtbl.find_opt snapshots id));
                val_write =
                  List.find_map
                    (fun (t, oid) -> if oid = id then Some t else None)
@@ -92,9 +95,11 @@ let final_ts info ~n =
   | Some t -> Some (ts_at info ~t ~n)
 
 let linearize_upto ?(metrics = Obs.Metrics.global) tr ~obj ~time =
-  Obs.Metrics.incr metrics "alg3.linearizations";
+  let linearizations = Obs.Metrics.counter_h metrics "alg3.linearizations" in
+  let ops_placed = Obs.Metrics.counter_h metrics "alg3.ops_placed" in
+  Obs.Metrics.incr_h linearizations;
   let infos, val_writes, read_tss = gather tr ~obj ~time in
-  Obs.Metrics.incr metrics ~by:(List.length infos) "alg3.ops_placed";
+  Obs.Metrics.incr_h ~by:(List.length infos) ops_placed;
   match dim_of infos with
   | None ->
       (* no write ever took a snapshot: history has no writes past line 1;
@@ -170,8 +175,9 @@ let linearize_upto ?(metrics = Obs.Metrics.global) tr ~obj ~time =
           else
             match writer_of ts with
             | Some wid ->
+                (* reversed accumulator; re-reversed before the sort below *)
                 let prev = Option.value ~default:[] (Hashtbl.find_opt attached wid) in
-                Hashtbl.replace attached wid (prev @ [ i.op ])
+                Hashtbl.replace attached wid (i.op :: prev)
             | None ->
                 invalid_arg
                   (Printf.sprintf
@@ -186,7 +192,9 @@ let linearize_upto ?(metrics = Obs.Metrics.global) tr ~obj ~time =
           (fun wid ->
             let w = (find_info wid).op in
             let rs =
-              by_start (Option.value ~default:[] (Hashtbl.find_opt attached wid))
+              by_start
+                (List.rev
+                   (Option.value ~default:[] (Hashtbl.find_opt attached wid)))
             in
             w :: rs)
           ws

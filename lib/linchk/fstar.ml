@@ -23,7 +23,7 @@ let candidate_write writes (r : Op.t) v =
   scan (n - 1)
 
 let linearize ?(metrics = Obs.Metrics.global) ~init h =
-  Obs.Metrics.incr metrics "fstar.linearizations";
+  Obs.Metrics.incr_h (Obs.Metrics.counter_h metrics "fstar.linearizations");
   match Hist.objects h with
   | [] -> Some []
   | _ :: _ :: _ -> invalid_arg "Fstar.linearize: multi-object history"
@@ -102,7 +102,8 @@ let rec is_int_prefix p q =
 
 let wsl_function ?(metrics = Obs.Metrics.global) ~init h =
   let prefs = Hist.prefixes h in
-  Obs.Metrics.incr metrics ~by:(List.length prefs) "fstar.prefixes";
+  Obs.Metrics.incr_h ~by:(List.length prefs)
+    (Obs.Metrics.counter_h metrics "fstar.prefixes");
   let rec go acc prev = function
     | [] -> Ok (List.rev acc)
     | g :: rest -> (

@@ -1,0 +1,23 @@
+(** Open-addressed hash set of int pairs.
+
+    The failure-memo set of the {!Lincheck} DFS: a memo probe must not
+    allocate, so keys are two machine ints (the packed DFS state — see
+    [Lincheck.prep]'s value interning) stored inline in two parallel
+    arrays with linear probing and a power-of-two capacity.
+
+    Both components may be any int with [k1 >= 0] ([k1] is offset by one
+    internally so 0 can mark an empty slot). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) is rounded up to a power of two [>= 8]. *)
+
+val mem : t -> k1:int -> k2:int -> bool
+(** @raise Invalid_argument if [k1 < 0]. *)
+
+val add : t -> k1:int -> k2:int -> unit
+(** Idempotent. @raise Invalid_argument if [k1 < 0]. *)
+
+val length : t -> int
+(** Number of distinct pairs added. *)

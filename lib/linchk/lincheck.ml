@@ -5,31 +5,105 @@ module Hist = History.Hist
 (* Checker observability: counters accumulate in the caller's registry
    (default: the global one); drivers measure a run by snapshot/delta,
    and parallel drivers pass the run's private registry (see Obs.Metrics
-   and Simkit.Pool). *)
+   and Simkit.Pool).  Counter handles are resolved once per search entry
+   (never per DFS state) — see DESIGN.md "hot-path discipline". *)
 
-exception Too_large
+(* Histories are encoded into 62-bit done-masks, so one object carries at
+   most [max_ops] operations. *)
+let max_ops = 62
 
+exception Too_large of { n : int; cap : int }
+
+(* The preprocessed search form of a history.  Write values are interned
+   into dense ids ([0 .. nvals-1], the initial value first) so a DFS
+   state packs into two machine ints: the done-mask and
+   [cursor * nvals + vid].  [wvid]/[rvid] carry, per op index, the
+   interned id a write installs / a completed read requires ([rvid = -1]
+   when the result can never be produced, or for writes). *)
 type prepped = {
   ops : Op.t array; (* pending reads removed *)
   pred : int array; (* bitmask of ops that must precede op i *)
   complete_mask : int;
   init : V.t;
+  nvals : int;
+  init_vid : int;
+  wvid : int array;
+  rvid : int array;
 }
 
-let prep ~init h =
-  (match Hist.objects h with
-  | [] | [ _ ] -> ()
-  | objs ->
-      invalid_arg
-        (Printf.sprintf "Lincheck: history spans %d objects; project first"
-           (List.length objs)));
-  let ops =
-    Hist.ops h
-    |> List.filter (fun (o : Op.t) -> Op.is_write o || Op.is_complete o)
-    |> Array.of_list
+(* Build the ops array straight from the event list in one pass:
+   [Hist.ops]/[Hist.objects] re-derive through intermediate tables and
+   lists, which is most of the prep cost on the small histories the
+   experiments check (prep runs once per checked history, so its constant
+   matters as much as the DFS). *)
+let ops_of_events h =
+  let module E = History.Event in
+  let evs = Hist.events h in
+  let n_inv =
+    List.fold_left
+      (fun acc { E.event; _ } ->
+        match event with E.Invoke _ -> acc + 1 | _ -> acc)
+      0 evs
   in
-  let n = Array.length ops in
-  if n > 62 then raise Too_large;
+  if n_inv = 0 then [||]
+  else begin
+    let dummy = Op.make ~id:0 ~proc:0 ~obj:"" ~kind:Op.Read ~invoked:0 () in
+    let all = Array.make n_inv dummy in
+    let slot = ref 0 in
+    let objs = ref [] in
+    (* op lookup on respond is a backwards scan (the responding op is
+       usually recent, and n <= 62 anyway) — no id table to allocate *)
+    let find_slot op_id =
+      let rec go i =
+        if i < 0 then invalid_arg "Lincheck: response without invocation"
+        else if (all.(i) : Op.t).id = op_id then i
+        else go (i - 1)
+      in
+      go (!slot - 1)
+    in
+    List.iter
+      (fun { E.time; event } ->
+        match event with
+        | E.Invoke { op_id; proc; obj; kind } ->
+            if not (List.exists (String.equal obj) !objs) then
+              objs := obj :: !objs;
+            all.(!slot) <- Op.make ~id:op_id ~proc ~obj ~kind ~invoked:time ();
+            incr slot
+        | E.Respond { op_id; result } ->
+            let i = find_slot op_id in
+            all.(i) <- { all.(i) with responded = Some time; result })
+      evs;
+    (match !objs with
+    | [] | [ _ ] -> ()
+    | objs ->
+        invalid_arg
+          (Printf.sprintf "Lincheck: history spans %d objects; project first"
+             (List.length objs)));
+    all
+  end
+
+let prep ~init h =
+  let all = ops_of_events h in
+  let kept o = Op.is_write o || Op.is_complete o in
+  let n =
+    Array.fold_left (fun acc o -> if kept o then acc + 1 else acc) 0 all
+  in
+  let ops =
+    if n = Array.length all then all
+    else begin
+      let out = Array.make n all.(0) in
+      let j = ref 0 in
+      Array.iter
+        (fun o ->
+          if kept o then begin
+            out.(!j) <- o;
+            incr j
+          end)
+        all;
+      out
+    end
+  in
+  if n > max_ops then raise (Too_large { n; cap = max_ops });
   Array.iter
     (fun (o : Op.t) ->
       if Op.is_read o && Op.is_complete o && Option.is_none o.result then
@@ -37,16 +111,73 @@ let prep ~init h =
           (Printf.sprintf "Lincheck: completed read #%d has no recorded result"
              o.id))
     ops;
+  (* the precedence pass is the O(n^2) core of prep: run it over plain
+     int arrays ([Op.precedes o o'] is [responded o < invoked o'], with
+     pending mapped to +inf so it never precedes anything) *)
+  let inv_t = Array.map (fun (o : Op.t) -> o.invoked) ops in
+  let resp_t =
+    Array.map
+      (fun (o : Op.t) ->
+        match o.responded with Some r -> r | None -> max_int)
+      ops
+  in
   let pred = Array.make n 0 in
   for i = 0 to n - 1 do
+    let inv_i = inv_t.(i) in
+    let m = ref 0 in
     for j = 0 to n - 1 do
-      if j <> i && Op.precedes ops.(j) ops.(i) then
-        pred.(i) <- pred.(i) lor (1 lsl j)
-    done
+      if j <> i && resp_t.(j) < inv_i then m := !m lor (1 lsl j)
+    done;
+    pred.(i) <- !m
   done;
   let complete_mask = ref 0 in
   Array.iteri (fun i o -> if Op.is_complete o then complete_mask := !complete_mask lor (1 lsl i)) ops;
-  { ops; pred; complete_mask = !complete_mask; init }
+  (* Intern the reachable register values: the initial value plus every
+     written value, deduplicated by V.equal (at most n + 1 of them, so
+     the quadratic scan is nothing next to the O(n^2) pred pass). *)
+  let table = Array.make (n + 1) init in
+  let nvals = ref 1 in
+  let lookup v =
+    let rec go i =
+      if i >= !nvals then -1 else if V.equal table.(i) v then i else go (i + 1)
+    in
+    go 0
+  in
+  let intern v =
+    match lookup v with
+    | -1 ->
+        table.(!nvals) <- v;
+        incr nvals;
+        !nvals - 1
+    | i -> i
+  in
+  let wvid =
+    Array.map
+      (fun (o : Op.t) ->
+        match o.kind with Op.Write v -> intern v | Op.Read -> -1)
+      ops
+  in
+  (* Read requirements resolve against the full table (a read may return
+     a value written later in program order); a result outside the table
+     can never be matched by any reachable state. *)
+  let rvid =
+    Array.map
+      (fun (o : Op.t) ->
+        match (o.kind, o.result) with
+        | Op.Read, Some r -> lookup r
+        | _ -> -1)
+      ops
+  in
+  {
+    ops;
+    pred;
+    complete_mask = !complete_mask;
+    init;
+    nvals = !nvals;
+    init_vid = 0;
+    wvid;
+    rvid;
+  }
 
 (* The scope of a forced id prefix: the selected subsequence of the
    linearization (e.g. all ops, only writes, only reads) must follow the
@@ -58,31 +189,30 @@ let all_ops : scope = fun _ -> true
 let writes_only : scope = Op.is_write
 
 (* Core decision DFS with failure memoization.  [forced] is an id list the
-   (write) subsequence of the linearization must start with. *)
+   (write) subsequence of the linearization must start with.
+
+   The inner loop is allocation-free: the state is (done-mask, forced
+   cursor, interned value id), the failure memo is an open-addressed
+   int-pair set keyed by (mask, cursor * nvals + vid), and the counters
+   are pre-resolved handles.  Candidate order (op index ascending) is the
+   same as it ever was, so witnesses are unchanged. *)
 let decide ~m p ~forced ~scope =
   let n = Array.length p.ops in
   let forced = Array.of_list forced in
-  let module Key = struct
-    type t = int * int * V.t (* mask, forced-cursor, value *)
-
-    let equal (m1, c1, v1) (m2, c2, v2) = m1 = m2 && c1 = c2 && V.equal v1 v2
-
-    (* [V.equal] is structural, so the polymorphic hash is consistent
-       with it; hashing the value directly keeps the memo probe off the
-       allocation path (formatting the value through [V.show] dominated
-       the DFS inner loop). *)
-    let hash (k : t) = Hashtbl.hash k
-  end in
-  let module Memo = Hashtbl.Make (Key) in
-  let failed = Memo.create 256 in
-  let rec go mask cursor value path =
-    Obs.Metrics.incr m "linchk.states";
-    if
-      p.complete_mask land mask = p.complete_mask
-      && cursor = Array.length forced
-    then Some (List.rev path)
-    else if Memo.mem failed (mask, cursor, value) then begin
-      Obs.Metrics.incr m "linchk.memo_prunes";
+  let nforced = Array.length forced in
+  let states = Obs.Metrics.counter_h m "linchk.states" in
+  let memo_prunes = Obs.Metrics.counter_h m "linchk.memo_prunes" in
+  let backtracks = Obs.Metrics.counter_h m "linchk.backtracks" in
+  let nvals = p.nvals in
+  (* start tiny: most checked histories fail/succeed within a few dozen
+     states, and the set doubles on demand for the big searches *)
+  let failed = Ipset.create ~capacity:16 () in
+  let rec go mask cursor vid path =
+    Obs.Metrics.incr_h states;
+    if p.complete_mask land mask = p.complete_mask && cursor = nforced then
+      Some (List.rev path)
+    else if Ipset.mem failed ~k1:mask ~k2:((cursor * nvals) + vid) then begin
+      Obs.Metrics.incr_h memo_prunes;
       None
     end
     else begin
@@ -95,36 +225,34 @@ let decide ~m p ~forced ~scope =
         then begin
           let o = p.ops.(idx) in
           let allowed_by_forced, cursor' =
-            if cursor < Array.length forced && scope o then
+            if cursor < nforced && scope o then
               if o.id = forced.(cursor) then (true, cursor + 1)
               else (false, cursor)
             else (true, cursor)
           in
           if allowed_by_forced then
-            match o.kind with
-            | Op.Write v -> (
-                match go (mask lor (1 lsl idx)) cursor' v (o :: path) with
-                | Some _ as r -> result := r
-                | None -> ())
-            | Op.Read -> (
-                match o.result with
-                | Some r when V.equal r value -> (
-                    match
-                      go (mask lor (1 lsl idx)) cursor' value (o :: path)
-                    with
-                    | Some _ as res -> result := res
-                    | None -> ())
-                | _ -> ())
+            if p.wvid.(idx) >= 0 then begin
+              (* write: installs its interned value *)
+              match go (mask lor (1 lsl idx)) cursor' p.wvid.(idx) (o :: path) with
+              | Some _ as r -> result := r
+              | None -> ()
+            end
+            else if p.rvid.(idx) = vid then begin
+              (* read: linearizable only against the value it returned *)
+              match go (mask lor (1 lsl idx)) cursor' vid (o :: path) with
+              | Some _ as res -> result := res
+              | None -> ()
+            end
         end
       done;
       if Option.is_none !result then begin
-        Obs.Metrics.incr m "linchk.backtracks";
-        Memo.replace failed (mask, cursor, value) ()
+        Obs.Metrics.incr_h backtracks;
+        Ipset.add failed ~k1:mask ~k2:((cursor * nvals) + vid)
       end;
       !result
     end
   in
-  go 0 0 p.init []
+  go 0 0 p.init_vid []
 
 let witness ?(metrics = Obs.Metrics.global) ~init h =
   let p = prep ~init h in
@@ -141,6 +269,9 @@ let check_multi ?metrics ~init_of h =
 let enum ~m p ~forced ~scope ~limit ~collect =
   let n = Array.length p.ops in
   let forced = Array.of_list forced in
+  let nforced = Array.length forced in
+  let states = Obs.Metrics.counter_h m "linchk.enum.states" in
+  let solutions = Obs.Metrics.counter_h m "linchk.enum.solutions" in
   let out = ref [] in
   let count = ref 0 in
   let seen = Hashtbl.create 64 in
@@ -148,20 +279,18 @@ let enum ~m p ~forced ~scope ~limit ~collect =
     let sol = List.rev path in
     let key = collect sol in
     if not (Hashtbl.mem seen key) then begin
-      Obs.Metrics.incr m "linchk.enum.solutions";
+      Obs.Metrics.incr_h solutions;
       Hashtbl.add seen key ();
       out := sol :: !out;
       incr count
     end
   in
-  let rec go mask cursor value path =
-    Obs.Metrics.incr m "linchk.enum.states";
+  let rec go mask cursor vid path =
+    Obs.Metrics.incr_h states;
     if !count >= limit then ()
     else begin
-      if
-        p.complete_mask land mask = p.complete_mask
-        && cursor = Array.length forced
-      then emit path;
+      if p.complete_mask land mask = p.complete_mask && cursor = nforced then
+        emit path;
       (* keep extending: pending writes may still be appended, and other
          interleavings explored *)
       for idx = 0 to n - 1 do
@@ -172,32 +301,31 @@ let enum ~m p ~forced ~scope ~limit ~collect =
         then begin
           let o = p.ops.(idx) in
           let allowed_by_forced, cursor' =
-            if cursor < Array.length forced && scope o then
+            if cursor < nforced && scope o then
               if o.id = forced.(cursor) then (true, cursor + 1)
               else (false, cursor)
             else (true, cursor)
           in
           if allowed_by_forced then
-            match o.kind with
-            | Op.Write v -> go (mask lor (1 lsl idx)) cursor' v (o :: path)
-            | Op.Read -> (
-                match o.result with
-                | Some r when V.equal r value ->
-                    go (mask lor (1 lsl idx)) cursor' value (o :: path)
-                | _ -> ())
+            if p.wvid.(idx) >= 0 then
+              go (mask lor (1 lsl idx)) cursor' p.wvid.(idx) (o :: path)
+            else if p.rvid.(idx) = vid then
+              go (mask lor (1 lsl idx)) cursor' vid (o :: path)
         end
       done
     end
   in
-  go 0 0 p.init [];
+  go 0 0 p.init_vid [];
   List.rev !out
 
 let ids ops = List.map (fun (o : Op.t) -> o.id) ops
 let write_ids ops = ids (List.filter Op.is_write ops)
 
-let enumerate ?(metrics = Obs.Metrics.global) ~init h ~limit =
-  let p = prep ~init h in
+let enumerate_prepped ?(metrics = Obs.Metrics.global) p ~limit =
   enum ~m:metrics p ~forced:[] ~scope:all_ops ~limit ~collect:ids
+
+let enumerate ?metrics ~init h ~limit =
+  enumerate_prepped ?metrics (prep ~init h) ~limit
 
 let sel_ids sel ops = ids (List.filter sel ops)
 
@@ -220,17 +348,21 @@ let check_with_forced_subset_prefix ?(metrics = Obs.Metrics.global) ~init h
   let p = prep ~init h in
   Option.is_some (decide ~m:metrics p ~forced:prefix ~scope:sel)
 
-let write_orders_extending ?(metrics = Obs.Metrics.global) ~init h ~prefix
-    ~limit =
-  let p = prep ~init h in
-  enum ~m:metrics p ~forced:prefix ~scope:writes_only ~limit ~collect:write_ids
-  |> List.map (List.filter Op.is_write)
-  |> List.map ids
-  |> List.sort_uniq compare
+(* [enum ~collect] already dedups solutions by their [collect] projection,
+   so each returned linearization has a distinct key: one projection per
+   solution suffices, and the former List.sort_uniq degenerates to a
+   plain sort (kept — candidate order feeds the Treecheck search, which
+   relies on it being deterministic and sorted). *)
 
-let subset_orders_extending ?(metrics = Obs.Metrics.global) ~init h ~sel
-    ~prefix ~limit =
-  let p = prep ~init h in
+let orders_extending_prepped ?(metrics = Obs.Metrics.global) p ~sel ~prefix
+    ~limit =
   enum ~m:metrics p ~forced:prefix ~scope:sel ~limit ~collect:(sel_ids sel)
-  |> List.map (fun l -> sel_ids sel l)
-  |> List.sort_uniq compare
+  |> List.map (sel_ids sel)
+  |> List.sort compare
+
+let write_orders_extending ?metrics ~init h ~prefix ~limit =
+  orders_extending_prepped ?metrics (prep ~init h) ~sel:Op.is_write ~prefix
+    ~limit
+
+let subset_orders_extending ?metrics ~init h ~sel ~prefix ~limit =
+  orders_extending_prepped ?metrics (prep ~init h) ~sel ~prefix ~limit

@@ -16,10 +16,17 @@
     is the pair (done-set, last-written value), which collapses most of
     the permutation space).
 
-    Histories with more than 62 operations on one object are rejected
-    ({!Too_large}) — the experiments stay far below this. *)
+    Histories with more than {!max_ops} (62) operations on one object are
+    rejected ({!Too_large}) — the done-set of the DFS state is a bitmask
+    in one OCaml machine int (63 usable bits, one kept in reserve so
+    [1 lsl n] stays positive), and the experiments stay far below this. *)
 
-exception Too_large
+val max_ops : int
+(** The per-object operation cap, 62. *)
+
+exception Too_large of { n : int; cap : int }
+(** Raised by every checker entry point when the single-object history
+    has [n > cap] operations ([cap] = {!max_ops}). *)
 
 val check :
   ?metrics:Obs.Metrics.t -> init:History.Value.t -> History.Hist.t -> bool
@@ -118,3 +125,33 @@ val subset_orders_extending :
   int list list
 (** Distinct [sel]-subsequence id orders of linearizations of [h] extending
     [prefix]. *)
+
+(** {2 Prepped histories}
+
+    Every entry point above starts by preprocessing the history — an
+    O(n²) precedence pass plus write-value interning.  Callers that probe
+    the {e same} history under many different prefixes (the {!Treecheck}
+    tree search) prep once and reuse: *)
+
+type prepped
+(** A history preprocessed for the search: ops array, precedence
+    bitmasks, completion mask, and the interned write-value table. *)
+
+val prep : init:History.Value.t -> History.Hist.t -> prepped
+(** @raise Too_large on more than {!max_ops} operations.
+    @raise Invalid_argument on a multi-object history or a completed
+    read with no recorded result. *)
+
+val enumerate_prepped :
+  ?metrics:Obs.Metrics.t -> prepped -> limit:int -> History.Op.t list list
+(** {!enumerate} on a prepped history. *)
+
+val orders_extending_prepped :
+  ?metrics:Obs.Metrics.t ->
+  prepped ->
+  sel:(History.Op.t -> bool) ->
+  prefix:int list ->
+  limit:int ->
+  int list list
+(** {!subset_orders_extending} on a prepped history: same results, same
+    (sorted) candidate order. *)

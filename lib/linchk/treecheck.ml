@@ -24,40 +24,60 @@ let of_prefixes h = chain (Hist.prefixes h)
 
 (* Search: assign to each node a linearization whose (write) sequence
    extends the parent's committed (write) prefix.  We enumerate the
-   distinct candidate orders at each node (bounded) and recurse. *)
+   distinct candidate orders at each node (bounded) and recurse.
+
+   Prep cache: the search probes each node under many prefixes (one per
+   surviving candidate of its parent, re-entered on backtrack), but
+   Lincheck's O(n²) preprocessing depends only on the node's history — so
+   the tree is annotated with its prepped form once, up front, and the
+   candidate/recursion loop reuses it. *)
 
 let enum_limit = 4096
 
-let rec solve_sub ~m ~init ~sel t ~prefix =
-  Obs.Metrics.incr m "treecheck.nodes";
+type ptree = { phist : Hist.t; p : Lincheck.prepped; pchildren : ptree list }
+
+let rec prep_tree ~init t =
+  {
+    phist = t.hist;
+    p = Lincheck.prep ~init t.hist;
+    pchildren = List.map (prep_tree ~init) t.children;
+  }
+
+let rec solve_sub ~m ~nodes ~cands_total ~sel t ~prefix =
+  Obs.Metrics.incr_h nodes;
   (* candidate [sel]-subsequence orders of this node extending [prefix] *)
   let cands =
-    Lincheck.subset_orders_extending ~metrics:m ~init t.hist ~sel ~prefix
+    Lincheck.orders_extending_prepped ~metrics:m t.p ~sel ~prefix
       ~limit:enum_limit
   in
-  Obs.Metrics.incr m ~by:(List.length cands) "treecheck.candidates";
+  Obs.Metrics.incr_h ~by:(List.length cands) cands_total;
   let rec try_cands = function
     | [] -> None
     | w :: rest -> (
-        match solve_children_sub ~m ~init ~sel t.children ~prefix:w with
-        | Some subs -> Some ((t.hist, w) :: subs)
+        match
+          solve_children_sub ~m ~nodes ~cands_total ~sel t.pchildren ~prefix:w
+        with
+        | Some subs -> Some ((t.phist, w) :: subs)
         | None -> try_cands rest)
   in
   try_cands cands
 
-and solve_children_sub ~m ~init ~sel children ~prefix =
-  match children with
-  | [] -> Some []
-  | c :: rest -> (
-      match solve_sub ~m ~init ~sel c ~prefix with
-      | None -> None
-      | Some sub -> (
-          match solve_children_sub ~m ~init ~sel rest ~prefix with
-          | None -> None
-          | Some subs -> Some (sub @ subs)))
+and solve_children_sub ~m ~nodes ~cands_total ~sel children ~prefix =
+  (* reversed-accumulator build (the naive [sub @ subs] was quadratic in
+     the pre-order concatenation) *)
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+        match solve_sub ~m ~nodes ~cands_total ~sel c ~prefix with
+        | None -> None
+        | Some sub -> go (List.rev_append sub acc) rest)
+  in
+  go [] children
 
 let subset_strong_witness ?(metrics = Obs.Metrics.global) ~init ~sel t =
-  solve_sub ~m:metrics ~init ~sel t ~prefix:[]
+  let nodes = Obs.Metrics.counter_h metrics "treecheck.nodes" in
+  let cands_total = Obs.Metrics.counter_h metrics "treecheck.candidates" in
+  solve_sub ~m:metrics ~nodes ~cands_total ~sel (prep_tree ~init t) ~prefix:[]
 
 let subset_strong ?metrics ~init ~sel t =
   Option.is_some (subset_strong_witness ?metrics ~init ~sel t)
@@ -72,9 +92,9 @@ let read_strong ?metrics ~init t =
   subset_strong ?metrics ~init ~sel:History.Op.is_read t
 
 (* Full strong linearizability: same search over full op sequences. *)
-let rec solve_s ~m ~init t ~prefix =
+let rec solve_s ~m t ~prefix =
   let cands =
-    Lincheck.enumerate ~metrics:m ~init t.hist ~limit:enum_limit
+    Lincheck.enumerate_prepped ~metrics:m t.p ~limit:enum_limit
     |> List.map (List.map (fun (o : History.Op.t) -> o.id))
     |> List.filter (fun seq ->
            let rec starts_with p s =
@@ -86,9 +106,8 @@ let rec solve_s ~m ~init t ~prefix =
            starts_with prefix seq)
   in
   List.exists
-    (fun seq ->
-      List.for_all (fun c -> solve_s ~m ~init c ~prefix:seq) t.children)
+    (fun seq -> List.for_all (fun c -> solve_s ~m c ~prefix:seq) t.pchildren)
     cands
 
 let strong ?(metrics = Obs.Metrics.global) ~init t =
-  solve_s ~m:metrics ~init t ~prefix:[]
+  solve_s ~m:metrics (prep_tree ~init t) ~prefix:[]

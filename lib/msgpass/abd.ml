@@ -28,6 +28,12 @@ type t = {
   replicas : replica array;
   mutable wseq : int; (* writer's sequence number *)
   mutable rseq : int; (* fresh read ids *)
+  (* metric handles, resolved once at creation (hot-path discipline) *)
+  quorum_need_h : Obs.Metrics.Hist.t;
+  stale_c : Obs.Metrics.Counter.t;
+  retransmits_c : Obs.Metrics.Counter.t;
+  writes_c : Obs.Metrics.Counter.t;
+  reads_c : Obs.Metrics.Counter.t;
 }
 
 let server_pid ~node = 100 + node
@@ -69,6 +75,7 @@ let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~writer ~init () =
   let quorum_ = match quorum with Some q -> q | None -> (n / 2) + 1 in
   if quorum_ < 1 || quorum_ > n then
     invalid_arg "Abd.create: quorum out of range";
+  let m = Sched.metrics sched in
   let t =
     {
       sched;
@@ -81,6 +88,11 @@ let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~writer ~init () =
       replicas = Array.init n (fun _ -> { ts = 0; v = init });
       wseq = 0;
       rseq = 0;
+      quorum_need_h = Obs.Metrics.hist_h m "reg.abd.quorum.need";
+      stale_c = Obs.Metrics.counter_h m "reg.abd.stale";
+      retransmits_c = Obs.Metrics.counter_h m "reg.abd.retransmits";
+      writes_c = Obs.Metrics.counter_h m "reg.abd.writes";
+      reads_c = Obs.Metrics.counter_h m "reg.abd.reads";
     }
   in
   for node = 0 to n - 1 do
@@ -106,21 +118,20 @@ let broadcast_servers t ~src payload =
    majority of distinct replicas, retransmitting to the missing ones on a
    step-count timeout *)
 let quorum_round t ~pid ~payload ~classify =
-  let m = Sched.metrics t.sched in
   (* every round records the quorum size it waits for: the chaos
      quorum-intersection monitor checks min(need) >= majority *)
-  Obs.Metrics.observe m "reg.abd.quorum.need" (float_of_int t.quorum_);
+  Obs.Metrics.observe_h t.quorum_need_h (float_of_int t.quorum_);
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
   Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
-    ~stale:(fun () -> Obs.Metrics.incr m "reg.abd.stale")
+    ~stale:(fun () -> Obs.Metrics.incr_h t.stale_c)
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->
-      Obs.Metrics.incr m "reg.abd.retransmits";
+      Obs.Metrics.incr_h t.retransmits_c;
       List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
 
 let write t v =
-  Obs.Metrics.incr (Sched.metrics t.sched) "reg.abd.writes";
+  Obs.Metrics.incr_h t.writes_c;
   let tr = Sched.trace t.sched in
   let op_id =
     Trace.invoke tr ~proc:t.writer_ ~obj:t.name_ ~kind:(Op.Write (V.Int v))
@@ -135,7 +146,7 @@ let write t v =
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
-  Obs.Metrics.incr (Sched.metrics t.sched) "reg.abd.reads";
+  Obs.Metrics.incr_h t.reads_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   t.rseq <- t.rseq + 1;

@@ -31,6 +31,12 @@ type t = {
   net : msg Net.t;
   replicas : replica array;
   mutable seq : int; (* fresh request ids *)
+  (* metric handles, resolved once at creation (hot-path discipline) *)
+  quorum_need_h : Obs.Metrics.Hist.t;
+  stale_c : Obs.Metrics.Counter.t;
+  retransmits_c : Obs.Metrics.Counter.t;
+  writes_c : Obs.Metrics.Counter.t;
+  reads_c : Obs.Metrics.Counter.t;
 }
 
 let server_pid ~node = 100 + node
@@ -71,6 +77,7 @@ let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~init () =
   let quorum_ = match quorum with Some q -> q | None -> (n / 2) + 1 in
   if quorum_ < 1 || quorum_ > n then
     invalid_arg "Mwabd.create: quorum out of range";
+  let m = Sched.metrics sched in
   let t =
     {
       sched;
@@ -81,6 +88,11 @@ let create ?(retry_after = 25) ?quorum ~sched ~name ~n ~init () =
       net = Net.create ~sched ~n:200;
       replicas = Array.init n (fun node -> { sq = 0; pid = node; v = init });
       seq = 0;
+      quorum_need_h = Obs.Metrics.hist_h m "reg.mwabd.quorum.need";
+      stale_c = Obs.Metrics.counter_h m "reg.mwabd.stale";
+      retransmits_c = Obs.Metrics.counter_h m "reg.mwabd.retransmits";
+      writes_c = Obs.Metrics.counter_h m "reg.mwabd.writes";
+      reads_c = Obs.Metrics.counter_h m "reg.mwabd.reads";
     }
   in
   for node = 0 to n - 1 do
@@ -107,20 +119,19 @@ let fresh_rid t ~client =
    count matching replies from distinct replicas, retransmit to the
    missing ones on a step-count timeout *)
 let quorum_round t ~pid ~payload ~classify =
-  let m = Sched.metrics t.sched in
   (* see Abd.quorum_round: the quorum-sanity monitor audits this *)
-  Obs.Metrics.observe m "reg.mwabd.quorum.need" (float_of_int t.quorum_);
+  Obs.Metrics.observe_h t.quorum_need_h (float_of_int t.quorum_);
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
   Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
-    ~stale:(fun () -> Obs.Metrics.incr m "reg.mwabd.stale")
+    ~stale:(fun () -> Obs.Metrics.incr_h t.stale_c)
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->
-      Obs.Metrics.incr m "reg.mwabd.retransmits";
+      Obs.Metrics.incr_h t.retransmits_c;
       List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
 
 let write t ~proc v =
-  Obs.Metrics.incr (Sched.metrics t.sched) "reg.mwabd.writes";
+  Obs.Metrics.incr_h t.writes_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
   (* phase 1: query a majority for sequence numbers.  Updating [max_sq]
@@ -144,7 +155,7 @@ let write t ~proc v =
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
-  Obs.Metrics.incr (Sched.metrics t.sched) "reg.mwabd.reads";
+  Obs.Metrics.incr_h t.reads_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
   let rid = fresh_rid t ~client:reader in

@@ -93,10 +93,21 @@ type 'a t = {
   mailboxes : (int, 'a Queue.t) Hashtbl.t;
   mutable dead : int list; (* destinations whose mail is dead-lettered *)
   mutable faults : Simkit.Faults.t option;
+  (* metric handles, resolved once at creation (hot-path discipline) *)
+  sends_c : Obs.Metrics.Counter.t;
+  delivered_c : Obs.Metrics.Counter.t;
+  dead_letters_c : Obs.Metrics.Counter.t;
+  dropped_c : Obs.Metrics.Counter.t;
+  f_dropped_c : Obs.Metrics.Counter.t;
+  f_duplicated_c : Obs.Metrics.Counter.t;
+  f_delayed_c : Obs.Metrics.Counter.t;
+  in_flight_g : Obs.Metrics.Gauge.t;
+  partition_g : Obs.Metrics.Gauge.t;
 }
 
 let create ~sched ~n =
   if n < 1 then invalid_arg "Net.create: n must be >= 1";
+  let reg = Simkit.Sched.metrics sched in
   {
     sched;
     n;
@@ -104,6 +115,15 @@ let create ~sched ~n =
     mailboxes = Hashtbl.create 16;
     dead = [];
     faults = None;
+    sends_c = Obs.Metrics.counter_h reg "net.sends";
+    delivered_c = Obs.Metrics.counter_h reg "net.delivered";
+    dead_letters_c = Obs.Metrics.counter_h reg "net.dead_letters";
+    dropped_c = Obs.Metrics.counter_h reg "net.dropped";
+    f_dropped_c = Obs.Metrics.counter_h reg "net.faults.dropped";
+    f_duplicated_c = Obs.Metrics.counter_h reg "net.faults.duplicated";
+    f_delayed_c = Obs.Metrics.counter_h reg "net.faults.delayed";
+    in_flight_g = Obs.Metrics.gauge_h reg "net.in_flight";
+    partition_g = Obs.Metrics.gauge_h reg "net.faults.partition_active";
   }
 
 let mailbox t pid =
@@ -128,7 +148,7 @@ let mark_dead t ~pid =
     (* mail already delivered to the dead process will never be read *)
     let q = mailbox t pid in
     if Queue.length q > 0 then begin
-      Obs.Metrics.incr (metrics t) ~by:(Queue.length q) "net.dead_letters";
+      Obs.Metrics.incr_h ~by:(Queue.length q) t.dead_letters_c;
       Queue.clear q
     end
   end
@@ -136,11 +156,10 @@ let mark_dead t ~pid =
 let is_dead t ~pid = List.mem pid t.dead
 
 let note_in_flight t =
-  Obs.Metrics.set_gauge (metrics t) "net.in_flight"
-    (float_of_int (Dq.length t.flight))
+  Obs.Metrics.set_gauge_h t.in_flight_g (float_of_int (Dq.length t.flight))
 
 let send t ~src ~dst payload =
-  Obs.Metrics.incr (metrics t) "net.sends";
+  Obs.Metrics.incr_h t.sends_c;
   Dq.push_back t.flight { m = { src; dst; payload }; deferrals = 0 };
   note_in_flight t
 
@@ -173,34 +192,33 @@ let deliver_nth t i =
   if i < 0 || i >= Dq.length t.flight then invalid_arg "Net.deliver_nth";
   let it = Dq.remove t.flight i in
   let m = it.m in
-  let reg = metrics t in
   let enqueue () =
-    Obs.Metrics.incr reg "net.delivered";
+    Obs.Metrics.incr_h t.delivered_c;
     Queue.push m.payload (mailbox t m.dst)
   in
-  if is_dead t ~pid:m.dst then Obs.Metrics.incr reg "net.dead_letters"
+  if is_dead t ~pid:m.dst then Obs.Metrics.incr_h t.dead_letters_c
   else begin
     match t.faults with
     | None -> enqueue ()
     | Some f ->
         let step = Simkit.Sched.steps t.sched in
-        Obs.Metrics.set_gauge reg "net.faults.partition_active"
+        Obs.Metrics.set_gauge_h t.partition_g
           (if Simkit.Faults.partition_active f ~step then 1. else 0.);
         if Simkit.Faults.partitioned f ~step ~src:m.src ~dst:m.dst then begin
           (* held until the partition heals; does not consume a draw or
              the message's deferral budget *)
-          Obs.Metrics.incr reg "net.faults.delayed";
+          Obs.Metrics.incr_h t.f_delayed_c;
           Dq.push_back t.flight it
         end
         else begin
           match Simkit.Faults.draw f ~deferrals:it.deferrals with
-          | Simkit.Faults.Drop -> Obs.Metrics.incr reg "net.faults.dropped"
+          | Simkit.Faults.Drop -> Obs.Metrics.incr_h t.f_dropped_c
           | Simkit.Faults.Defer ->
               it.deferrals <- it.deferrals + 1;
-              Obs.Metrics.incr reg "net.faults.delayed";
+              Obs.Metrics.incr_h t.f_delayed_c;
               Dq.push_back t.flight it
           | Simkit.Faults.Duplicate ->
-              Obs.Metrics.incr reg "net.faults.duplicated";
+              Obs.Metrics.incr_h t.f_duplicated_c;
               enqueue ();
               Dq.push_back t.flight { m; deferrals = it.deferrals }
           | Simkit.Faults.Deliver -> enqueue ()
@@ -232,11 +250,10 @@ let deliver_from t ~src ~dst =
 let deliver_all t =
   (* end-of-experiment flush: bypasses the fault policy (a drain must
      terminate whatever the plan), but still respects dead destinations *)
-  let reg = metrics t in
   Dq.iter t.flight (fun it ->
-      if is_dead t ~pid:it.m.dst then Obs.Metrics.incr reg "net.dead_letters"
+      if is_dead t ~pid:it.m.dst then Obs.Metrics.incr_h t.dead_letters_c
       else begin
-        Obs.Metrics.incr reg "net.delivered";
+        Obs.Metrics.incr_h t.delivered_c;
         Queue.push it.m.payload (mailbox t it.m.dst)
       end);
   Dq.clear t.flight;
@@ -244,7 +261,7 @@ let deliver_all t =
 
 let drop_to t ~dst =
   let removed = Dq.keep_if t.flight (fun it -> it.m.dst <> dst) in
-  Obs.Metrics.incr (metrics t) ~by:removed "net.dropped";
+  Obs.Metrics.incr_h ~by:removed t.dropped_c;
   note_in_flight t
 
 let auto_deliver_policy t ~rng inner s =

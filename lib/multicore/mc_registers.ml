@@ -146,7 +146,7 @@ module Stress = struct
       else
         match Linchk.Lincheck.check ~init:(V.Int 0) history with
         | b -> Some b
-        | exception Linchk.Lincheck.Too_large -> None
+        | exception Linchk.Lincheck.Too_large _ -> None
     in
     { history; ops; linearizable }
 end

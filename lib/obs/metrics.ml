@@ -31,35 +31,83 @@ let reset t =
   Hashtbl.reset t.gauges;
   Hashtbl.reset t.hists
 
-let incr ?(by = 1) t name =
-  if by < 0 then invalid_arg "Metrics.incr: counters are monotone (by < 0)";
+(* ----- handles: the allocation-free recording path ------------------------
+
+   A handle is the interior mutable cell of a metric, resolved from the
+   name table once (at registry/component construction or checker entry)
+   so the per-event cost is a bare [ref] bump instead of a string hash +
+   Hashtbl probe.  Handles alias the same cells the string API updates,
+   so [merge], [snapshot]/[delta] and the per-run-registry isolation of
+   Simkit.Pool.map_runs see recordings from either path identically.
+   [reset] detaches live handles (it empties the name tables); re-resolve
+   after a reset. *)
+
+module Counter = struct
+  type t = int ref
+end
+
+module Gauge = struct
+  (* Resolving a gauge handle must NOT create the gauge: a gauge exists
+     in snapshots only once set (unlike counters, gauges have no neutral
+     value — reporting an unset gauge as 0 would change deltas).  The
+     cell is therefore bound lazily on the first [set]. *)
+  type t = {
+    tbl : (string, float ref) Hashtbl.t;
+    name : string;
+    mutable cell : float ref option;
+  }
+end
+
+module Hist = struct
+  type t = hist
+end
+
+let counter_h t name : Counter.t =
   match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
 
-let set_gauge t name v =
-  match Hashtbl.find_opt t.gauges name with
+let incr_h ?(by = 1) (c : Counter.t) =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotone (by < 0)";
+  c := !c + by
+
+let gauge_h t name : Gauge.t =
+  { Gauge.tbl = t.gauges; name; cell = Hashtbl.find_opt t.gauges name }
+
+let set_gauge_h (g : Gauge.t) v =
+  match g.Gauge.cell with
   | Some r -> r := v
-  | None -> Hashtbl.add t.gauges name (ref v)
+  | None -> (
+      match Hashtbl.find_opt g.Gauge.tbl g.Gauge.name with
+      | Some r ->
+          g.Gauge.cell <- Some r;
+          r := v
+      | None ->
+          let r = ref v in
+          Hashtbl.add g.Gauge.tbl g.Gauge.name r;
+          g.Gauge.cell <- Some r)
 
-let observe t name v =
-  let h =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            count = 0;
-            sum = 0.;
-            min_v = Float.infinity;
-            max_v = Float.neg_infinity;
-            samples = Float.Array.create 16;
-            filled = 0;
-          }
-        in
-        Hashtbl.add t.hists name h;
-        h
-  in
+let hist_h t name : Hist.t =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          count = 0;
+          sum = 0.;
+          min_v = Float.infinity;
+          max_v = Float.neg_infinity;
+          samples = Float.Array.create 16;
+          filled = 0;
+        }
+      in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe_h (h : Hist.t) v =
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
@@ -75,6 +123,12 @@ let observe t name v =
     Float.Array.set h.samples h.filled v;
     h.filled <- h.filled + 1
   end
+
+(* ----- string API: thin wrappers over the handles ------------------------- *)
+
+let incr ?by t name = incr_h ?by (counter_h t name)
+let set_gauge t name v = set_gauge_h (gauge_h t name) v
+let observe t name v = observe_h (hist_h t name) v
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0

@@ -35,6 +35,55 @@ val set_gauge : t -> string -> float -> unit
 val observe : t -> string -> float -> unit
 (** Add one sample to a histogram (e.g. a latency in simulated steps). *)
 
+(** {2 Handles — the allocation-free recording path}
+
+    The string API above hashes the metric name on every recording; that
+    is fine for per-run events but dominates checker inner loops (one
+    DFS state = one [incr]).  A handle resolves the name once and pins
+    the metric's interior cell: [incr_h] is a bare [ref] bump, no
+    hashing, no allocation.  Handles alias the cells the string API
+    updates — both paths hit the same counter, and {!merge},
+    {!snapshot}/{!delta} and the per-run-registry isolation of
+    [Simkit.Pool.map_runs] are oblivious to which path recorded.
+
+    Resolve handles at component construction or checker entry — never
+    per event (that would re-pay the lookup the handle exists to avoid).
+    {!reset} empties the name tables and thereby detaches live handles
+    (their bumps land in orphaned cells): re-resolve after a reset.
+    See DESIGN.md "hot-path discipline". *)
+
+module Counter : sig
+  type t
+end
+
+module Gauge : sig
+  type t
+end
+
+module Hist : sig
+  type t
+end
+
+val counter_h : t -> string -> Counter.t
+(** Resolve (creating at 0 if absent) a counter handle. *)
+
+val incr_h : ?by:int -> Counter.t -> unit
+(** Bump through a handle.
+    @raise Invalid_argument if [by < 0]. *)
+
+val gauge_h : t -> string -> Gauge.t
+(** Resolve a gauge handle.  Does {e not} create the gauge: a gauge
+    appears in snapshots only once set (there is no neutral value), so
+    the cell is bound on the first {!set_gauge_h}. *)
+
+val set_gauge_h : Gauge.t -> float -> unit
+
+val hist_h : t -> string -> Hist.t
+(** Resolve (creating empty if absent) a histogram handle.  An empty
+    histogram is invisible to {!snapshot} until its first sample. *)
+
+val observe_h : Hist.t -> float -> unit
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src] into [into] as if every recording made
     into [src] had been made into [into] instead, in the same order:

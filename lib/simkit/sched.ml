@@ -6,6 +6,14 @@ type t = {
   mutable rr_cursor : int;
   mutable steps_ : int;
   metrics_ : Obs.Metrics.t;
+  (* metric handles, resolved once at creation (hot-path discipline) *)
+  spawns_c : Obs.Metrics.Counter.t;
+  steps_c : Obs.Metrics.Counter.t;
+  crashes_c : Obs.Metrics.Counter.t;
+  coins_c : Obs.Metrics.Counter.t;
+  runs_c : Obs.Metrics.Counter.t;
+  watchdog_c : Obs.Metrics.Counter.t;
+  run_steps_h : Obs.Metrics.Hist.t;
 }
 
 let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
@@ -17,6 +25,13 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
     rr_cursor = 0;
     steps_ = 0;
     metrics_ = metrics;
+    spawns_c = Obs.Metrics.counter_h metrics "sched.spawns";
+    steps_c = Obs.Metrics.counter_h metrics "sched.steps";
+    crashes_c = Obs.Metrics.counter_h metrics "sched.crashes";
+    coins_c = Obs.Metrics.counter_h metrics "sched.coins";
+    runs_c = Obs.Metrics.counter_h metrics "sched.runs";
+    watchdog_c = Obs.Metrics.counter_h metrics "sched.watchdog.fired";
+    run_steps_h = Obs.Metrics.hist_h metrics "sched.run.steps";
   }
 
 let trace t = t.tr
@@ -28,7 +43,7 @@ let metrics t = t.metrics_
 let spawn t ~pid f =
   if Hashtbl.mem t.fibers pid then
     invalid_arg (Printf.sprintf "Sched.spawn: duplicate pid %d" pid);
-  Obs.Metrics.incr t.metrics_ "sched.spawns";
+  Obs.Metrics.incr_h t.spawns_c;
   Hashtbl.add t.fibers pid (Fiber.spawn ~pid f)
 
 let pids t =
@@ -56,7 +71,7 @@ let step t ~pid =
   (match Fiber.status f with
   | Fiber.Runnable -> ()
   | _ -> invalid_arg (Printf.sprintf "Sched.step: pid %d is not runnable" pid));
-  Obs.Metrics.incr t.metrics_ "sched.steps";
+  Obs.Metrics.incr_h t.steps_c;
   t.steps_ <- t.steps_ + 1;
   match Fiber.step f with
   | Fiber.Failed e -> raise e
@@ -66,13 +81,13 @@ let crash t ~pid =
   ignore (find t pid);
   if not (crashed t ~pid) then begin
     t.crashed_ <- pid :: t.crashed_;
-    Obs.Metrics.incr t.metrics_ "sched.crashes";
+    Obs.Metrics.incr_h t.crashes_c;
     Trace.note t.tr ~tag:"crash" ~text:(Printf.sprintf "p%d" pid)
   end
 
 let coin t ~proc =
   let v = Rng.coin t.rng_ in
-  Obs.Metrics.incr t.metrics_ "sched.coins";
+  Obs.Metrics.incr_h t.coins_c;
   Trace.coin t.tr ~proc ~value:v;
   v
 
@@ -152,7 +167,7 @@ let run ?watchdog t ~policy ~max_steps =
     ref (match watchdog with Some w -> w.progress () | None -> 0)
   in
   let since = ref 0 in
-  Obs.Metrics.incr t.metrics_ "sched.runs";
+  Obs.Metrics.incr_h t.runs_c;
   while !continue_ && !steps < max_steps do
     if live_pids t = [] then continue_ := false
     else
@@ -168,9 +183,8 @@ let run ?watchdog t ~policy ~max_steps =
               if !since >= w.window then begin
                 let p = w.progress () in
                 if p = !last_progress then begin
-                  Obs.Metrics.incr t.metrics_ "sched.watchdog.fired";
-                  Obs.Metrics.observe t.metrics_ "sched.run.steps"
-                    (float_of_int !steps);
+                  Obs.Metrics.incr_h t.watchdog_c;
+                  Obs.Metrics.observe_h t.run_steps_h (float_of_int !steps);
                   let report = stall_report t w in
                   Trace.note t.tr ~tag:"watchdog"
                     ~text:
@@ -182,7 +196,7 @@ let run ?watchdog t ~policy ~max_steps =
                 since := 0
               end)
   done;
-  Obs.Metrics.observe t.metrics_ "sched.run.steps" (float_of_int !steps);
+  Obs.Metrics.observe_h t.run_steps_h (float_of_int !steps);
   !steps
 
 let round_robin t =

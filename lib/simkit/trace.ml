@@ -12,6 +12,11 @@ type t = {
   mutable rev_entries : entry list;
   mutable next_op : int;
   metrics : Obs.Metrics.t;
+  (* metric handles, resolved once at creation (hot-path discipline) *)
+  invokes_c : Obs.Metrics.Counter.t;
+  responds_c : Obs.Metrics.Counter.t;
+  lins_c : Obs.Metrics.Counter.t;
+  latency_h : Obs.Metrics.Hist.t;
   invoked_at : (int, int) Hashtbl.t; (* op_id -> invocation time *)
 }
 
@@ -21,6 +26,10 @@ let create ?(metrics = Obs.Metrics.global) () =
     rev_entries = [];
     next_op = 0;
     metrics;
+    invokes_c = Obs.Metrics.counter_h metrics "trace.invokes";
+    responds_c = Obs.Metrics.counter_h metrics "trace.responds";
+    lins_c = Obs.Metrics.counter_h metrics "trace.lins";
+    latency_h = Obs.Metrics.hist_h metrics "op.latency.sim";
     invoked_at = Hashtbl.create 32;
   }
 
@@ -38,21 +47,20 @@ let invoke t ~proc ~obj ~kind =
   let op_id = t.next_op in
   let time = next_time t in
   Hashtbl.replace t.invoked_at op_id time;
-  Obs.Metrics.incr t.metrics "trace.invokes";
+  Obs.Metrics.incr_h t.invokes_c;
   push t (Ev { History.Event.time; event = History.Event.Invoke { op_id; proc; obj; kind } });
   op_id
 
 let respond t ~op_id ~result =
   let time = next_time t in
-  Obs.Metrics.incr t.metrics "trace.responds";
+  Obs.Metrics.incr_h t.responds_c;
   (match Hashtbl.find_opt t.invoked_at op_id with
-  | Some t0 ->
-      Obs.Metrics.observe t.metrics "op.latency.sim" (float_of_int (time - t0))
+  | Some t0 -> Obs.Metrics.observe_h t.latency_h (float_of_int (time - t0))
   | None -> ());
   push t (Ev { History.Event.time; event = History.Event.Respond { op_id; result } })
 
 let linearize t ~op_id =
-  Obs.Metrics.incr t.metrics "trace.lins";
+  Obs.Metrics.incr_h t.lins_c;
   push t (Lin { time = next_time t; op_id })
 
 let coin t ~proc ~value = push t (Coin { time = next_time t; proc; value })

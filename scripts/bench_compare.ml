@@ -1,0 +1,83 @@
+(* Diff two bench JSONL files (bench/main.exe --json output, or a
+   committed BENCH_prN.json) row by row.
+
+   Rows are matched by their "name" field among records with
+   "kind":"bench".  Two metrics are understood:
+
+   - "per_sec"    (throughput; higher is better)
+   - "ns_per_run" (latency; lower is better)
+
+   When a file tags rows with "phase" (the committed before/after files
+   do), the "after" row wins for a given name; otherwise the last row
+   with that name wins.  The exit status is 0 whenever both files parse —
+   the comparison is informational (CI runs it as a non-blocking step:
+   shared runners make wall-clock thresholds too flaky to gate on). *)
+
+module J = Obs.Json
+
+type row = { per_sec : float option; ns_per_run : float option }
+
+let get_float name j = Option.bind (J.member name j) J.to_float_opt
+let get_str name j = Option.bind (J.member name j) J.to_string_opt
+
+let load path =
+  match Obs.Export.parse_file path with
+  | Error msg ->
+      Printf.eprintf "bench_compare: %s: %s\n" path msg;
+      exit 1
+  | Ok lines ->
+      let tbl : (string, row) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun j ->
+          match (get_str "kind" j, get_str "name" j) with
+          | Some "bench", Some name ->
+              let replace =
+                match get_str "phase" j with
+                | Some "before" -> not (Hashtbl.mem tbl name)
+                | _ -> true (* "after", untagged: last one wins *)
+              in
+              if replace then
+                Hashtbl.replace tbl name
+                  {
+                    per_sec = get_float "per_sec" j;
+                    ns_per_run = get_float "ns_per_run" j;
+                  }
+          | _ -> ())
+        lines;
+      tbl
+
+let () =
+  let base_path, cur_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+        prerr_endline "usage: bench_compare BASELINE.jsonl CURRENT.jsonl";
+        exit 1
+  in
+  let base = load base_path and cur = load cur_path in
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) base []
+    |> List.filter (Hashtbl.mem cur)
+    |> List.sort String.compare
+  in
+  if names = [] then
+    Printf.printf "bench_compare: no common bench rows between %s and %s\n"
+      base_path cur_path
+  else begin
+    Printf.printf "%-40s %14s %14s %9s\n" "bench" "baseline" "current"
+      "speedup";
+    List.iter
+      (fun name ->
+        let b = Hashtbl.find base name and c = Hashtbl.find cur name in
+        match (b, c) with
+        | { per_sec = Some bv; _ }, { per_sec = Some cv; _ } when bv > 0. ->
+            Printf.printf "%-40s %12.0f/s %12.0f/s %8.2fx\n" name bv cv
+              (cv /. bv)
+        | { ns_per_run = Some bv; _ }, { ns_per_run = Some cv; _ }
+          when cv > 0. ->
+            Printf.printf "%-40s %12.0fns %12.0fns %8.2fx\n" name bv cv
+              (bv /. cv)
+        | _ ->
+            Printf.printf "%-40s %14s %14s %9s\n" name "-" "-" "n/a")
+      names
+  end

@@ -226,7 +226,9 @@ let enumerate_tests =
         try
           ignore (L.check ~init (h ops));
           Alcotest.fail "accepted 63 ops"
-        with L.Too_large -> ());
+        with L.Too_large { n; cap } ->
+          Alcotest.(check int) "n carried" 63 n;
+          Alcotest.(check int) "cap carried" L.max_ops cap);
   ]
 
 (* property: histories produced by an atomic register are always accepted,
@@ -332,3 +334,159 @@ let oracle_tests =
   ]
 
 let suite = suite @ [ ("lincheck.oracle", oracle_tests) ]
+
+(* ----- the int-pair memo set vs a Hashtbl oracle --------------------------------- *)
+
+module Ipset = Linchk.Ipset
+
+let ipset_tests =
+  [
+    tc "Ipset agrees with a Hashtbl set on random streams" (fun () ->
+        let rand = Random.State.make [| 0x1953 |] in
+        for _trial = 1 to 10 do
+          let s = Ipset.create ~capacity:8 () in
+          let oracle : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+          for _step = 1 to 3_000 do
+            (* dense, highly regular keys, like the DFS produces: small
+               masks and small cursor*nvals+vid packings (k2 may be any
+               int, so the stream also exercises negatives) *)
+            let k1 = Random.State.int rand 0x400 in
+            let k2 = Random.State.int rand 600 - 100 in
+            if Random.State.bool rand then begin
+              Ipset.add s ~k1 ~k2;
+              Hashtbl.replace oracle (k1, k2) ()
+            end
+            else
+              Alcotest.(check bool) "mem agrees"
+                (Hashtbl.mem oracle (k1, k2))
+                (Ipset.mem s ~k1 ~k2)
+          done;
+          Alcotest.(check int) "cardinality agrees" (Hashtbl.length oracle)
+            (Ipset.length s)
+        done);
+    tc "Ipset add is idempotent" (fun () ->
+        let s = Ipset.create () in
+        Ipset.add s ~k1:5 ~k2:7;
+        Ipset.add s ~k1:5 ~k2:7;
+        Alcotest.(check int) "size" 1 (Ipset.length s);
+        Alcotest.(check bool) "mem" true (Ipset.mem s ~k1:5 ~k2:7);
+        Alcotest.(check bool) "near miss k1" false (Ipset.mem s ~k1:6 ~k2:7);
+        Alcotest.(check bool) "near miss k2" false (Ipset.mem s ~k1:5 ~k2:8));
+    tc "Ipset rejects negative first components" (fun () ->
+        let s = Ipset.create () in
+        (try
+           Ipset.add s ~k1:(-1) ~k2:0;
+           Alcotest.fail "add accepted k1 < 0"
+         with Invalid_argument _ -> ());
+        try
+          ignore (Ipset.mem s ~k1:(-1) ~k2:0);
+          Alcotest.fail "mem accepted k1 < 0"
+        with Invalid_argument _ -> ());
+  ]
+
+(* ----- interned decide vs the boxed-key reference -------------------------------
+   A line-for-line reference of the pre-interning DFS: same candidate
+   order, but the register value is carried as a V.t compared with
+   V.equal and the failure memo is a Hashtbl keyed by the boxed
+   (mask, cursor, value) triple.  Witness equality on seeded random
+   histories pins that value interning changed neither the verdicts nor
+   the witnesses the search returns. *)
+
+let ref_witness ~init hist =
+  let ops =
+    Hist.ops hist
+    |> List.filter (fun (o : Op.t) -> Op.is_write o || Op.is_complete o)
+    |> Array.of_list
+  in
+  let n = Array.length ops in
+  let pred = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if j <> i && Op.precedes ops.(j) ops.(i) then
+        pred.(i) <- pred.(i) lor (1 lsl j)
+    done
+  done;
+  let complete_mask = ref 0 in
+  Array.iteri
+    (fun i o -> if Op.is_complete o then complete_mask := !complete_mask lor (1 lsl i))
+    ops;
+  let complete_mask = !complete_mask in
+  let failed = Hashtbl.create 64 in
+  let rec go mask v path =
+    if complete_mask land mask = complete_mask then Some (List.rev path)
+    else if Hashtbl.mem failed (mask, 0, v) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while Option.is_none !result && !i < n do
+        let idx = !i in
+        incr i;
+        if mask land (1 lsl idx) = 0 && pred.(idx) land mask = pred.(idx)
+        then begin
+          let o = ops.(idx) in
+          match o.kind with
+          | Op.Write wv -> (
+              match go (mask lor (1 lsl idx)) wv (o :: path) with
+              | Some _ as r -> result := r
+              | None -> ())
+          | Op.Read -> (
+              match o.result with
+              | Some rv when V.equal rv v -> (
+                  match go (mask lor (1 lsl idx)) v (o :: path) with
+                  | Some _ as r -> result := r
+                  | None -> ())
+              | _ -> ())
+        end
+      done;
+      if Option.is_none !result then Hashtbl.add failed (mask, 0, v) ();
+      !result
+    end
+  in
+  go 0 init []
+
+let ids_of ops = List.map (fun (o : Op.t) -> o.id) ops
+
+let witness_equiv_tests =
+  [
+    tc "interned decide = boxed reference on 200 seeded histories" (fun () ->
+        let rand = Random.State.make [| 0xC0FFEE |] in
+        for i = 0 to 199 do
+          let hist =
+            match i mod 3 with
+            | 0 ->
+                Gen.atomic_history
+                  { Gen.default_spec with n_ops = 10; n_procs = 4 }
+                  rand
+            | 1 ->
+                Gen.arbitrary_history
+                  { Gen.default_spec with n_ops = 9; n_procs = 3 }
+                  rand
+            | _ ->
+                (* repeated write values stress the interning table *)
+                Gen.arbitrary_history
+                  {
+                    Gen.default_spec with
+                    n_ops = 9;
+                    n_procs = 3;
+                    distinct_writes = false;
+                  }
+                  rand
+          in
+          match (ref_witness ~init hist, L.witness ~init hist) with
+          | None, None -> ()
+          | Some a, Some b ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "witness %d identical" i)
+                (ids_of a) (ids_of b)
+          | Some _, None -> Alcotest.failf "history %d: verdict flipped to no" i
+          | None, Some _ ->
+              Alcotest.failf "history %d: verdict flipped to yes" i
+        done);
+  ]
+
+let suite =
+  suite
+  @ [
+      ("lincheck.ipset", ipset_tests);
+      ("lincheck.interning", witness_equiv_tests);
+    ]

@@ -55,6 +55,85 @@ let test_delta () =
   Alcotest.(check bool) "unchanged counter omitted" true
     (List.assoc_opt "x" d = Some 3. && not (List.mem_assoc "h.count" d))
 
+(* ----- Handles (the allocation-free hot path) ------------------------------ *)
+
+let test_handles_alias_string_api () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter_h m "k" in
+  Obs.Metrics.incr_h c;
+  Obs.Metrics.incr m "k" ~by:4;
+  Obs.Metrics.incr_h c ~by:2;
+  Alcotest.(check int) "handle and string hit the same cell" 7
+    (Obs.Metrics.counter m "k");
+  Alcotest.check_raises "handles keep counters monotone"
+    (Invalid_argument "Metrics.incr: counters are monotone (by < 0)") (fun () ->
+      Obs.Metrics.incr_h c ~by:(-1));
+  let g = Obs.Metrics.gauge_h m "g" in
+  Alcotest.(check bool) "resolving a gauge handle does not create the gauge"
+    true
+    (Obs.Metrics.gauge m "g" = None);
+  Obs.Metrics.set_gauge_h g 3.;
+  Obs.Metrics.set_gauge m "g" 5.;
+  Obs.Metrics.set_gauge_h g 9.;
+  Alcotest.(check (option (float 1e-9))) "gauge cell shared" (Some 9.)
+    (Obs.Metrics.gauge m "g");
+  let h = Obs.Metrics.hist_h m "h" in
+  Obs.Metrics.observe_h h 1.;
+  Obs.Metrics.observe m "h" 3.;
+  match Obs.Metrics.summary m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "observations from both paths" 2 s.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 4. s.Obs.Metrics.sum
+
+let test_merge_after_handle_use () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  let ca = Obs.Metrics.counter_h a "n" and cb = Obs.Metrics.counter_h b "n" in
+  Obs.Metrics.incr_h ca ~by:3;
+  Obs.Metrics.incr_h cb ~by:4;
+  Obs.Metrics.observe_h (Obs.Metrics.hist_h b "h") 10.;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Obs.Metrics.counter a "n");
+  (match Obs.Metrics.summary a "h" with
+  | Some s -> Alcotest.(check int) "hist carried" 1 s.Obs.Metrics.count
+  | None -> Alcotest.fail "merged histogram missing");
+  (* the handle still points at the live cell after the merge *)
+  Obs.Metrics.incr_h ca;
+  Alcotest.(check int) "handle live after merge" 8 (Obs.Metrics.counter a "n")
+
+let test_reservoir_growth_and_cap () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.hist_h m "h" in
+  (* crossing the 16-slot initial reservoir must lose nothing *)
+  for i = 1 to 17 do
+    Obs.Metrics.observe_h h (float_of_int i)
+  done;
+  (match Obs.Metrics.summary m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count across growth" 17 s.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum exact" 153. s.Obs.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "max exact" 17. s.Obs.Metrics.max);
+  (* beyond reservoir_cap: count/sum/min/max stay exact, quantiles are
+     computed over the first [reservoir_cap] retained samples *)
+  let m2 = Obs.Metrics.create () in
+  let h2 = Obs.Metrics.hist_h m2 "h" in
+  for i = 1 to 5000 do
+    Obs.Metrics.observe_h h2 (float_of_int i)
+  done;
+  match Obs.Metrics.summary m2 "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      Alcotest.(check int) "count past the cap" 5000 s.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "max past the cap" 5000. s.Obs.Metrics.max;
+      Alcotest.(check (float 1e-9)) "sum exact past the cap" 12502500.
+        s.Obs.Metrics.sum;
+      (* reservoir retains samples 1..4096: p50 = round(0.5 * 4095) + 1 *)
+      Alcotest.(check (float 1e-9)) "p50 over the retained prefix" 2049.
+        s.Obs.Metrics.p50;
+      Alcotest.(check bool) "p99 bounded by the cap" true
+        (s.Obs.Metrics.p99 <= 4096.)
+
 (* ----- Json ---------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -106,6 +185,9 @@ let suite =
         tc "counter semantics" test_counter_semantics;
         tc "histogram summary" test_histogram_semantics;
         tc "snapshot delta" test_delta;
+        tc "handles alias the string API" test_handles_alias_string_api;
+        tc "merge after handle use" test_merge_after_handle_use;
+        tc "reservoir growth and cap" test_reservoir_growth_and_cap;
         tc "json round-trip" test_json_roundtrip;
         tc "json \\uXXXX decoding" test_json_unicode_escape;
         tc "fig3 trace JSONL round-trip" test_trace_jsonl_roundtrip;

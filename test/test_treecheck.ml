@@ -214,6 +214,89 @@ let props =
          (fun hist -> T.write_strong ~init (T.of_prefixes hist)));
   ]
 
+(* ----- prep cache vs the prep-per-visit path -------------------------------
+   The tree search preps each node once and reuses the prepped form
+   across the candidate/recursion loop.  This reference solver is the old
+   path — Lincheck.subset_orders_extending (prep inside) on every visit —
+   and must return identical witnesses. *)
+
+let old_solve ~init ~sel t =
+  let rec go (t : T.tree) ~prefix =
+    let cands =
+      Core.Lincheck.subset_orders_extending ~init t.T.hist ~sel ~prefix
+        ~limit:4096
+    in
+    let rec try_cands = function
+      | [] -> None
+      | w :: rest -> (
+          match children t.T.children ~prefix:w with
+          | Some subs -> Some ((t.T.hist, w) :: subs)
+          | None -> try_cands rest)
+    in
+    try_cands cands
+  and children cs ~prefix =
+    match cs with
+    | [] -> Some []
+    | c :: rest -> (
+        match go c ~prefix with
+        | None -> None
+        | Some sub -> (
+            match children rest ~prefix with
+            | None -> None
+            | Some subs -> Some (sub @ subs)))
+  in
+  go t ~prefix:[]
+
+let shape w = List.map (fun (h, ws) -> (Hist.length h, ws)) w
+
+let check_same_witness name t sel =
+  match (old_solve ~init ~sel t, T.subset_strong_witness ~init ~sel t) with
+  | None, None -> ()
+  | Some a, Some b ->
+      Alcotest.(check (list (pair int (list int))))
+        (name ^ ": identical witness") (shape a) (shape b)
+  | Some _, None -> Alcotest.failf "%s: verdict flipped to no" name
+  | None, Some _ -> Alcotest.failf "%s: verdict flipped to yes" name
+
+let prep_cache_tests =
+  [
+    tc "prep cache: identical witnesses on seeded prefix chains" (fun () ->
+        let rand = Random.State.make [| 0xCACE |] in
+        for i = 0 to 29 do
+          let hist =
+            Core.Histgen.atomic_history
+              { Core.Histgen.default_spec with n_ops = 6 }
+              rand
+          in
+          check_same_witness
+            (Printf.sprintf "chain %d" i)
+            (T.of_prefixes hist) Op.is_write
+        done);
+    tc "prep cache: identical on a branching refutation tree" (fun () ->
+        let w1 = w ~id:1 ~proc:1 ~invoked:1 100 in
+        let w2 = w ~id:2 ~proc:2 ~invoked:2 ~responded:5 200 in
+        let g = Hist.of_ops [ w1; w2 ] in
+        let h1 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 200;
+            ]
+        in
+        let h2 =
+          Hist.of_ops
+            [
+              { w1 with responded = Some 7 };
+              w2;
+              r ~id:3 ~proc:3 ~invoked:8 ~responded:9 100;
+            ]
+        in
+        let tree = T.node g [ T.node h1 []; T.node h2 [] ] in
+        check_same_witness "refutation tree" tree Op.is_write;
+        check_same_witness "refutation tree, read order" tree Op.is_read);
+  ]
+
 let suite =
   [
     ("treecheck.structure", structure_tests);
@@ -221,4 +304,5 @@ let suite =
     ("treecheck.strong", strong_tests);
     ("treecheck.fig4", fig4_tests);
     ("treecheck.props", props);
+    ("treecheck.prep_cache", prep_cache_tests);
   ]
