@@ -138,11 +138,21 @@ let measure_rate ~name ~counter ~window_ms pass =
 
 let throughput_rows ~window_ms () =
   let init = Core.Value.Int 0 in
+  (* a disarmed flight recorder threaded through the same decide workload:
+     the row must track hot/decide within noise, proving the tracing
+     instrumentation costs one branch when off (DESIGN.md §13) *)
+  let disarmed = Core.Tracer.create ~capacity:256 ~armed:false () in
   [
     measure_rate ~name:"hot/decide-states-per-sec" ~counter:"linchk.states"
       ~window_ms (fun m ->
         List.iter
           (fun h -> ignore (Core.Lincheck.witness ~metrics:m ~init h))
+          (Lazy.force hot_decide_histories));
+    measure_rate ~name:"hot/tracer-overhead-states-per-sec"
+      ~counter:"linchk.states" ~window_ms (fun m ->
+        List.iter
+          (fun h ->
+            ignore (Core.Lincheck.witness ~metrics:m ~tracer:disarmed ~init h))
           (Lazy.force hot_decide_histories));
     measure_rate ~name:"hot/treecheck-nodes-per-sec"
       ~counter:"treecheck.nodes" ~window_ms (fun m ->

@@ -475,11 +475,21 @@ let chaos_run_cmd =
             "Write the search report as one JSONL record ('-' for stdout); \
              carries no wall-clock, so reports diff clean across -j.")
   in
-  let run budget seed jobs inject corpus json =
+  let flight =
+    Arg.(
+      value & flag
+      & info [ "flight-recorder" ]
+          ~doc:
+            "Re-execute every shrunk reproducer under an armed causal \
+             flight recorder and attach the last recorded events to its \
+             corpus entry as a post-mortem (sequential, deterministic; \
+             reports still diff clean across -j).")
+  in
+  let run budget seed jobs inject corpus json flight =
     let report =
       Core.Chaos.search ~jobs
         ?inject:(if inject then Some Core.Chaos.Quorum_too_small else None)
-        ~telemetry:Obs.Metrics.global ~seed ~budget ()
+        ~flight ~telemetry:Obs.Metrics.global ~seed ~budget ()
     in
     let findings = report.Core.Chaos.findings in
     Printf.printf "chaos: %d configs explored (seed %Ld), %d violations\n"
@@ -491,7 +501,10 @@ let chaos_run_cmd =
           (violation_line f.Core.Chaos.first)
           (Core.Json.to_string
              (Core.Run_config.json f.Core.Chaos.shrunk.Core.Shrink.config))
-          f.Core.Chaos.shrunk.Core.Shrink.attempts)
+          f.Core.Chaos.shrunk.Core.Shrink.attempts;
+        if flight then
+          Printf.printf "      post-mortem: %d flight-recorder events\n"
+            (List.length f.Core.Chaos.postmortem))
       findings;
     Option.iter
       (fun dir ->
@@ -518,7 +531,9 @@ let chaos_run_cmd =
           online monitors (linearizability, termination, quorum sanity), \
           and delta-debug every violation to a minimal reproducer.  Exits \
           non-zero when violations were found.")
-    Term.(const run $ budget $ seed_arg $ jobs_arg $ inject $ corpus $ json)
+    Term.(
+      const run $ budget $ seed_arg $ jobs_arg $ inject $ corpus $ json
+      $ flight)
 
 let replay_path path =
   match Core.Corpus.load path with
@@ -677,6 +692,56 @@ let trace_source_conv =
       ("mwabd", `Mwabd);
     ]
 
+(* Streaming write with per-record verification: each line is re-parsed
+   and structurally compared as it is written, so --out and --follow never
+   buffer the whole stream just to audit it afterwards (the old scheme
+   re-read the finished file, which an unbounded --follow can't do). *)
+let write_jsonl_verified path lines =
+  let go oc =
+    let rec loop n = function
+      | [] -> Ok n
+      | v :: rest -> (
+          match Obs.Export.write_line_verified oc v with
+          | Ok () -> loop (n + 1) rest
+          | Error e -> Error e)
+    in
+    loop 0 lines
+  in
+  if path = "-" then go stdout
+  else
+    match open_out path with
+    | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> go oc)
+    | exception Sys_error msg -> Error msg
+
+(* --validate FILE: a Perfetto document (one JSON object with a
+   "traceEvents" member) or a JSONL stream of canonical trace events. *)
+let validate_trace_file file =
+  match Obs.Export.parse_file file with
+  | Error e ->
+      Printf.eprintf "rlin trace --validate: %s\n" e;
+      2
+  | Ok [ doc ] when Obs.Json.member "traceEvents" doc <> None -> (
+      match Core.Tracer.validate_perfetto doc with
+      | Ok n ->
+          Printf.printf "%s: valid Perfetto trace (%d trace events)\n" file n;
+          0
+      | Error e ->
+          Printf.eprintf "%s: INVALID Perfetto trace: %s\n" file e;
+          1)
+  | Ok records ->
+      let rec go i = function
+        | [] ->
+            Printf.printf "%s: %d valid trace event records\n" file i;
+            0
+        | v :: rest -> (
+            match Core.Tracer.validate_event_json v with
+            | Ok () -> go (i + 1) rest
+            | Error e ->
+                Printf.eprintf "%s: record %d: %s\n" file (i + 1) e;
+                1)
+      in
+      go 0 records
+
 let trace_cmd =
   let source =
     Arg.(
@@ -691,59 +756,237 @@ let trace_cmd =
   in
   let out =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write the trace as JSONL here ('-' for stdout).")
+          ~doc:
+            "Write the operation trace as JSONL here ('-' for stdout); \
+             every record is verified (rendered, re-parsed and compared) \
+             as it streams.")
   in
-  let run source out seed =
-    let trace =
-      match source with
-      | `Fig3 -> (Core.Scenario.fig3 ()).Core.Scenario.trace
-      | `Alg2 ->
-          (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
-             ~reads_per_proc:2 ~seed ())
-            .Core.Scenario.trace
-      | `Alg4 ->
-          (Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
-             ~reads_per_proc:2 ~seed ())
-            .Core.Scenario.trace
-      | `Game ->
-          let res = Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed () in
-          Core.Sched.trace res.Core.Game_alg1.handles.Core.Game_alg1.sched
-      | `Abd ->
-          (Core.Abd_runs.execute { Core.Abd_runs.default with seed })
-            .Core.Abd_runs.trace
-      | `Mwabd ->
-          (Core.Abd_runs.execute_mw ~n:3 ~writers:[ 0; 1 ] ~writes_each:2
-             ~readers:[ 2 ] ~reads_each:3 ~seed ())
-            .Core.Abd_runs.trace
-    in
-    let lines = Core.Trace.json_entries trace in
-    write_jsonl out lines;
-    if out = "-" then 0
-    else
-      (* round-trip audit: the file must parse back to exactly the records
-         we serialized, in trace order *)
-      match Obs.Export.parse_file out with
-      | Ok parsed when List.equal Obs.Json.equal parsed lines ->
-          Printf.printf "wrote %d trace entries to %s (round-trip verified)\n"
-            (List.length lines) out;
-          0
-      | Ok _ ->
-          Printf.eprintf "round-trip MISMATCH: %s does not reparse to the trace\n" out;
-          1
-      | Error e ->
-          Printf.eprintf "round-trip FAILED: %s\n" e;
-          1
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Export the flight recorder as Chrome trace_event JSON — open \
+             it at https://ui.perfetto.dev.  One track per node/fiber, \
+             flow arrows along message causality, counter tracks from \
+             checker progress probes.  Flight-recorded sources \
+             ($(b,abd)/$(b,mwabd)) only.")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight recorder's canonical events as JSONL \
+             ('-' for stdout).  Flight-recorded sources only.")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write a Graphviz DOT causal graph of one event's ancestry \
+             (see $(b,--op)).  Flight-recorded sources only.")
+  in
+  let op_seq =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "op" ] ~docv:"SEQ"
+          ~doc:
+            "Event sequence number whose causal cone $(b,--dot) renders \
+             (default: the last register $(i,respond) event — a complete \
+             operation's full ancestry).")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Stream flight-recorder events to stdout as JSONL while the \
+             run executes (each line verified as written; nothing is \
+             buffered).  Flight-recorded sources only.")
+  in
+  let validate_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Validate an existing trace artifact — a Perfetto document or \
+             an event JSONL stream — against the schema, then exit \
+             (ignores every other flag).")
+  in
+  let flight =
+    Arg.(
+      value & opt int 65536
+      & info [ "flight" ] ~docv:"K"
+          ~doc:"Flight-recorder ring capacity (retains the last K events).")
+  in
+  let run source out perfetto events_out dot_out op_seq follow validate_file
+      flight seed =
+    match validate_file with
+    | Some file -> validate_trace_file file
+    | None -> (
+        let wants_recorder =
+          perfetto <> None || events_out <> None || dot_out <> None || follow
+        in
+        let recorded_source =
+          match source with `Abd | `Mwabd -> true | _ -> false
+        in
+        if wants_recorder && not recorded_source then begin
+          Printf.eprintf
+            "rlin trace: --perfetto/--events/--dot/--follow need a \
+             flight-recorded source (--source abd or mwabd)\n";
+          2
+        end
+        else begin
+          let tracer =
+            if wants_recorder then Core.Tracer.create ~capacity:flight ()
+            else Core.Tracer.null
+          in
+          if follow then
+            Core.Tracer.set_sink tracer
+              (Some
+                 (fun ev ->
+                   (match
+                      Obs.Export.write_line_verified stdout
+                        (Core.Tracer.event_json ev)
+                    with
+                   | Ok () -> ()
+                   | Error e ->
+                       Printf.eprintf "rlin trace --follow: %s\n" e);
+                   flush stdout));
+          let trace =
+            match source with
+            | `Fig3 -> (Core.Scenario.fig3 ()).Core.Scenario.trace
+            | `Alg2 ->
+                (Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
+                   ~reads_per_proc:2 ~seed ())
+                  .Core.Scenario.trace
+            | `Alg4 ->
+                (Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
+                   ~reads_per_proc:2 ~seed ())
+                  .Core.Scenario.trace
+            | `Game ->
+                let res =
+                  Core.Adversary.run_write_strong ~n:5 ~max_rounds:40 ~seed ()
+                in
+                Core.Sched.trace
+                  res.Core.Game_alg1.handles.Core.Game_alg1.sched
+            | `Abd ->
+                (Core.Abd_runs.execute ~tracer
+                   { Core.Abd_runs.default with seed })
+                  .Core.Abd_runs.trace
+            | `Mwabd ->
+                (Core.Abd_runs.execute_mw ~tracer ~n:3 ~writers:[ 0; 1 ]
+                   ~writes_each:2 ~readers:[ 2 ] ~reads_each:3 ~seed ())
+                  .Core.Abd_runs.trace
+          in
+          Core.Tracer.set_sink tracer None;
+          let recorded = Core.Tracer.events tracer in
+          let rc = ref 0 in
+          let fail fmt =
+            Printf.ksprintf
+              (fun m ->
+                Printf.eprintf "rlin trace: %s\n" m;
+                rc := 1)
+              fmt
+          in
+          (match out with
+          | None -> ()
+          | Some path -> (
+              let lines = Core.Trace.json_entries trace in
+              match write_jsonl_verified path lines with
+              | Ok n ->
+                  if path <> "-" then
+                    Printf.printf
+                      "wrote %d trace entries to %s (each record verified \
+                       as written)\n"
+                      n path
+              | Error e -> fail "--out %s: %s" path e));
+          (match events_out with
+          | None -> ()
+          | Some path -> (
+              let lines =
+                List.map (fun ev -> Core.Tracer.event_json ev) recorded
+              in
+              match write_jsonl_verified path lines with
+              | Ok n ->
+                  if path <> "-" then
+                    Printf.printf "wrote %d flight-recorder events to %s\n" n
+                      path
+              | Error e -> fail "--events %s: %s" path e));
+          (match perfetto with
+          | None -> ()
+          | Some path -> (
+              let doc = Core.Tracer.perfetto_json recorded in
+              match Core.Tracer.validate_perfetto doc with
+              | Error e -> fail "--perfetto: generated trace is invalid: %s" e
+              | Ok n -> (
+                  try
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () -> output_string oc (Core.Json.to_string doc));
+                    Printf.printf
+                      "wrote Perfetto trace (%d trace events) to %s — open \
+                       at https://ui.perfetto.dev\n"
+                      n path
+                  with Sys_error e -> fail "--perfetto %s: %s" path e)));
+          (match dot_out with
+          | None -> ()
+          | Some path -> (
+              let target =
+                match op_seq with
+                | Some s -> Some s
+                | None ->
+                    (* default: the last completed register operation *)
+                    List.fold_left
+                      (fun acc (ev : Core.Tracer.event) ->
+                        if ev.Core.Tracer.cat = "reg"
+                           && ev.Core.Tracer.name = "respond"
+                        then Some ev.Core.Tracer.seq
+                        else acc)
+                      None recorded
+              in
+              match target with
+              | None -> fail "--dot: no register respond event recorded"
+              | Some seq -> (
+                  try
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () ->
+                        output_string oc
+                          (Core.Tracer.dot_of_ancestry recorded ~seq));
+                    Printf.printf "wrote causal ancestry of event %d to %s\n"
+                      seq path
+                  with Sys_error e -> fail "--dot %s: %s" path e)));
+          if (not wants_recorder) && out = None then
+            Printf.printf
+              "nothing to write: pass --out, --events, --perfetto, --dot \
+               or --follow\n";
+          !rc
+        end)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Run a workload and dump its full trace (history events, \
-          linearization points, coin flips, timestamp snapshots) as \
-          line-delimited JSON.")
-    Term.(const run $ source $ out $ seed_arg)
+         "Run a workload and dump its traces: the operation trace \
+          (history events, linearization points, coin flips) as verified \
+          JSONL, and — for the message-passing sources — the causal \
+          flight recorder as Perfetto JSON, event JSONL, a live --follow \
+          stream, or a DOT ancestry graph.")
+    Term.(
+      const run $ source $ out $ perfetto $ events_out $ dot_out $ op_seq
+      $ follow $ validate_file $ flight $ seed_arg)
 
 (* ----- metrics ----------------------------------------------------------------- *)
 

@@ -83,18 +83,23 @@ type finding = {
   original : Config.t;
   first : Monitor.violation;
   shrunk : Shrink.outcome;
+  postmortem : Obs.Tracer.event list;
 }
 
 type report = { seed : int64; budget : int; findings : finding list }
 
 let search ?(monitors = Monitor.standard) ?(jobs = 1) ?inject
-    ?(shrink_attempts = 400) ?telemetry ~seed ~budget () =
+    ?(shrink_attempts = 400) ?(flight = false) ?(flight_k = 200) ?telemetry
+    ~seed ~budget () =
   let metrics =
     match telemetry with Some m -> m | None -> Obs.Metrics.create ()
   in
   (* the parallel part is pure per-index search; shrinking runs
      sequentially afterwards, in index order, so the whole report is a
-     function of (seed, budget) alone — byte-identical at any [-j] *)
+     function of (seed, budget) alone — byte-identical at any [-j].
+     Flight-recorder post-mortems are likewise sequential re-executions
+     of the (deterministic) shrunk configs: the tracer is not shared
+     across domains, and the canonical events carry no wall clock. *)
   let hits =
     Pool.map_runs ~jobs ~metrics budget (fun ~metrics i ->
         let c = gen_config ?inject ~seed i in
@@ -110,7 +115,17 @@ let search ?(monitors = Monitor.standard) ?(jobs = 1) ?inject
              Shrink.minimize ~monitors ~max_attempts:shrink_attempts
                ~violation:first original
            in
-           { index; original; first; shrunk })
+           let postmortem =
+             if not flight then []
+             else
+               match
+                 Monitor.postmortem ~monitors ~k:flight_k
+                   shrunk.Shrink.config
+               with
+               | Some (_, events) -> events
+               | None -> [] (* shrink oracle guarantees this can't happen *)
+           in
+           { index; original; first; shrunk; postmortem })
   in
   { seed; budget; findings }
 
@@ -122,6 +137,7 @@ let to_entries report =
         violation = f.shrunk.Shrink.violation;
         original = Some f.original;
         shrink_attempts = f.shrunk.Shrink.attempts;
+        postmortem = List.map (fun ev -> Obs.Tracer.event_json ev) f.postmortem;
       })
     report.findings
 
@@ -135,6 +151,9 @@ let finding_json f =
       ("minimal", Config.json f.shrunk.Shrink.config);
       ("shrink_attempts", Obs.Json.Int f.shrunk.Shrink.attempts);
       ("shrink_steps", Obs.Json.Int f.shrunk.Shrink.steps);
+      (* a count, not the events: reports stay compact and diff clean
+         whether or not the recorder ran (see the corpus for the events) *)
+      ("postmortem_events", Obs.Json.Int (List.length f.postmortem));
     ]
 
 (* deliberately no wall-clock field: CI diffs these across [-j] *)

@@ -26,6 +26,9 @@ type finding = {
   original : Msgpass.Runs.Config.t;
   first : Monitor.violation;  (** as found, pre-shrink *)
   shrunk : Shrink.outcome;  (** the minimal reproducer *)
+  postmortem : Obs.Tracer.event list;
+      (** last-K flight-recorder events of a sequential re-execution of
+          the shrunk config ([flight:true]); [[]] with the recorder off *)
 }
 
 type report = { seed : int64; budget : int; findings : finding list }
@@ -35,6 +38,8 @@ val search :
   ?jobs:int ->
   ?inject:bug ->
   ?shrink_attempts:int ->
+  ?flight:bool ->
+  ?flight_k:int ->
   ?telemetry:Obs.Metrics.t ->
   seed:int64 ->
   budget:int ->
@@ -43,12 +48,21 @@ val search :
 (** Execute configs [0..budget-1] on [jobs] domains (default 1), shrink
     every violation ([shrink_attempts] oracle executions each, default
     400).  Per-run metrics are folded into [telemetry] in index order
-    when given. *)
+    when given.
+
+    With [flight:true] every finding's shrunk config is re-executed
+    sequentially under an armed flight recorder of capacity [flight_k]
+    (default 200, see {!Monitor.postmortem}) and the retained events are
+    attached.  The re-executions happen after the parallel phase and are
+    deterministic, so reports and corpora stay byte-identical across
+    [-j] values. *)
 
 val to_entries : report -> Corpus.entry list
 (** The findings as corpus entries (minimal config + violation +
-    pre-shrink original). *)
+    pre-shrink original + flight-recorder post-mortem when recorded). *)
 
 val report_json : report -> Obs.Json.t
 (** [{"kind":"chaos_report",…}] — carries no wall-clock or job-count
-    fields, so reports from different [-j] runs diff clean. *)
+    fields, so reports from different [-j] runs diff clean.  Each finding
+    reports its [postmortem_events] count; the events themselves live in
+    the corpus entries. *)

@@ -5,20 +5,27 @@ type entry = {
   violation : Monitor.violation;
   original : Config.t option;
   shrink_attempts : int;
+  postmortem : Obs.Json.t list;
 }
 
 let entry_json e =
   Obs.Json.Obj
-    [
-      ("kind", Obs.Json.Str "chaos_repro");
-      ("config", Config.json e.config);
-      ("violation", Monitor.violation_json e.violation);
-      ( "original",
-        match e.original with
-        | Some c -> Config.json c
-        | None -> Obs.Json.Null );
-      ("shrink_attempts", Obs.Json.Int e.shrink_attempts);
-    ]
+    ([
+       ("kind", Obs.Json.Str "chaos_repro");
+       ("config", Config.json e.config);
+       ("violation", Monitor.violation_json e.violation);
+       ( "original",
+         match e.original with
+         | Some c -> Config.json c
+         | None -> Obs.Json.Null );
+       ("shrink_attempts", Obs.Json.Int e.shrink_attempts);
+     ]
+    (* flight-recorder post-mortem only when recorded: old corpora and
+       recorder-off runs serialize exactly as before *)
+    @
+    match e.postmortem with
+    | [] -> []
+    | evs -> [ ("postmortem", Obs.Json.List evs) ])
 
 let entry_of_json j =
   let ( let* ) = Result.bind in
@@ -49,7 +56,20 @@ let entry_of_json j =
     | Some n -> n
     | None -> 0
   in
-  Ok { config; violation; original; shrink_attempts }
+  let* postmortem =
+    match Obs.Json.member "postmortem" j with
+    | None | Some Obs.Json.Null -> Ok []
+    | Some (Obs.Json.List evs) ->
+        (* validate the attached events are well-formed trace records *)
+        List.fold_left
+          (fun acc ev ->
+            let* evs = acc in
+            let* () = Obs.Tracer.validate_event_json ev in
+            Ok (evs @ [ ev ]))
+          (Ok []) evs
+    | Some _ -> Error "Corpus.entry_of_json: \"postmortem\" is not a list"
+  in
+  Ok { config; violation; original; shrink_attempts; postmortem }
 
 let load_file path =
   let ( let* ) = Result.bind in

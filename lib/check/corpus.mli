@@ -13,6 +13,12 @@ type entry = {
   violation : Monitor.violation;  (** what it produces *)
   original : Msgpass.Runs.Config.t option;  (** pre-shrink config *)
   shrink_attempts : int;  (** oracle executions spent shrinking *)
+  postmortem : Obs.Json.t list;
+      (** flight-recorder post-mortem: the last-K canonical trace events
+          of a re-execution of [config] ({!Monitor.postmortem}), [[]]
+          when no recorder ran.  Serialized only when non-empty, so
+          recorder-off corpora are byte-identical to pre-recorder ones;
+          loading validates each event against the trace schema. *)
 }
 
 val entry_json : entry -> Obs.Json.t

@@ -119,9 +119,19 @@ let quorum_sanity =
 
 let standard = [ linearizability; termination; quorum_sanity ]
 
-let run_config ?(monitors = standard) ?telemetry config =
+let run_config ?(monitors = standard) ?telemetry ?tracer config =
   let metrics = Obs.Metrics.create () in
-  let run = Runs.execute_config ~metrics config in
+  let run = Runs.execute_config ~metrics ?tracer config in
   let v = List.find_map (fun m -> m.check ~config ~run ~metrics) monitors in
   Option.iter (fun into -> Obs.Metrics.merge ~into metrics) telemetry;
   v
+
+(* Post-mortem: re-execute with an armed flight recorder of bounded
+   capacity and keep what the ring retained.  Configs re-execute
+   deterministically from their own seeds, so the violation — if still
+   reported — is the same one, now with its last-K causal events. *)
+let postmortem ?monitors ?(k = 200) config =
+  let tracer = Obs.Tracer.create ~capacity:k () in
+  match run_config ?monitors ~tracer config with
+  | None -> None
+  | Some v -> Some (v, Obs.Tracer.events tracer)

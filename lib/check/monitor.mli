@@ -52,10 +52,25 @@ val standard : t list
 val run_config :
   ?monitors:t list ->
   ?telemetry:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   Msgpass.Runs.Config.t ->
   violation option
 (** Execute the config against a fresh private registry and return the
     first violation ([monitors] order; default {!standard}).  The private
     registry is merged into [telemetry] afterwards when given, so
     parallel searches can aggregate without polluting the monitors'
-    per-run view.  Deterministic in the config. *)
+    per-run view.  An armed [tracer] (default {!Obs.Tracer.null})
+    receives the run's scheduler/network/register events.  Deterministic
+    in the config. *)
+
+val postmortem :
+  ?monitors:t list ->
+  ?k:int ->
+  Msgpass.Runs.Config.t ->
+  (violation * Obs.Tracer.event list) option
+(** Re-execute the config with an armed flight recorder of capacity [k]
+    (default 200) and return the violation together with the last events
+    the ring retained — the causal post-mortem attached to corpus
+    entries.  [None] if no monitor trips (e.g. after a fix).  Sequential
+    and deterministic: same config, same events, byte-for-byte (event
+    wall-clock stamps are excluded from the canonical serialization). *)

@@ -44,6 +44,7 @@ module Json = Obs.Json
 module Metrics = Obs.Metrics
 module Span = Obs.Span
 module Export = Obs.Export
+module Tracer = Obs.Tracer
 
 (* ----- simulation substrate ------------------------------------------------ *)
 

@@ -195,8 +195,15 @@ let writes_only : scope = Op.is_write
    cursor, interned value id), the failure memo is an open-addressed
    int-pair set keyed by (mask, cursor * nvals + vid), and the counters
    are pre-resolved handles.  Candidate order (op index ascending) is the
-   same as it ever was, so witnesses are unchanged. *)
-let decide ~m p ~forced ~scope =
+   same as it ever was, so witnesses are unchanged.
+
+   With an armed [trc], every [probe_interval] states a progress event
+   (category "check") reports the search counters and frontier depth —
+   the counter tracks of the Perfetto export.  Disarmed, the probe is
+   the one [Tracer.armed] branch per state. *)
+let probe_interval = 16_384
+
+let decide ?(trc = Obs.Tracer.null) ~m p ~forced ~scope =
   let n = Array.length p.ops in
   let forced = Array.of_list forced in
   let nforced = Array.length forced in
@@ -209,6 +216,22 @@ let decide ~m p ~forced ~scope =
   let failed = Ipset.create ~capacity:16 () in
   let rec go mask cursor vid path =
     Obs.Metrics.incr_h states;
+    if Obs.Tracer.armed trc then begin
+      let s = Obs.Metrics.read_h states in
+      if s mod probe_interval = 0 then
+        ignore
+          (Obs.Tracer.emit trc ~parent:(-1)
+             ~args:
+               [
+                 ("states", Obs.Json.Int s);
+                 ( "memo_prunes",
+                   Obs.Json.Int (Obs.Metrics.read_h memo_prunes) );
+                 ("backtracks", Obs.Json.Int (Obs.Metrics.read_h backtracks));
+                 ("memo_size", Obs.Json.Int (Ipset.length failed));
+                 ("depth", Obs.Json.Int (List.length path));
+               ]
+             ~sim:s ~cat:"check" "linchk.progress")
+    end;
     if p.complete_mask land mask = p.complete_mask && cursor = nforced then
       Some (List.rev path)
     else if Ipset.mem failed ~k1:mask ~k2:((cursor * nvals) + vid) then begin
@@ -254,11 +277,12 @@ let decide ~m p ~forced ~scope =
   in
   go 0 0 p.init_vid []
 
-let witness ?(metrics = Obs.Metrics.global) ~init h =
+let witness ?(metrics = Obs.Metrics.global) ?tracer ~init h =
   let p = prep ~init h in
-  decide ~m:metrics p ~forced:[] ~scope:all_ops
+  decide ?trc:tracer ~m:metrics p ~forced:[] ~scope:all_ops
 
-let check ?metrics ~init h = Option.is_some (witness ?metrics ~init h)
+let check ?metrics ?tracer ~init h =
+  Option.is_some (witness ?metrics ?tracer ~init h)
 
 let check_multi ?metrics ~init_of h =
   List.for_all

@@ -29,17 +29,28 @@ exception Too_large of { n : int; cap : int }
     has [n > cap] operations ([cap] = {!max_ops}). *)
 
 val check :
-  ?metrics:Obs.Metrics.t -> init:History.Value.t -> History.Hist.t -> bool
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
+  init:History.Value.t ->
+  History.Hist.t ->
+  bool
 (** [check ~init h]: is the single-object history [h] linearizable with
     initial register value [init]?  [metrics] (default
     {!Obs.Metrics.global}) receives the checker's counters
     ([linchk.states], [linchk.memo_prunes], [linchk.backtracks]) — every
     entry point below takes the same optional registry, so parallel
     drivers can isolate each run's numbers (see [Simkit.Pool]).
+
+    With an armed [tracer] (default {!Obs.Tracer.null}), the DFS emits a
+    [linchk.progress] event (category ["check"]) every 16384 states —
+    states explored, memo prunes and size, backtracks, frontier depth —
+    which the Perfetto export renders as counter tracks.  Disarmed, the
+    probe costs one branch per state.
     @raise Invalid_argument if [h] spans several objects. *)
 
 val witness :
   ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   init:History.Value.t ->
   History.Hist.t ->
   History.Op.t list option

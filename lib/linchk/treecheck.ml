@@ -43,8 +43,26 @@ let rec prep_tree ~init t =
     pchildren = List.map (prep_tree ~init) t.children;
   }
 
-let rec solve_sub ~m ~nodes ~cands_total ~sel t ~prefix =
+(* tree-search progress probe cadence (node visits between events) *)
+let probe_interval = 64
+
+let rec solve_sub ~m ~trc ~nodes ~cands_total ~sel t ~prefix ~depth =
   Obs.Metrics.incr_h nodes;
+  (* flight-recorder heartbeat: node visits, candidates generated, depth —
+     armed-guarded so untraced searches pay one branch per node *)
+  if Obs.Tracer.armed trc then begin
+    let nv = Obs.Metrics.read_h nodes in
+    if nv mod probe_interval = 0 then
+      ignore
+        (Obs.Tracer.emit trc ~parent:(-1)
+           ~args:
+             [
+               ("nodes", Obs.Json.Int nv);
+               ("candidates", Obs.Json.Int (Obs.Metrics.read_h cands_total));
+               ("depth", Obs.Json.Int depth);
+             ]
+           ~sim:nv ~cat:"check" "treecheck.progress")
+  end;
   (* candidate [sel]-subsequence orders of this node extending [prefix] *)
   let cands =
     Lincheck.orders_extending_prepped ~metrics:m t.p ~sel ~prefix
@@ -55,41 +73,45 @@ let rec solve_sub ~m ~nodes ~cands_total ~sel t ~prefix =
     | [] -> None
     | w :: rest -> (
         match
-          solve_children_sub ~m ~nodes ~cands_total ~sel t.pchildren ~prefix:w
+          solve_children_sub ~m ~trc ~nodes ~cands_total ~sel t.pchildren
+            ~prefix:w ~depth:(depth + 1)
         with
         | Some subs -> Some ((t.phist, w) :: subs)
         | None -> try_cands rest)
   in
   try_cands cands
 
-and solve_children_sub ~m ~nodes ~cands_total ~sel children ~prefix =
+and solve_children_sub ~m ~trc ~nodes ~cands_total ~sel children ~prefix ~depth
+    =
   (* reversed-accumulator build (the naive [sub @ subs] was quadratic in
      the pre-order concatenation) *)
   let rec go acc = function
     | [] -> Some (List.rev acc)
     | c :: rest -> (
-        match solve_sub ~m ~nodes ~cands_total ~sel c ~prefix with
+        match solve_sub ~m ~trc ~nodes ~cands_total ~sel c ~prefix ~depth with
         | None -> None
         | Some sub -> go (List.rev_append sub acc) rest)
   in
   go [] children
 
-let subset_strong_witness ?(metrics = Obs.Metrics.global) ~init ~sel t =
+let subset_strong_witness ?(metrics = Obs.Metrics.global)
+    ?(tracer = Obs.Tracer.null) ~init ~sel t =
   let nodes = Obs.Metrics.counter_h metrics "treecheck.nodes" in
   let cands_total = Obs.Metrics.counter_h metrics "treecheck.candidates" in
-  solve_sub ~m:metrics ~nodes ~cands_total ~sel (prep_tree ~init t) ~prefix:[]
+  solve_sub ~m:metrics ~trc:tracer ~nodes ~cands_total ~sel (prep_tree ~init t)
+    ~prefix:[] ~depth:0
 
-let subset_strong ?metrics ~init ~sel t =
-  Option.is_some (subset_strong_witness ?metrics ~init ~sel t)
+let subset_strong ?metrics ?tracer ~init ~sel t =
+  Option.is_some (subset_strong_witness ?metrics ?tracer ~init ~sel t)
 
-let write_strong_witness ?metrics ~init t =
-  subset_strong_witness ?metrics ~init ~sel:History.Op.is_write t
+let write_strong_witness ?metrics ?tracer ~init t =
+  subset_strong_witness ?metrics ?tracer ~init ~sel:History.Op.is_write t
 
-let write_strong ?metrics ~init t =
-  Option.is_some (write_strong_witness ?metrics ~init t)
+let write_strong ?metrics ?tracer ~init t =
+  Option.is_some (write_strong_witness ?metrics ?tracer ~init t)
 
-let read_strong ?metrics ~init t =
-  subset_strong ?metrics ~init ~sel:History.Op.is_read t
+let read_strong ?metrics ?tracer ~init t =
+  subset_strong ?metrics ?tracer ~init ~sel:History.Op.is_read t
 
 (* Full strong linearizability: same search over full op sequences. *)
 let rec solve_s ~m t ~prefix =

@@ -37,12 +37,21 @@ val of_prefixes : History.Hist.t -> tree
 (** The chain of all event-prefixes of a history — the tree over which
     property (P) is tested for a single execution. *)
 
-val write_strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
+val write_strong :
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
+  init:History.Value.t ->
+  tree ->
+  bool
 (** Does a write strong-linearization function exist on this tree
     (Definition 4 restricted to the tree's histories)?  [metrics]
     (default {!Obs.Metrics.global}) receives [treecheck.nodes] /
     [treecheck.candidates] and the underlying {!Lincheck} counters —
-    pass a private registry to isolate a parallel run's numbers. *)
+    pass a private registry to isolate a parallel run's numbers.
+
+    An armed [tracer] (default {!Obs.Tracer.null}) receives a
+    [treecheck.progress] event (category ["check"]) every 64 node visits:
+    nodes visited, candidate orders generated, current tree depth. *)
 
 val strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 (** Does a strong linearization function exist on this tree
@@ -51,6 +60,7 @@ val strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 
 val write_strong_witness :
   ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   init:History.Value.t ->
   tree ->
   (History.Hist.t * int list) list option
@@ -60,6 +70,7 @@ val write_strong_witness :
 
 val subset_strong :
   ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   init:History.Value.t ->
   sel:(History.Op.t -> bool) ->
   tree ->
@@ -75,11 +86,17 @@ val subset_strong :
 
 val subset_strong_witness :
   ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   init:History.Value.t ->
   sel:(History.Op.t -> bool) ->
   tree ->
   (History.Hist.t * int list) list option
 
-val read_strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
+val read_strong :
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
+  init:History.Value.t ->
+  tree ->
+  bool
 (** [subset_strong ~sel:Op.is_read]: only the {e read} order must be fixed
     on-line — the mirror image of Definition 4. *)

@@ -114,13 +114,34 @@ let broadcast_servers t ~src payload =
     send_to t ~src ~node payload
   done
 
+(* flight-recorder events for operation phases (category "reg"): an
+   [invoke] roots the op's causal tree, each quorum [round] chains to it,
+   [retransmit]s chain to their round, and the [respond] closes the op.
+   All guarded on [Tracer.armed] so untraced runs pay one branch. *)
+let trc t = Sched.tracer t.sched
+
+let emit_op t ~pid ~parent name args =
+  let tr = trc t in
+  if Obs.Tracer.armed tr then
+    Obs.Tracer.emit tr ~track:pid ~parent
+      ~args:(("obj", Obs.Json.Str t.name_) :: args)
+      ~sim:(Sched.steps t.sched) ~cat:"reg" name
+  else -1
+
 (* one round trip: broadcast [payload], await matching replies from a
    majority of distinct replicas, retransmitting to the missing ones on a
-   step-count timeout *)
-let quorum_round t ~pid ~payload ~classify =
+   step-count timeout.  [pseq] is the invoke event this round belongs to
+   (-1 untraced). *)
+let quorum_round t ~pid ~pseq ~payload ~classify =
   (* every round records the quorum size it waits for: the chaos
      quorum-intersection monitor checks min(need) >= majority *)
   Obs.Metrics.observe_h t.quorum_need_h (float_of_int t.quorum_);
+  let rseq =
+    emit_op t ~pid ~parent:pseq "round"
+      [ ("need", Obs.Json.Int t.quorum_) ]
+  in
+  (* sends below chain to the round via the ambient context *)
+  Obs.Tracer.set_ctx (trc t) rseq;
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
   Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
@@ -128,7 +149,14 @@ let quorum_round t ~pid ~payload ~classify =
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->
       Obs.Metrics.incr_h t.retransmits_c;
-      List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
+      ignore
+        (emit_op t ~pid ~parent:rseq "retransmit"
+           [ ("missing", Obs.Json.Int (List.length missing)) ]);
+      Obs.Tracer.set_ctx (trc t) rseq;
+      List.iter (fun node -> send_to t ~src:pid ~node payload) missing);
+  (* collect consumed deliveries and left the context on the last one;
+     restore the op as ambient cause for whatever follows the round *)
+  Obs.Tracer.set_ctx (trc t) pseq
 
 let write t v =
   Obs.Metrics.incr_h t.writes_c;
@@ -136,26 +164,39 @@ let write t v =
   let op_id =
     Trace.invoke tr ~proc:t.writer_ ~obj:t.name_ ~kind:(Op.Write (V.Int v))
   in
+  let pseq =
+    emit_op t ~pid:t.writer_ ~parent:(-1) "invoke"
+      [ ("op", Obs.Json.Int op_id); ("kind", Obs.Json.Str "write");
+        ("v", Obs.Json.Int v) ]
+  in
   t.wseq <- t.wseq + 1;
   let ts = t.wseq in
-  quorum_round t ~pid:t.writer_ (* collect a majority of fresh acks *)
+  quorum_round t ~pid:t.writer_ ~pseq (* collect a majority of fresh acks *)
     ~payload:(Write_req { ts; v })
     ~classify:(function
       | Write_ack { ts = ts'; node } when ts' = ts -> Some node
       | _ -> None);
+  ignore
+    (emit_op t ~pid:t.writer_ ~parent:pseq "respond"
+       [ ("op", Obs.Json.Int op_id) ]);
+  Obs.Tracer.set_ctx (trc t) (-1);
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
   Obs.Metrics.incr_h t.reads_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
+  let pseq =
+    emit_op t ~pid:reader ~parent:(-1) "invoke"
+      [ ("op", Obs.Json.Int op_id); ("kind", Obs.Json.Str "read") ]
+  in
   t.rseq <- t.rseq + 1;
   let rid = (reader * 1_000_000) + t.rseq in
   (* phase 1: majority of replies; keep the largest timestamp.  Updating
      [best] from a duplicate (or refreshed) reply of an already-counted
      node is safe: a larger timestamp only strengthens the write-back. *)
   let best_ts = ref (-1) and best_v = ref 0 in
-  quorum_round t ~pid:reader
+  quorum_round t ~pid:reader ~pseq
     ~payload:(Read_req { rid; reader })
     ~classify:(function
       | Read_reply { rid = rid'; node; ts; v } when rid' = rid ->
@@ -166,11 +207,15 @@ let read t ~reader =
           Some node
       | _ -> None);
   (* phase 2: write back to a majority *)
-  quorum_round t ~pid:reader
+  quorum_round t ~pid:reader ~pseq
     ~payload:(Wb_req { rid; ts = !best_ts; v = !best_v })
     ~classify:(function
       | Wb_ack { rid = rid'; node } when rid' = rid -> Some node
       | _ -> None);
+  ignore
+    (emit_op t ~pid:reader ~parent:pseq "respond"
+       [ ("op", Obs.Json.Int op_id); ("v", Obs.Json.Int !best_v) ]);
+  Obs.Tracer.set_ctx (trc t) (-1);
   Trace.respond tr ~op_id ~result:(Some (V.Int !best_v));
   !best_v
 

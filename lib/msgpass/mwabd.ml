@@ -115,12 +115,28 @@ let fresh_rid t ~client =
   t.seq <- t.seq + 1;
   (client * 1_000_000) + t.seq
 
+(* flight-recorder op-phase events, mirroring Abd (category "reg") *)
+let trc t = Sched.tracer t.sched
+
+let emit_op t ~pid ~parent name args =
+  let tr = trc t in
+  if Obs.Tracer.armed tr then
+    Obs.Tracer.emit tr ~track:pid ~parent
+      ~args:(("obj", Obs.Json.Str t.name_) :: args)
+      ~sim:(Sched.steps t.sched) ~cat:"reg" name
+  else -1
+
 (* one round trip, shared with Abd via Net.collect_quorum: broadcast,
    count matching replies from distinct replicas, retransmit to the
-   missing ones on a step-count timeout *)
-let quorum_round t ~pid ~payload ~classify =
+   missing ones on a step-count timeout.  [pseq] is the invoke event
+   this round belongs to (-1 untraced). *)
+let quorum_round t ~pid ~pseq ~payload ~classify =
   (* see Abd.quorum_round: the quorum-sanity monitor audits this *)
   Obs.Metrics.observe_h t.quorum_need_h (float_of_int t.quorum_);
+  let rseq =
+    emit_op t ~pid ~parent:pseq "round" [ ("need", Obs.Json.Int t.quorum_) ]
+  in
+  Obs.Tracer.set_ctx (trc t) rseq;
   broadcast_servers t ~src:pid payload;
   let seen = Array.make t.n_ false in
   Net.collect_quorum t.net ~pid ~need:t.quorum_ ~seen ~classify
@@ -128,18 +144,28 @@ let quorum_round t ~pid ~payload ~classify =
     ~retry_after:t.retry_
     ~resend:(fun ~missing ->
       Obs.Metrics.incr_h t.retransmits_c;
-      List.iter (fun node -> send_to t ~src:pid ~node payload) missing)
+      ignore
+        (emit_op t ~pid ~parent:rseq "retransmit"
+           [ ("missing", Obs.Json.Int (List.length missing)) ]);
+      Obs.Tracer.set_ctx (trc t) rseq;
+      List.iter (fun node -> send_to t ~src:pid ~node payload) missing);
+  Obs.Tracer.set_ctx (trc t) pseq
 
 let write t ~proc v =
   Obs.Metrics.incr_h t.writes_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc ~obj:t.name_ ~kind:(Op.Write (V.Int v)) in
+  let pseq =
+    emit_op t ~pid:proc ~parent:(-1) "invoke"
+      [ ("op", Obs.Json.Int op_id); ("kind", Obs.Json.Str "write");
+        ("v", Obs.Json.Int v) ]
+  in
   (* phase 1: query a majority for sequence numbers.  Updating [max_sq]
      from a duplicate reply of an already-counted node is safe: a larger
      bound only pushes our Lamport timestamp higher. *)
   let rid = fresh_rid t ~client:proc in
   let max_sq = ref 0 in
-  quorum_round t ~pid:proc ~payload:(Ts_req { rid })
+  quorum_round t ~pid:proc ~pseq ~payload:(Ts_req { rid })
     ~classify:(function
       | Ts_reply { rid = rid'; node; sq } when rid' = rid ->
           if sq > !max_sq then max_sq := sq;
@@ -147,20 +173,28 @@ let write t ~proc v =
       | _ -> None);
   (* phase 2: push (v, ⟨max+1, proc⟩) to a majority *)
   let wid = fresh_rid t ~client:proc in
-  quorum_round t ~pid:proc
+  quorum_round t ~pid:proc ~pseq
     ~payload:(Write_req { wid; sq = !max_sq + 1; pid = proc; v })
     ~classify:(function
       | Write_ack { wid = wid'; node } when wid' = wid -> Some node
       | _ -> None);
+  ignore
+    (emit_op t ~pid:proc ~parent:pseq "respond"
+       [ ("op", Obs.Json.Int op_id) ]);
+  Obs.Tracer.set_ctx (trc t) (-1);
   Trace.respond tr ~op_id ~result:None
 
 let read t ~reader =
   Obs.Metrics.incr_h t.reads_c;
   let tr = Sched.trace t.sched in
   let op_id = Trace.invoke tr ~proc:reader ~obj:t.name_ ~kind:Op.Read in
+  let pseq =
+    emit_op t ~pid:reader ~parent:(-1) "invoke"
+      [ ("op", Obs.Json.Int op_id); ("kind", Obs.Json.Str "read") ]
+  in
   let rid = fresh_rid t ~client:reader in
   let best = ref (-1, -1, 0) in
-  quorum_round t ~pid:reader ~payload:(Read_req { rid })
+  quorum_round t ~pid:reader ~pseq ~payload:(Read_req { rid })
     ~classify:(function
       | Read_reply { rid = rid'; node; sq; pid; v } when rid' = rid ->
           let bsq, bpid, _ = !best in
@@ -169,11 +203,15 @@ let read t ~reader =
       | _ -> None);
   let sq, pid, v = !best in
   let wbid = fresh_rid t ~client:reader in
-  quorum_round t ~pid:reader
+  quorum_round t ~pid:reader ~pseq
     ~payload:(Wb_req { rid = wbid; sq; pid; v })
     ~classify:(function
       | Wb_ack { rid = rid'; node } when rid' = wbid -> Some node
       | _ -> None);
+  ignore
+    (emit_op t ~pid:reader ~parent:pseq "respond"
+       [ ("op", Obs.Json.Int op_id); ("v", Obs.Json.Int v) ]);
+  Obs.Tracer.set_ctx (trc t) (-1);
   Trace.respond tr ~op_id ~result:(Some (V.Int v));
   v
 

@@ -1,8 +1,11 @@
 type 'a msg = { src : int; dst : int; payload : 'a }
 
 (* An in-flight message and how often faults already deferred it (the
-   reorder-window budget of Simkit.Faults). *)
-type 'a item = { m : 'a msg; mutable deferrals : int }
+   reorder-window budget of Simkit.Faults).  [ev] is the flight-recorder
+   sequence number of the send event (-1 when tracing is off): deliver
+   events cite it as their causal parent, which is the message id that
+   gives the exported trace its happens-before edges. *)
+type 'a item = { m : 'a msg; mutable deferrals : int; ev : int }
 
 (* A growable ring buffer over the in-flight messages, oldest first.
    Replaces the previous O(n)-append list: push/length are O(1) and
@@ -90,9 +93,12 @@ type 'a t = {
   sched : Simkit.Sched.t;
   n : int;
   flight : 'a item Dq.t; (* oldest first *)
-  mailboxes : (int, 'a Queue.t) Hashtbl.t;
+  (* a mailbox entry carries the deliver event's seq (-1 untraced), so a
+     receive can restore the causal context to "caused by this message" *)
+  mailboxes : (int, ('a * int) Queue.t) Hashtbl.t;
   mutable dead : int list; (* destinations whose mail is dead-lettered *)
   mutable faults : Simkit.Faults.t option;
+  trc : Obs.Tracer.t;
   (* metric handles, resolved once at creation (hot-path discipline) *)
   sends_c : Obs.Metrics.Counter.t;
   delivered_c : Obs.Metrics.Counter.t;
@@ -115,6 +121,7 @@ let create ~sched ~n =
     mailboxes = Hashtbl.create 16;
     dead = [];
     faults = None;
+    trc = Simkit.Sched.tracer sched;
     sends_c = Obs.Metrics.counter_h reg "net.sends";
     delivered_c = Obs.Metrics.counter_h reg "net.delivered";
     dead_letters_c = Obs.Metrics.counter_h reg "net.dead_letters";
@@ -160,7 +167,14 @@ let note_in_flight t =
 
 let send t ~src ~dst payload =
   Obs.Metrics.incr_h t.sends_c;
-  Dq.push_back t.flight { m = { src; dst; payload }; deferrals = 0 };
+  let ev =
+    if Obs.Tracer.armed t.trc then
+      Obs.Tracer.emit t.trc ~track:src
+        ~args:[ ("dst", Obs.Json.Int dst) ]
+        ~sim:(Simkit.Sched.steps t.sched) ~cat:"net" "send"
+    else -1
+  in
+  Dq.push_back t.flight { m = { src; dst; payload }; deferrals = 0; ev };
   note_in_flight t
 
 let broadcast t ~src payload =
@@ -170,7 +184,13 @@ let broadcast t ~src payload =
 
 let try_recv t ~pid =
   let q = mailbox t pid in
-  if Queue.is_empty q then None else Some (Queue.pop q)
+  if Queue.is_empty q then None
+  else begin
+    let payload, dseq = Queue.pop q in
+    (* what this process does next is caused by this message *)
+    if dseq >= 0 then Obs.Tracer.set_ctx t.trc dseq;
+    Some payload
+  end
 
 let recv t ~pid =
   let rec wait () =
@@ -192,11 +212,23 @@ let deliver_nth t i =
   if i < 0 || i >= Dq.length t.flight then invalid_arg "Net.deliver_nth";
   let it = Dq.remove t.flight i in
   let m = it.m in
+  (* every fate of a delivery attempt is recorded against the send event
+     [it.ev] — the happens-before edge the exporters draw *)
+  let fate name =
+    if Obs.Tracer.armed t.trc then
+      Obs.Tracer.emit t.trc ~track:m.dst ~parent:it.ev
+        ~args:[ ("src", Obs.Json.Int m.src) ]
+        ~sim:(Simkit.Sched.steps t.sched) ~cat:"net" name
+    else -1
+  in
   let enqueue () =
     Obs.Metrics.incr_h t.delivered_c;
-    Queue.push m.payload (mailbox t m.dst)
+    Queue.push (m.payload, fate "deliver") (mailbox t m.dst)
   in
-  if is_dead t ~pid:m.dst then Obs.Metrics.incr_h t.dead_letters_c
+  if is_dead t ~pid:m.dst then begin
+    Obs.Metrics.incr_h t.dead_letters_c;
+    ignore (fate "dead_letter")
+  end
   else begin
     match t.faults with
     | None -> enqueue ()
@@ -212,7 +244,9 @@ let deliver_nth t i =
         end
         else begin
           match Simkit.Faults.draw f ~deferrals:it.deferrals with
-          | Simkit.Faults.Drop -> Obs.Metrics.incr_h t.f_dropped_c
+          | Simkit.Faults.Drop ->
+              Obs.Metrics.incr_h t.f_dropped_c;
+              ignore (fate "drop")
           | Simkit.Faults.Defer ->
               it.deferrals <- it.deferrals + 1;
               Obs.Metrics.incr_h t.f_delayed_c;
@@ -220,7 +254,7 @@ let deliver_nth t i =
           | Simkit.Faults.Duplicate ->
               Obs.Metrics.incr_h t.f_duplicated_c;
               enqueue ();
-              Dq.push_back t.flight { m; deferrals = it.deferrals }
+              Dq.push_back t.flight { m; deferrals = it.deferrals; ev = it.ev }
           | Simkit.Faults.Deliver -> enqueue ()
         end
   end;
@@ -251,15 +285,32 @@ let deliver_all t =
   (* end-of-experiment flush: bypasses the fault policy (a drain must
      terminate whatever the plan), but still respects dead destinations *)
   Dq.iter t.flight (fun it ->
-      if is_dead t ~pid:it.m.dst then Obs.Metrics.incr_h t.dead_letters_c
+      let fate name =
+        if Obs.Tracer.armed t.trc then
+          Obs.Tracer.emit t.trc ~track:it.m.dst ~parent:it.ev
+            ~args:[ ("src", Obs.Json.Int it.m.src) ]
+            ~sim:(Simkit.Sched.steps t.sched) ~cat:"net" name
+        else -1
+      in
+      if is_dead t ~pid:it.m.dst then begin
+        Obs.Metrics.incr_h t.dead_letters_c;
+        ignore (fate "dead_letter")
+      end
       else begin
         Obs.Metrics.incr_h t.delivered_c;
-        Queue.push it.m.payload (mailbox t it.m.dst)
+        Queue.push (it.m.payload, fate "deliver") (mailbox t it.m.dst)
       end);
   Dq.clear t.flight;
   note_in_flight t
 
 let drop_to t ~dst =
+  if Obs.Tracer.armed t.trc then
+    Dq.iter t.flight (fun it ->
+        if it.m.dst = dst then
+          ignore
+            (Obs.Tracer.emit t.trc ~track:dst ~parent:it.ev
+               ~args:[ ("src", Obs.Json.Int it.m.src) ]
+               ~sim:(Simkit.Sched.steps t.sched) ~cat:"net" "drop"));
   let removed = Dq.keep_if t.flight (fun it -> it.m.dst <> dst) in
   Obs.Metrics.incr_h ~by:removed t.dropped_c;
   note_in_flight t

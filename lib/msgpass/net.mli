@@ -22,7 +22,16 @@
     The default {!auto_deliver_policy} delivers a uniformly random
     in-flight message between process steps, giving the random asynchrony
     the ABD experiments use; adversarial tests can instead call
-    {!deliver_now}/{!deliver_from} to impose specific delivery orders. *)
+    {!deliver_now}/{!deliver_from} to impose specific delivery orders.
+
+    When the scheduler carries an armed {!Obs.Tracer}, the network emits
+    causal events in category ["net"]: a [send] per enqueue (its sequence
+    number is the message id), and per delivery attempt a [deliver],
+    [drop], [dup] (via the extra deliver), or [dead_letter] whose causal
+    parent is that send — the happens-before edges of the run.  A receive
+    sets the tracer's ambient context to the consumed message's deliver
+    event, so whatever the receiver does next (reply sends, response
+    events) is chained to its cause. *)
 
 type 'a t
 

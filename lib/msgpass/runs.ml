@@ -50,14 +50,14 @@ let validate_crash_schedule ~what ~n ~clients schedule =
   check_crashes ~what ~n ~clients
     (List.sort_uniq Int.compare (List.map snd schedule))
 
-let execute ?metrics w =
+let execute ?metrics ?tracer w =
   Faults.validate w.faults;
   let plan_crashes =
     List.sort_uniq Int.compare (List.map snd w.faults.Faults.crash_at)
   in
   check_crashes ~what:"Runs.execute" ~n:w.n ~clients:(0 :: w.readers)
     (List.sort_uniq Int.compare (w.crash @ plan_crashes));
-  let sched = Sched.create ~seed:w.seed ?metrics () in
+  let sched = Sched.create ~seed:w.seed ?metrics ?tracer () in
   let reg = Abd.create ~sched ~name:"ABD" ~n:w.n ~writer:0 ~init:0 () in
   let faults =
     if Faults.is_benign w.faults then None
@@ -123,15 +123,15 @@ let execute ?metrics w =
 
 (* multi-writer workload over the Mwabd register: several writer clients
    with globally distinct values, plus readers, random asynchrony *)
-let execute_mw ?metrics ?(faults = Faults.none) ~n ~writers ~writes_each
-    ~readers ~reads_each ~seed () =
+let execute_mw ?metrics ?tracer ?(faults = Faults.none) ~n ~writers
+    ~writes_each ~readers ~reads_each ~seed () =
   Faults.validate faults;
   let plan_crashes =
     List.sort_uniq Int.compare (List.map snd faults.Faults.crash_at)
   in
   check_crashes ~what:"Runs.execute_mw" ~n ~clients:(writers @ readers)
     plan_crashes;
-  let sched = Sched.create ~seed ?metrics () in
+  let sched = Sched.create ~seed ?metrics ?tracer () in
   let reg = Mwabd.create ~sched ~name:"MW" ~n ~init:0 () in
   let fpolicy =
     if Faults.is_benign faults then None
@@ -363,9 +363,9 @@ module Config = struct
     | exception Invalid_argument msg -> Error msg
 end
 
-let execute_config ?metrics (c : Config.t) =
+let execute_config ?metrics ?tracer (c : Config.t) =
   Config.validate c;
-  let sched = Sched.create ~seed:c.Config.seed ?metrics () in
+  let sched = Sched.create ~seed:c.Config.seed ?metrics ?tracer () in
   let fpolicy =
     if Faults.is_benign c.Config.faults then None
     else Some (Faults.create ~seed:(fault_seed c.Config.seed) c.Config.faults)

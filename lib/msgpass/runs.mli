@@ -27,7 +27,7 @@ type run = {
   steps : int;
 }
 
-val execute : ?metrics:Obs.Metrics.t -> workload -> run
+val execute : ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> workload -> run
 (** Spawn the writer/reader clients, crash the requested minority after
     the first write completes (plus the fault plan's [crash_at] schedule,
     keyed on the scheduler's step clock), and drive everything with a
@@ -36,10 +36,15 @@ val execute : ?metrics:Obs.Metrics.t -> workload -> run
     or the network watchdog detects a stall.
     @raise Invalid_argument if the union of [crash] and the plan's
     [crash_at] nodes is not a strict minority or contains a client (the
-    writer and readers must survive to finish their workloads). *)
+    writer and readers must survive to finish their workloads).
+
+    [tracer] (default {!Obs.Tracer.null}) is handed to the scheduler, so
+    an armed flight recorder captures the whole stack's causal events
+    (see {!Simkit.Sched.create}). *)
 
 val execute_mw :
   ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Tracer.t ->
   ?faults:Simkit.Faults.plan ->
   n:int ->
   writers:int list ->
@@ -105,10 +110,13 @@ module Config : sig
   (** Inverse of {!json}; validates the decoded config. *)
 end
 
-val execute_config : ?metrics:Obs.Metrics.t -> Config.t -> run
+val execute_config :
+  ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> Config.t -> run
 (** Run a config to quiescence: attach its fault plan, spawn the writer
     and reader client fibers, apply the plan's [crash_at] schedule on the
     step clock, and drive with the configured scheduling policy until the
     clients finish, the step budget runs out, or the watchdog trips.
-    Deterministic in the config alone.
+    Deterministic in the config alone — an armed [tracer] observes the
+    run without perturbing it, so re-executing a violating config with a
+    flight recorder reproduces the violation {e and} its event stream.
     @raise Invalid_argument if {!Config.validate} does. *)

@@ -2,6 +2,20 @@ let write_line oc v =
   output_string oc (Json.to_string v);
   output_char oc '\n'
 
+(* Streaming round-trip verification: render, re-parse the rendered line,
+   and compare structurally — per record, so a tail/pipe consumer
+   ([rlin trace --follow]) verifies without buffering the stream, and
+   [--out] no longer re-reads the whole file afterwards. *)
+let write_line_verified oc v =
+  let line = Json.to_string v in
+  match Json.of_string line with
+  | Ok v' when Json.equal v v' ->
+      output_string oc line;
+      output_char oc '\n';
+      Ok ()
+  | Ok _ -> Error (Printf.sprintf "round-trip mismatch: %s" line)
+  | Error e -> Error (Printf.sprintf "round-trip parse failure: %s: %s" e line)
+
 let write_lines oc vs = List.iter (write_line oc) vs
 
 let to_file path vs =
@@ -39,6 +53,7 @@ let summary_json (s : Metrics.summary) =
       ("mean", Json.Float s.mean);
       ("p50", Json.Float s.p50);
       ("p90", Json.Float s.p90);
+      ("p95", Json.Float s.p95);
       ("p99", Json.Float s.p99);
     ]
 

@@ -12,6 +12,14 @@
 val write_line : out_channel -> Json.t -> unit
 (** One rendered value, then a newline. *)
 
+val write_line_verified : out_channel -> Json.t -> (unit, string) result
+(** Like {!write_line}, but round-trip-verified per record: the rendered
+    line is re-parsed and compared structurally before being written.
+    Streaming — no buffering of earlier records — so it is safe on an
+    unbounded pipe ([rlin trace --follow]) as well as on files (where it
+    replaces re-reading the whole file after the fact).  On [Error]
+    nothing is written for this record. *)
+
 val write_lines : out_channel -> Json.t list -> unit
 
 val to_file : string -> Json.t list -> unit

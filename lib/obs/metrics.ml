@@ -74,6 +74,8 @@ let incr_h ?(by = 1) (c : Counter.t) =
   if by < 0 then invalid_arg "Metrics.incr: counters are monotone (by < 0)";
   c := !c + by
 
+let read_h (c : Counter.t) = !c
+
 let gauge_h t name : Gauge.t =
   { Gauge.tbl = t.gauges; name; cell = Hashtbl.find_opt t.gauges name }
 
@@ -191,6 +193,7 @@ type summary = {
   mean : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -214,6 +217,7 @@ let summarize (h : hist) =
         mean = h.sum /. float_of_int h.count;
         p50 = quantile 0.5;
         p90 = quantile 0.9;
+        p95 = quantile 0.95;
         p99 = quantile 0.99;
       }
   end
@@ -273,9 +277,16 @@ let delta ~before ~after =
         let dc = s.count - c0 in
         if dc <= 0 then []
         else
+          (* Quantiles are read from the [after] summary: exact when the
+             histogram is new in this window (the common case — each
+             experiment names its own), approximate (whole-reservoir)
+             when samples predate the window. *)
           [
             (n ^ ".n", float_of_int dc);
             (n ^ ".mean", (s.sum -. sum0) /. float_of_int dc);
+            (n ^ ".p50", s.p50);
+            (n ^ ".p95", s.p95);
+            (n ^ ".p99", s.p99);
           ])
       after.histograms
   in
@@ -297,12 +308,12 @@ let pp fmt t =
       s.gauges
   end;
   if s.histograms <> [] then begin
-    Format.fprintf fmt "%-34s %8s %10s %10s %10s %10s@," "histogram" "n"
-      "mean" "p50" "p99" "max";
+    Format.fprintf fmt "%-34s %8s %10s %10s %10s %10s %10s@," "histogram"
+      "n" "mean" "p50" "p95" "p99" "max";
     List.iter
       (fun (n, (h : summary)) ->
-        Format.fprintf fmt "%-34s %8d %10.2f %10.2f %10.2f %10.2f@," n
-          h.count h.mean h.p50 h.p99 h.max)
+        Format.fprintf fmt "%-34s %8d %10.2f %10.2f %10.2f %10.2f %10.2f@,"
+          n h.count h.mean h.p50 h.p95 h.p99 h.max)
       s.histograms
   end;
   Format.fprintf fmt "@]"

@@ -71,6 +71,10 @@ val incr_h : ?by:int -> Counter.t -> unit
 (** Bump through a handle.
     @raise Invalid_argument if [by < 0]. *)
 
+val read_h : Counter.t -> int
+(** Current value through a handle — a bare dereference, cheap enough for
+    periodic probes inside checker inner loops. *)
+
 val gauge_h : t -> string -> Gauge.t
 (** Resolve a gauge handle.  Does {e not} create the gauge: a gauge
     appears in snapshots only once set (there is no neutral value), so
@@ -109,6 +113,7 @@ type summary = {
   mean : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
       (** Quantiles are exact over the first 4096 samples; beyond that,
           count/sum/min/max/mean stay exact and quantiles are computed on
@@ -131,8 +136,11 @@ val delta : before:snapshot -> after:snapshot -> (string * float) list
 (** The change between two snapshots, as flat name/value pairs suitable
     for an experiment report: counter increments (only those [> 0]),
     gauges at their [after] value (only those set or changed), and for
-    each histogram the sample-count increment as [name ^ ".n"] and the
-    mean over the new samples as [name ^ ".mean"]. Sorted by name. *)
+    each histogram the sample-count increment as [name ^ ".n"], the mean
+    over the new samples as [name ^ ".mean"], and the [after]-reservoir
+    quantiles as [name ^ ".p50"/".p95"/".p99"] (exact for the window when
+    the histogram is new in it, whole-reservoir otherwise). Sorted by
+    name. *)
 
 val pp : Format.formatter -> t -> unit
 (** A human-readable table of the whole registry. *)

@@ -1,0 +1,392 @@
+(* Flight recorder: a bounded ring of typed events.
+
+   The recording path is built around one invariant: when the tracer is
+   not armed, instrumented code pays exactly one branch ([armed t] is a
+   bare field read) and allocates nothing.  Call sites therefore guard
+   every [emit] — including the construction of its [~args] list — behind
+   [if Tracer.armed t then ...]; [emit] itself re-checks and returns [-1]
+   when disarmed, but by then the caller has already paid for the event
+   record, so the guard is the contract, not a convenience.
+
+   Events are stamped with a per-tracer sequence number which doubles as
+   the event's identity: causal parents are sequence numbers, and the
+   message-id a [Net] send event returns is the id its deliver events
+   point back at.  The ring keeps the last [capacity] events; older ones
+   are overwritten in place (the post-mortem use case: a violation wants
+   the last K events, not the first K). *)
+
+type event = {
+  seq : int;  (** per-tracer, dense from 0 *)
+  sim : int;  (** scheduler step clock (checker probes: states/nodes) *)
+  wall_ms : float;  (** wall clock at emission; excluded from canonical JSON *)
+  track : int;  (** node/fiber pid; [-1] = the run itself *)
+  cat : string;  (** "sched" | "net" | "reg" | "check" | "span" *)
+  name : string;
+  parent : int;  (** causal parent's [seq]; [-1] = root *)
+  args : (string * Json.t) list;
+}
+
+type sink = event -> unit
+
+type t = {
+  mutable armed : bool;
+  mutable next : int;  (** next sequence number *)
+  ring : event option array;
+  mutable ctx : int;  (** ambient causal parent, [-1] when none *)
+  mutable sink : sink option;
+}
+
+let create ?(capacity = 65536) ?(armed = true) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { armed; next = 0; ring = Array.make capacity None; ctx = -1; sink = None }
+
+(* The shared never-armed tracer: the default everywhere a tracer is
+   optional.  Its ring has capacity 1 so it costs nothing; arming it is a
+   programming error (state would be shared process-wide). *)
+let null = { armed = false; next = 0; ring = [| None |]; ctx = -1; sink = None }
+
+let armed t = t.armed
+
+let set_armed t on =
+  if on && t == null then invalid_arg "Tracer.set_armed: cannot arm Tracer.null";
+  t.armed <- on
+
+let capacity t = Array.length t.ring
+let ctx t = t.ctx
+let set_ctx t seq = if t.armed then t.ctx <- seq
+let set_sink t s = t.sink <- s
+
+let emit t ?(track = -1) ?parent ?(args = []) ~sim ~cat name =
+  if not t.armed then -1
+  else begin
+    let seq = t.next in
+    t.next <- seq + 1;
+    let parent = match parent with Some p -> p | None -> t.ctx in
+    let ev =
+      { seq; sim; wall_ms = Unix.gettimeofday () *. 1000.; track; cat; name;
+        parent; args }
+    in
+    t.ring.(seq mod Array.length t.ring) <- Some ev;
+    (match t.sink with Some f -> f ev | None -> ());
+    seq
+  end
+
+let emitted t = t.next
+
+let clear t =
+  t.next <- 0;
+  t.ctx <- -1;
+  Array.fill t.ring 0 (Array.length t.ring) None
+
+(* Retained events, oldest first.  The ring index of seq [s] is
+   [s mod capacity]; the oldest retained seq is [max 0 (next - capacity)]. *)
+let events t =
+  let cap = Array.length t.ring in
+  let lo = Stdlib.max 0 (t.next - cap) in
+  let rec go s acc =
+    if s < lo then acc
+    else
+      match t.ring.(s mod cap) with
+      | Some ev -> go (s - 1) (ev :: acc)
+      | None -> go (s - 1) acc
+  in
+  go (t.next - 1) []
+
+let recent ?(k = 200) t =
+  let evs = events t in
+  let n = List.length evs in
+  if n <= k then evs
+  else
+    (* drop the oldest n-k *)
+    let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+    drop (n - k) evs
+
+(* ----- JSON ----------------------------------------------------------------
+
+   The canonical rendering deliberately omits [wall_ms]: event streams
+   must be byte-identical across [-j 1]/[-j 2] and across re-executions
+   of the same config (CI diffs them, the corpus replays them).  Pass
+   [~wall:true] for interactive tails where latency matters more than
+   reproducibility. *)
+
+let event_json ?(wall = false) ev =
+  let base =
+    [
+      ("kind", Json.Str "trace_event");
+      ("seq", Json.Int ev.seq);
+      ("t", Json.Int ev.sim);
+      ("track", Json.Int ev.track);
+      ("cat", Json.Str ev.cat);
+      ("name", Json.Str ev.name);
+      ("parent", Json.Int ev.parent);
+    ]
+  in
+  let wall =
+    if wall then [ ("wall_ms", Json.Float ev.wall_ms) ] else []
+  in
+  let args = if ev.args = [] then [] else [ ("args", Json.Obj ev.args) ] in
+  Json.Obj (base @ wall @ args)
+
+let event_of_json j =
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace_event: missing int %S" name)
+  in
+  let str name =
+    match Option.bind (Json.member name j) Json.to_string_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace_event: missing string %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Json.member "kind" j) Json.to_string_opt with
+    | Some "trace_event" -> Ok ()
+    | _ -> Error "trace_event: kind is not \"trace_event\""
+  in
+  let* seq = int "seq" in
+  let* sim = int "t" in
+  let* track = int "track" in
+  let* cat = str "cat" in
+  let* name = str "name" in
+  let* parent = int "parent" in
+  let args =
+    match Json.member "args" j with Some (Json.Obj kv) -> kv | _ -> []
+  in
+  let wall_ms =
+    match Option.bind (Json.member "wall_ms" j) Json.to_float_opt with
+    | Some w -> w
+    | None -> 0.
+  in
+  Ok { seq; sim; wall_ms; track; cat; name; parent; args }
+
+let validate_event_json j =
+  Result.map (fun (_ : event) -> ()) (event_of_json j)
+
+(* ----- Chrome trace_event (Perfetto) export -------------------------------
+
+   One "X" (complete) event per recorded event, on a thread per track
+   (pid 0 is the process, tid = track + 2 so the run track -1 lands on
+   tid 1).  Causality appears as s/f flow pairs whenever the parent is
+   retained and lives on a different track.  Events of category "check"
+   additionally emit a "C" counter sample per numeric arg, which is how
+   checker progress probes become counter tracks.  Span begin/end events
+   map to "B"/"E" slices.  Timestamps are the sim clock, reported in
+   microseconds. *)
+
+let perfetto_json ?track_name events =
+  let track_label tr =
+    match track_name with
+    | Some f -> f tr
+    | None -> if tr < 0 then "run" else "node " ^ string_of_int tr
+  in
+  let tid tr = tr + 2 in
+  let by_seq = Hashtbl.create 256 in
+  List.iter (fun ev -> Hashtbl.replace by_seq ev.seq ev) events;
+  let tracks = Hashtbl.create 16 in
+  List.iter (fun ev -> Hashtbl.replace tracks ev.track ()) events;
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str "rlin") ]);
+      ]
+    :: (Hashtbl.fold (fun tr () acc -> tr :: acc) tracks []
+       |> List.sort compare
+       |> List.map (fun tr ->
+              Json.Obj
+                [
+                  ("name", Json.Str "thread_name");
+                  ("ph", Json.Str "M");
+                  ("pid", Json.Int 0);
+                  ("tid", Json.Int (tid tr));
+                  ("args", Json.Obj [ ("name", Json.Str (track_label tr)) ]);
+                ]))
+  in
+  let common ev rest =
+    Json.Obj
+      ([
+         ("name", Json.Str ev.name);
+         ("cat", Json.Str ev.cat);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int (tid ev.track));
+         ("ts", Json.Int ev.sim);
+       ]
+      @ rest)
+  in
+  let span_phase ev =
+    match List.assoc_opt "ph" ev.args with
+    | Some (Json.Str p) -> p
+    | _ -> "X"
+  in
+  let body =
+    List.concat_map
+      (fun ev ->
+        let args =
+          ("seq", Json.Int ev.seq) :: ("parent", Json.Int ev.parent)
+          :: ev.args
+        in
+        let main =
+          if ev.cat = "span" then
+            (* begin/end slice; the slice name is the span path *)
+            common ev
+              [ ("ph", Json.Str (span_phase ev)); ("args", Json.Obj args) ]
+          else
+            common ev
+              [
+                ("ph", Json.Str "X");
+                ("dur", Json.Int 1);
+                ("args", Json.Obj args);
+              ]
+        in
+        let counters =
+          if ev.cat <> "check" then []
+          else
+            List.filter_map
+              (fun (k, v) ->
+                match v with
+                | Json.Int _ | Json.Float _ ->
+                    Some
+                      (Json.Obj
+                         [
+                           ("name", Json.Str (ev.name ^ "." ^ k));
+                           ("cat", Json.Str ev.cat);
+                           ("ph", Json.Str "C");
+                           ("pid", Json.Int 0);
+                           ("ts", Json.Int ev.sim);
+                           ("args", Json.Obj [ (k, v) ]);
+                         ])
+                | _ -> None)
+              ev.args
+        in
+        let flows =
+          match Hashtbl.find_opt by_seq ev.parent with
+          | Some p when p.track <> ev.track ->
+              let flow ph e =
+                Json.Obj
+                  [
+                    ("name", Json.Str "causal");
+                    ("cat", Json.Str "flow");
+                    ("ph", Json.Str ph);
+                    ("id", Json.Int ev.seq);
+                    ("pid", Json.Int 0);
+                    ("tid", Json.Int (tid e.track));
+                    ("ts", Json.Int e.sim);
+                    ("bp", Json.Str "e");
+                  ]
+              in
+              [ flow "s" p; flow "f" ev ]
+          | _ -> []
+        in
+        (main :: counters) @ flows)
+      events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ body));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let validate_perfetto j =
+  match Json.member "traceEvents" j with
+  | None -> Error "perfetto: missing \"traceEvents\""
+  | Some evs -> (
+      match Json.to_list_opt evs with
+      | None -> Error "perfetto: \"traceEvents\" is not a list"
+      | Some l ->
+          let check i e =
+            let str name =
+              Option.bind (Json.member name e) Json.to_string_opt
+            in
+            let int name = Option.bind (Json.member name e) Json.to_int_opt in
+            match str "ph" with
+            | None -> Error (Printf.sprintf "perfetto: event %d: no \"ph\"" i)
+            | Some ph -> (
+                if str "name" = None then
+                  Error (Printf.sprintf "perfetto: event %d: no \"name\"" i)
+                else if int "pid" = None then
+                  Error (Printf.sprintf "perfetto: event %d: no \"pid\"" i)
+                else
+                  match ph with
+                  | "M" -> Ok ()
+                  | "s" | "f" ->
+                      if int "id" = None then
+                        Error
+                          (Printf.sprintf "perfetto: event %d: flow without id"
+                             i)
+                      else Ok ()
+                  | "X" | "B" | "E" | "C" ->
+                      if int "ts" = None then
+                        Error
+                          (Printf.sprintf "perfetto: event %d: no \"ts\"" i)
+                      else Ok ()
+                  | other ->
+                      Error
+                        (Printf.sprintf "perfetto: event %d: unknown ph %S" i
+                           other))
+          in
+          let rec go i = function
+            | [] -> Ok (List.length l)
+            | e :: rest -> (
+                match check i e with Ok () -> go (i + 1) rest | Error _ as e -> e)
+          in
+          go 0 l)
+
+(* ----- DOT causal ancestry -------------------------------------------------
+
+   The causal neighbourhood of one event: its ancestor chain up to a
+   root, plus every retained event whose parent chain reaches that same
+   root — i.e. the full causal cone of the operation the event belongs
+   to.  Rendered as a DOT digraph, parent -> child. *)
+
+let dot_of_ancestry events ~seq =
+  let by_seq = Hashtbl.create 256 in
+  List.iter (fun ev -> Hashtbl.replace by_seq ev.seq ev) events;
+  let rec root s =
+    match Hashtbl.find_opt by_seq s with
+    | None -> s
+    | Some ev -> if ev.parent < 0 then s else root ev.parent
+  in
+  let target_root = root seq in
+  let included =
+    List.filter (fun ev -> root ev.seq = target_root) events
+  in
+  let esc s =
+    String.concat ""
+      (List.map
+         (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let label ev =
+    let args =
+      match ev.args with
+      | [] -> ""
+      | kv ->
+          "\n"
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) kv)
+    in
+    Printf.sprintf "#%d %s.%s @%d%s" ev.seq ev.cat ev.name ev.sim args
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph causal {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun ev ->
+      let l =
+        String.concat "\\n" (String.split_on_char '\n' (esc (label ev)))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" ev.seq l
+           (if ev.seq = seq then ", style=bold, color=red" else "")))
+    included;
+  List.iter
+    (fun ev ->
+      if ev.parent >= 0 && Hashtbl.mem by_seq ev.parent then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d;\n" ev.parent ev.seq))
+    included;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

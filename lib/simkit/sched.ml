@@ -6,6 +6,7 @@ type t = {
   mutable rr_cursor : int;
   mutable steps_ : int;
   metrics_ : Obs.Metrics.t;
+  tracer_ : Obs.Tracer.t;
   (* metric handles, resolved once at creation (hot-path discipline) *)
   spawns_c : Obs.Metrics.Counter.t;
   steps_c : Obs.Metrics.Counter.t;
@@ -16,7 +17,8 @@ type t = {
   run_steps_h : Obs.Metrics.Hist.t;
 }
 
-let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
+let create ?(seed = 1L) ?(metrics = Obs.Metrics.global)
+    ?(tracer = Obs.Tracer.null) () =
   {
     tr = Trace.create ~metrics ();
     rng_ = Rng.create seed;
@@ -25,6 +27,7 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global) () =
     rr_cursor = 0;
     steps_ = 0;
     metrics_ = metrics;
+    tracer_ = tracer;
     spawns_c = Obs.Metrics.counter_h metrics "sched.spawns";
     steps_c = Obs.Metrics.counter_h metrics "sched.steps";
     crashes_c = Obs.Metrics.counter_h metrics "sched.crashes";
@@ -39,11 +42,16 @@ let rng t = t.rng_
 let now t = Trace.now t.tr
 let steps t = t.steps_
 let metrics t = t.metrics_
+let tracer t = t.tracer_
 
 let spawn t ~pid f =
   if Hashtbl.mem t.fibers pid then
     invalid_arg (Printf.sprintf "Sched.spawn: duplicate pid %d" pid);
   Obs.Metrics.incr_h t.spawns_c;
+  if Obs.Tracer.armed t.tracer_ then
+    ignore
+      (Obs.Tracer.emit t.tracer_ ~track:pid ~parent:(-1) ~sim:t.steps_
+         ~cat:"sched" "spawn");
   Hashtbl.add t.fibers pid (Fiber.spawn ~pid f)
 
 let pids t =
@@ -73,6 +81,10 @@ let step t ~pid =
   | _ -> invalid_arg (Printf.sprintf "Sched.step: pid %d is not runnable" pid));
   Obs.Metrics.incr_h t.steps_c;
   t.steps_ <- t.steps_ + 1;
+  if Obs.Tracer.armed t.tracer_ then
+    ignore
+      (Obs.Tracer.emit t.tracer_ ~track:pid ~parent:(-1) ~sim:t.steps_
+         ~cat:"sched" "step");
   match Fiber.step f with
   | Fiber.Failed e -> raise e
   | s -> s
@@ -82,12 +94,21 @@ let crash t ~pid =
   if not (crashed t ~pid) then begin
     t.crashed_ <- pid :: t.crashed_;
     Obs.Metrics.incr_h t.crashes_c;
+    if Obs.Tracer.armed t.tracer_ then
+      ignore
+        (Obs.Tracer.emit t.tracer_ ~track:pid ~parent:(-1) ~sim:t.steps_
+           ~cat:"sched" "crash");
     Trace.note t.tr ~tag:"crash" ~text:(Printf.sprintf "p%d" pid)
   end
 
 let coin t ~proc =
   let v = Rng.coin t.rng_ in
   Obs.Metrics.incr_h t.coins_c;
+  if Obs.Tracer.armed t.tracer_ then
+    ignore
+      (Obs.Tracer.emit t.tracer_ ~track:proc ~parent:(-1)
+         ~args:[ ("value", Obs.Json.Int v) ]
+         ~sim:t.steps_ ~cat:"sched" "coin");
   Trace.coin t.tr ~proc ~value:v;
   v
 
@@ -185,6 +206,11 @@ let run ?watchdog t ~policy ~max_steps =
                 if p = !last_progress then begin
                   Obs.Metrics.incr_h t.watchdog_c;
                   Obs.Metrics.observe_h t.run_steps_h (float_of_int !steps);
+                  if Obs.Tracer.armed t.tracer_ then
+                    ignore
+                      (Obs.Tracer.emit t.tracer_ ~parent:(-1)
+                         ~args:[ ("window", Obs.Json.Int w.window) ]
+                         ~sim:t.steps_ ~cat:"sched" "watchdog");
                   let report = stall_report t w in
                   Trace.note t.tr ~tag:"watchdog"
                     ~text:

@@ -11,11 +11,18 @@
 
 type t
 
-val create : ?seed:int64 -> ?metrics:Obs.Metrics.t -> unit -> t
+val create :
+  ?seed:int64 -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> unit -> t
 (** [metrics] (default {!Obs.Metrics.global}) receives the scheduler's
     counters — [sched.steps], [sched.coins], [sched.crashes],
     [sched.spawns], [sched.runs] — and the per-{!run} step histogram
-    [sched.run.steps], plus everything its {!Trace.t} records. *)
+    [sched.run.steps], plus everything its {!Trace.t} records.
+
+    [tracer] (default {!Obs.Tracer.null}, i.e. off) is the flight
+    recorder this scheduler — and every component built on it
+    ({!Msgpass.Net}, the registers) — emits causal events to: [spawn],
+    [step], [coin], [crash] and [watchdog] events in category ["sched"],
+    stamped with the step clock and the acting pid as track. *)
 
 val trace : t -> Trace.t
 val rng : t -> Rng.t
@@ -29,6 +36,11 @@ val steps : t -> int
 val metrics : t -> Obs.Metrics.t
 (** The registry this scheduler (and its trace, and any component built on
     it, e.g. {!Msgpass.Net}) records into. *)
+
+val tracer : t -> Obs.Tracer.t
+(** The flight recorder passed at {!create} ({!Obs.Tracer.null} when
+    tracing is off) — components built on this scheduler emit through
+    it, so one [?tracer] argument arms the whole stack. *)
 
 val spawn : t -> pid:int -> (unit -> unit) -> unit
 (** Register process [pid] with the given code.

@@ -9,9 +9,19 @@
 
    When a file tags rows with "phase" (the committed before/after files
    do), the "after" row wins for a given name; otherwise the last row
-   with that name wins.  The exit status is 0 whenever both files parse —
-   the comparison is informational (CI runs it as a non-blocking step:
-   shared runners make wall-clock thresholds too flaky to gate on). *)
+   with that name wins.
+
+   By default the comparison is informational: exit 0 whenever both
+   files parse (CI runs it as a non-blocking step — shared runners make
+   wall-clock thresholds too flaky to gate on).  With
+
+     bench_compare BASELINE CURRENT --max-regress PCT [--only PREFIX]
+
+   it becomes a gate: exit 1 if any compared row regresses by more than
+   PCT percent (throughput drop, or latency increase).  --only restricts
+   the gated rows to names starting with PREFIX (e.g. "hot/"), so noisy
+   Bechamel micro-rows don't flap a gate meant for the checker hot
+   paths. *)
 
 module J = Obs.Json
 
@@ -46,24 +56,66 @@ let load path =
         lines;
       tbl
 
-let () =
-  let base_path, cur_path =
-    match Sys.argv with
-    | [| _; b; c |] -> (b, c)
-    | _ ->
-        prerr_endline "usage: bench_compare BASELINE.jsonl CURRENT.jsonl";
-        exit 1
+type opts = {
+  base_path : string;
+  cur_path : string;
+  max_regress : float option; (* percent; None = informational *)
+  only : string option; (* gate only rows with this name prefix *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench_compare BASELINE.jsonl CURRENT.jsonl [--max-regress PCT] \
+     [--only PREFIX]";
+  exit 1
+
+let parse_args () =
+  let rec go acc = function
+    | [] -> acc
+    | "--max-regress" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0. -> go { acc with max_regress = Some p } rest
+        | _ -> usage ())
+    | "--only" :: prefix :: rest -> go { acc with only = Some prefix } rest
+    | _ -> usage ()
   in
-  let base = load base_path and cur = load cur_path in
+  match Array.to_list Sys.argv with
+  | _ :: b :: c :: rest ->
+      go { base_path = b; cur_path = c; max_regress = None; only = None } rest
+  | _ -> usage ()
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let () =
+  let o = parse_args () in
+  let base = load o.base_path and cur = load o.cur_path in
   let names =
     Hashtbl.fold (fun k _ acc -> k :: acc) base []
     |> List.filter (Hashtbl.mem cur)
     |> List.sort String.compare
   in
-  if names = [] then
+  if names = [] then begin
     Printf.printf "bench_compare: no common bench rows between %s and %s\n"
-      base_path cur_path
+      o.base_path o.cur_path;
+    (* an empty gate is a misconfigured gate *)
+    if o.max_regress <> None then exit 1
+  end
   else begin
+    let failures = ref [] in
+    let gated name =
+      match o.only with
+      | None -> true
+      | Some prefix -> starts_with ~prefix name
+    in
+    (* regression fraction: positive = current is worse *)
+    let check name regress =
+      match o.max_regress with
+      | Some pct when gated name && regress *. 100. > pct ->
+          failures := (name, regress) :: !failures
+      | _ -> ()
+    in
     Printf.printf "%-40s %14s %14s %9s\n" "bench" "baseline" "current"
       "speedup";
     List.iter
@@ -72,12 +124,25 @@ let () =
         match (b, c) with
         | { per_sec = Some bv; _ }, { per_sec = Some cv; _ } when bv > 0. ->
             Printf.printf "%-40s %12.0f/s %12.0f/s %8.2fx\n" name bv cv
-              (cv /. bv)
+              (cv /. bv);
+            check name (1. -. (cv /. bv))
         | { ns_per_run = Some bv; _ }, { ns_per_run = Some cv; _ }
           when cv > 0. ->
             Printf.printf "%-40s %12.0fns %12.0fns %8.2fx\n" name bv cv
-              (bv /. cv)
+              (bv /. cv);
+            check name ((cv /. bv) -. 1.)
         | _ ->
             Printf.printf "%-40s %14s %14s %9s\n" name "-" "-" "n/a")
-      names
+      names;
+    match (o.max_regress, !failures) with
+    | None, _ -> ()
+    | Some pct, [] ->
+        Printf.printf "gate: no row regressed more than %.1f%%\n" pct
+    | Some pct, fs ->
+        List.iter
+          (fun (name, r) ->
+            Printf.printf "gate FAILED: %s regressed %.1f%% (limit %.1f%%)\n"
+              name (r *. 100.) pct)
+          (List.rev fs);
+        exit 1
   end

@@ -108,6 +108,7 @@ let corpus_tests =
             violation = out.Shrink.violation;
             original = Some buggy;
             shrink_attempts = out.Shrink.attempts;
+            postmortem = [];
           }
         in
         (match Corpus.replay entry with
@@ -141,6 +142,7 @@ let corpus_tests =
             violation = { Monitor.monitor = "quorum-sanity"; detail = "old" };
             original = None;
             shrink_attempts = 0;
+            postmortem = [];
           }
         in
         check_bool "fixed" true (Corpus.replay entry = Corpus.Fixed));
