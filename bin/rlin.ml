@@ -9,6 +9,8 @@
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
      rlin mwabd                        multi-writer ABD + its non-WSL refutation
+     rlin check -j N ...               seeded history batteries through the
+                                       (work-stealing parallel) checker
      rlin chaos run ...                random config search + online monitors
      rlin chaos replay PATH            replay the regression corpus verbatim
      rlin chaos shrink PATH            re-minimize corpus entries
@@ -485,9 +487,19 @@ let chaos_run_cmd =
              corpus entry as a post-mortem (sequential, deterministic; \
              reports still diff clean across -j).")
   in
-  let run budget seed jobs inject corpus json flight =
+  let check_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "check-jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Run the linearizability monitor's checker on up to $(docv) \
+             domains per audited run (the work-stealing parallel driver).  \
+             Verdicts, reports and corpora are identical whatever $(docv) \
+             is.")
+  in
+  let run budget seed jobs check_jobs inject corpus json flight =
     let report =
-      Core.Chaos.search ~jobs
+      Core.Chaos.search ~jobs ~check_jobs
         ?inject:(if inject then Some Core.Chaos.Quorum_too_small else None)
         ~flight ~telemetry:Obs.Metrics.global ~seed ~budget ()
     in
@@ -532,8 +544,8 @@ let chaos_run_cmd =
           and delta-debug every violation to a minimal reproducer.  Exits \
           non-zero when violations were found.")
     Term.(
-      const run $ budget $ seed_arg $ jobs_arg $ inject $ corpus $ json
-      $ flight)
+      const run $ budget $ seed_arg $ jobs_arg $ check_jobs $ inject $ corpus
+      $ json $ flight)
 
 let replay_path path =
   match Core.Corpus.load path with
@@ -1038,6 +1050,179 @@ let metrics_cmd =
 
 (* ----- main ------------------------------------------------------------------ *)
 
+(* ----- check: seeded history batteries through the (parallel) checker ------- *)
+
+let check_cmd =
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of seeded histories to generate and check.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 12
+      & info [ "ops" ] ~docv:"K" ~doc:"Operations per generated history.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 3
+      & info [ "procs" ] ~docv:"P" ~doc:"Processes per generated history.")
+  in
+  let family =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("mixed", `Mixed); ("atomic", `Atomic); ("arbitrary", `Arbitrary) ])
+          `Mixed
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "History family: $(b,atomic) (linearizable by construction), \
+             $(b,arbitrary) (may or may not linearize) or $(b,mixed) \
+             (alternating).")
+  in
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:
+            "Also run the write strong-linearizability tree check over \
+             each history's prefix chain.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL report ('-' for stdout): one check_run header \
+             (which carries the jobs count and the effective op cap), then \
+             one record per history.  Per-history records are identical at \
+             every -j; only the header differs.")
+  in
+  let run count ops procs family tree seed jobs json =
+    let cap = Core.Lincheck.effective_cap ~jobs in
+    let rand =
+      Random.State.make [| Int64.to_int seed land 0x3FFFFFFF; 0xC0FFEE |]
+    in
+    let spec =
+      { Core.Histgen.default_spec with n_ops = ops; n_procs = procs }
+    in
+    let init = spec.Core.Histgen.init in
+    let n_ok = ref 0 and n_fail = ref 0 and n_large = ref 0 in
+    let tree_ok = ref 0 and tree_fail = ref 0 in
+    let rows = ref [] in
+    let emit row = rows := row :: !rows in
+    for i = 0 to count - 1 do
+      let hist =
+        match family with
+        | `Atomic -> Core.Histgen.atomic_history spec rand
+        | `Arbitrary -> Core.Histgen.arbitrary_history spec rand
+        | `Mixed ->
+            if i mod 2 = 0 then Core.Histgen.atomic_history spec rand
+            else Core.Histgen.arbitrary_history spec rand
+      in
+      let verdict, witness =
+        match Core.Lincheck.prep ~cap ~init hist with
+        | p -> (
+            match Core.Lincheck.decide_prepped ~jobs p with
+            | Some w ->
+                incr n_ok;
+                ( "ok",
+                  Core.Json.List
+                    (List.map
+                       (fun (o : Core.Op.t) -> Core.Json.Int o.id)
+                       w) )
+            | None ->
+                incr n_fail;
+                ("fail", Core.Json.Null))
+        | exception Core.Lincheck.Too_large { n; cap } ->
+            incr n_large;
+            ( "too_large",
+              Core.Json.Obj
+                [ ("n", Core.Json.Int n); ("cap", Core.Json.Int cap) ] )
+      in
+      emit
+        (Core.Json.Obj
+           [
+             ("kind", Core.Json.Str "check");
+             ("index", Core.Json.Int i);
+             ("len", Core.Json.Int (Core.Hist.length hist));
+             ("verdict", Core.Json.Str verdict);
+             ("witness", witness);
+           ]);
+      if tree then begin
+        let tverdict, torders =
+          match
+            Core.Treecheck.write_strong_witness ~jobs ~init
+              (Core.Treecheck.of_prefixes hist)
+          with
+          | Some assign ->
+              incr tree_ok;
+              ( "ok",
+                Core.Json.List
+                  (List.map
+                     (fun (_, order) ->
+                       Core.Json.List
+                         (List.map (fun id -> Core.Json.Int id) order))
+                     assign) )
+          | None ->
+              incr tree_fail;
+              ("fail", Core.Json.Null)
+          | exception Core.Lincheck.Too_large { n; cap } ->
+              ( "too_large",
+                Core.Json.Obj
+                  [ ("n", Core.Json.Int n); ("cap", Core.Json.Int cap) ] )
+        in
+        emit
+          (Core.Json.Obj
+             [
+               ("kind", Core.Json.Str "check_tree");
+               ("index", Core.Json.Int i);
+               ("verdict", Core.Json.Str tverdict);
+               ("orders", torders);
+             ])
+      end
+    done;
+    Printf.printf
+      "check: %d histories (seed %Ld, jobs %d, cap %d): %d linearizable, %d \
+       not, %d too large\n"
+      count seed jobs cap !n_ok !n_fail !n_large;
+    if tree then
+      Printf.printf "check: prefix trees: %d write-strong, %d not\n" !tree_ok
+        !tree_fail;
+    Option.iter
+      (fun path ->
+        let header =
+          Core.Json.Obj
+            [
+              ("kind", Core.Json.Str "check_run");
+              ("count", Core.Json.Int count);
+              ("ops", Core.Json.Int ops);
+              ("procs", Core.Json.Int procs);
+              ("seed", Core.Json.Str (Int64.to_string seed));
+              ("jobs", Core.Json.Int jobs);
+              ("effective_cap", Core.Json.Int cap);
+            ]
+        in
+        write_jsonl path (header :: List.rev !rows))
+      json;
+    0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Generate seeded histories and decide their linearizability \
+          (optionally plus the prefix-tree write strong-linearizability \
+          check) on up to JOBS domains via the work-stealing parallel \
+          checker.  Verdicts and witnesses are identical at every -j; the \
+          Too_large op cap is raised with the domain budget \
+          (Lincheck.effective_cap) and surfaced in the report header.")
+    Term.(
+      const run $ count $ ops $ procs $ family $ tree $ seed_arg $ jobs_arg
+      $ json)
+
 let () =
   let doc =
     "Reproduction of 'On Register Linearizability and Termination' (PODC 2021)."
@@ -1053,6 +1238,7 @@ let () =
             fig4_cmd;
             abd_cmd;
             mwabd_cmd;
+            check_cmd;
             chaos_cmd;
             consensus_cmd;
             trace_cmd;

@@ -32,6 +32,17 @@ val linearizability : t
 (** The run's projected history passes {!Linchk.Lincheck.check}.  Applies
     to incomplete runs too (pending operations are handled exactly). *)
 
+val linearizability_jobs : jobs:int -> t
+(** {!linearizability} with the checker's work-stealing parallel driver
+    on [jobs] domains.  Reports the exact same violations at every
+    [jobs] (the checker's verdicts are [jobs]-invariant), so the two are
+    interchangeable; [jobs:1] {e is} {!linearizability}. *)
+
+val with_check_jobs : jobs:int -> t list -> t list
+(** Replace any monitor named ["linearizability"] with
+    {!linearizability_jobs}[ ~jobs]; identity when [jobs <= 1] or the
+    list has no such monitor. *)
+
 val termination : t
 (** The run completed within its step budget and the watchdog never
     fired.  Reports as ["termination/stalled"] (with the structured
@@ -51,6 +62,7 @@ val standard : t list
 
 val run_config :
   ?monitors:t list ->
+  ?check_jobs:int ->
   ?telemetry:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
   Msgpass.Runs.Config.t ->
@@ -60,11 +72,13 @@ val run_config :
     registry is merged into [telemetry] afterwards when given, so
     parallel searches can aggregate without polluting the monitors'
     per-run view.  An armed [tracer] (default {!Obs.Tracer.null})
-    receives the run's scheduler/network/register events.  Deterministic
-    in the config. *)
+    receives the run's scheduler/network/register events.
+    [check_jobs] (default 1) applies {!with_check_jobs} to [monitors].
+    Deterministic in the config, at every [check_jobs]. *)
 
 val postmortem :
   ?monitors:t list ->
+  ?check_jobs:int ->
   ?k:int ->
   Msgpass.Runs.Config.t ->
   (violation * Obs.Tracer.event list) option

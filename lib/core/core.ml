@@ -54,6 +54,8 @@ module Faults = Simkit.Faults
 module Sched = Simkit.Sched
 module Trace = Simkit.Trace
 module Pool = Simkit.Pool
+module Deque = Simkit.Deque
+module Steal = Simkit.Steal
 
 (* ----- registers ------------------------------------------------------------ *)
 
@@ -67,6 +69,7 @@ module Lamport_register = Registers.Alg4
 
 module Lincheck = Linchk.Lincheck
 module Treecheck = Linchk.Treecheck
+module Ipset = Linchk.Ipset
 module Wsl_function = Linchk.Alg3
 module Fstar = Linchk.Fstar
 

@@ -10,6 +10,13 @@
 
 type t
 
+type stats = {
+  size : int;  (** distinct pairs stored *)
+  capacity : int;  (** current slot count (sum over shards if sharded) *)
+  occupancy : float;  (** [size /. capacity], in [0, 0.5] by the growth rule *)
+  grows : int;  (** table rehashes since [create] (sum over shards) *)
+}
+
 val create : ?capacity:int -> unit -> t
 (** [capacity] (default 256) is rounded up to a power of two [>= 8]. *)
 
@@ -21,3 +28,47 @@ val add : t -> k1:int -> k2:int -> unit
 
 val length : t -> int
 (** Number of distinct pairs added. *)
+
+val capacity : t -> int
+val occupancy : t -> float
+val stats : t -> stats
+
+(** A sharded variant safe for concurrent use from multiple domains —
+    the shared failure memo of the parallel checker driver.
+
+    The pair hash picks a shard; each shard is an open-addressed table
+    of immutable boxed [Pair] entries held in per-slot [Atomic.t] cells,
+    inserted by CAS, so a reader either sees a whole pair or an empty
+    slot — torn reads are impossible and therefore so are false
+    positives.  False {e negatives} are possible (an add racing a shard
+    rehash may be momentarily invisible) and are sound for a failure
+    memo: the worst case is re-exploring a subtree already known to
+    fail.  Adds are never lost: an adder that observes its shard's table
+    superseded re-inserts into the published table. *)
+module Sharded : sig
+  type t
+
+  val create : ?shards:int -> ?capacity:int -> unit -> t
+  (** [shards] (default 8) is rounded up to a power of two [>= 1];
+      [capacity] (default 256) is the initial {e per-shard} slot count,
+      rounded up to a power of two [>= 8]. *)
+
+  val mem : t -> k1:int -> k2:int -> bool
+  (** Lock-free. @raise Invalid_argument if [k1 < 0]. *)
+
+  val add : t -> k1:int -> k2:int -> unit
+  (** Idempotent; lock-free except when a shard rehashes (per-shard
+      mutex). @raise Invalid_argument if [k1 < 0]. *)
+
+  val length : t -> int
+  (** Approximate under concurrent adds (racing inserts that a rehash
+      also copied may be counted once or not at all); exact once all
+      adders have quiesced modulo such races, and always [<=] the true
+      element count. *)
+
+  val shards : t -> int
+  val occupancy : t -> float
+  val stats : t -> stats
+  val shard_occupancy : t -> float array
+  (** Per-shard occupancy, for the memo-shard gauge. *)
+end

@@ -40,6 +40,7 @@ val of_prefixes : History.Hist.t -> tree
 val write_strong :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
+  ?jobs:int ->
   init:History.Value.t ->
   tree ->
   bool
@@ -51,7 +52,17 @@ val write_strong :
 
     An armed [tracer] (default {!Obs.Tracer.null}) receives a
     [treecheck.progress] event (category ["check"]) every 64 node visits:
-    nodes visited, candidate orders generated, current tree depth. *)
+    nodes visited, candidate orders generated, current tree depth.
+
+    [jobs] (default 1) > 1 preps the tree's nodes in parallel and runs
+    the work-stealing tree search: the OR structure of the search
+    (candidate orders, nested along single-child spines) is expanded
+    into lex-ordered alternatives, each solved as a task, and the
+    lowest-index success wins — verdicts and witnesses are identical to
+    the sequential search at every [jobs] (DESIGN.md §14).  Parallel
+    runs add [treecheck.par.tasks] / [treecheck.par.stolen] /
+    [treecheck.par.cancelled] counters and, with an armed [tracer], a
+    post-hoc [treecheck.par.done] summary event. *)
 
 val strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 (** Does a strong linearization function exist on this tree
@@ -61,6 +72,7 @@ val strong : ?metrics:Obs.Metrics.t -> init:History.Value.t -> tree -> bool
 val write_strong_witness :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
+  ?jobs:int ->
   init:History.Value.t ->
   tree ->
   (History.Hist.t * int list) list option
@@ -71,6 +83,7 @@ val write_strong_witness :
 val subset_strong :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
+  ?jobs:int ->
   init:History.Value.t ->
   sel:(History.Op.t -> bool) ->
   tree ->
@@ -87,6 +100,7 @@ val subset_strong :
 val subset_strong_witness :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
+  ?jobs:int ->
   init:History.Value.t ->
   sel:(History.Op.t -> bool) ->
   tree ->
@@ -95,6 +109,7 @@ val subset_strong_witness :
 val read_strong :
   ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Tracer.t ->
+  ?jobs:int ->
   init:History.Value.t ->
   tree ->
   bool

@@ -1,0 +1,91 @@
+(* Chase–Lev work-stealing deque (see deque.mli for the memory-model
+   notes).  [top] and [bottom] are indices into an unbounded virtual
+   array; the physical circular buffer holds indices modulo its length
+   and is republished (never mutated in place, except slot CASes) when
+   it fills. *)
+
+type 'a t = {
+  top : int Atomic.t; (* next index a thief takes; only increases *)
+  bottom : int Atomic.t; (* next index the owner pushes at *)
+  tab : 'a option Atomic.t array Atomic.t;
+}
+
+let round_cap capacity =
+  let rec up c = if c >= capacity then c else up (2 * c) in
+  up 8
+
+let fresh_tab cap = Array.init cap (fun _ -> Atomic.make None)
+
+let create ?(capacity = 32) () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (fresh_tab (round_cap capacity));
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner only.  Copy [tp, b) into a buffer twice the size and publish it.
+   Thieves racing on the old array are harmless: slot values for any
+   index in [tp, b) are identical in both arrays, and the CAS on [top]
+   decides who owns an index whichever array it was read from. *)
+let grow t old tp b =
+  let cap = 2 * Array.length old in
+  let mask = cap - 1 and old_mask = Array.length old - 1 in
+  let tab = fresh_tab cap in
+  for i = tp to b - 1 do
+    Atomic.set tab.(i land mask) (Atomic.get old.(i land old_mask))
+  done;
+  Atomic.set t.tab tab;
+  tab
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let tab = Atomic.get t.tab in
+  let tab = if b - tp >= Array.length tab then grow t tab tp b else tab in
+  Atomic.set tab.(b land (Array.length tab - 1)) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* already empty; restore the canonical empty shape *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let tab = Atomic.get t.tab in
+    let slot = tab.(b land (Array.length tab - 1)) in
+    let v = Atomic.get slot in
+    if b > tp then begin
+      Atomic.set slot None;
+      v
+    end
+    else begin
+      (* last element: race thieves through the CAS on top *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        Atomic.set slot None;
+        v
+      end
+      else None
+    end
+  end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let tab = Atomic.get t.tab in
+    let v = Atomic.get tab.(tp land (Array.length tab - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then
+      (* the CAS succeeded, so [tp] was still unowned when we read the
+         slot: [v] is the element published for index [tp] *)
+      v
+    else steal t
+  end

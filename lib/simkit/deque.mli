@@ -1,0 +1,44 @@
+(** Chase–Lev work-stealing deque over [Domain]/[Atomic] (no new deps).
+
+    One domain owns the deque and works its bottom end ({!push}/{!pop},
+    LIFO); any other domain may {!steal} from the top end (FIFO), so the
+    oldest task migrates first and the owner keeps cache-warm recent
+    work.  This is the per-domain task store of the work-stealing
+    checker driver ([Simkit.Steal]) — distinct from [Simkit.Pool], which
+    shares a single atomic cursor {e across} runs.
+
+    Implementation notes (the OCaml-memory-model-friendly shape, after
+    Chase & Lev 2005 and domainslib's [ws_deque]):
+    - slots are individual ['a option Atomic.t] cells, so a stolen value
+      is read whole — no torn pairs;
+    - [top] only ever increases, and advancing it (owner taking the last
+      element, or a thief taking the oldest) goes through a CAS, which
+      is the single arbitration point;
+    - the circular buffer grows by publishing a fresh slot array through
+      an [Atomic.t]; a thief still probing the superseded array is safe
+      because the CAS on [top] decides ownership and retired arrays are
+      never written again.
+
+    Owner-only operations must be called from one domain at a time;
+    {!steal} is safe from any domain, concurrently with everything. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 32) is rounded up to a power of two [>= 8];
+    the deque grows on demand past it. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when
+    the deque is empty (a thief may have emptied it). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the {e oldest} element, or [None] when empty.
+    Lock-free; retries internally on CAS contention until it either
+    takes an element or observes an empty deque. *)
+
+val size : 'a t -> int
+(** A racy snapshot of the current element count (monitoring only). *)

@@ -1,0 +1,99 @@
+type stats = { tasks : int; stolen : int; executed_by : int array }
+
+(* Mirrors Pool's failure rule: remember the lowest task index that
+   raised, re-raise its exception after all workers join. *)
+type failure = { idx : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let run_seq n f =
+  let executed_by = Array.make n 0 in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  { tasks = n; stolen = 0; executed_by }
+
+let run ~jobs n f =
+  if n < 0 then invalid_arg "Steal.run: negative task count";
+  if jobs <= 1 || n <= 1 then run_seq n f
+  else begin
+    let w = min jobs n in
+    let deques = Array.init w (fun _ -> Deque.create ~capacity:(2 + (n / w)) ()) in
+    (* Deal round-robin, pushing high indices first so each owner pops
+       its lowest dealt index first (LIFO pop): work proceeds roughly in
+       index order, which makes the lowest-index winner finish early. *)
+    for i = n - 1 downto 0 do
+      Deque.push deques.(i mod w) i
+    done;
+    let remaining = Atomic.make n in
+    let cancelled = Atomic.make false in
+    let failure : failure option Atomic.t = Atomic.make None in
+    let executed_by = Array.make n (-1) in
+    let record_failure idx exn bt =
+      let rec go () =
+        let cur = Atomic.get failure in
+        let better =
+          match cur with None -> true | Some f -> idx < f.idx
+        in
+        if better && not (Atomic.compare_and_set failure cur (Some { idx; exn; bt }))
+        then go ()
+      in
+      go ();
+      Atomic.set cancelled true
+    in
+    let exec wid i =
+      executed_by.(i) <- wid;
+      (try f i
+       with exn -> record_failure i exn (Printexc.get_raw_backtrace ()));
+      Atomic.decr remaining
+    in
+    (* One steal sweep over the other workers' deques, nearest first. *)
+    let try_steal wid =
+      let rec probe k =
+        if k >= w then None
+        else
+          match Deque.steal deques.((wid + k) mod w) with
+          | Some _ as r -> r
+          | None -> probe (k + 1)
+      in
+      probe 1
+    in
+    let worker wid =
+      let dq = deques.(wid) in
+      let rec loop () =
+        if Atomic.get remaining > 0 then begin
+          if Atomic.get cancelled then begin
+            (* Drain without executing so [remaining] still reaches 0. *)
+            (match Deque.pop dq with
+            | Some _ -> Atomic.decr remaining
+            | None -> (
+                match try_steal wid with
+                | Some _ -> Atomic.decr remaining
+                | None -> Domain.cpu_relax ()));
+            loop ()
+          end
+          else begin
+            (match Deque.pop dq with
+            | Some i -> exec wid i
+            | None -> (
+                match try_steal wid with
+                | Some i -> exec wid i
+                | None -> Domain.cpu_relax ()));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (w - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    let stolen = ref 0 in
+    for i = 0 to n - 1 do
+      if executed_by.(i) >= 0 && executed_by.(i) <> i mod w then incr stolen
+    done;
+    { tasks = n; stolen = !stolen; executed_by }
+  end

@@ -1,0 +1,40 @@
+(** A work-stealing task runner over {!Deque}: the in-check parallelism
+    substrate of the Lincheck/Treecheck parallel drivers.
+
+    Tasks are indices [0..n-1], dealt round-robin across up to [jobs]
+    per-domain Chase–Lev deques; a worker pops its own deque (LIFO) and,
+    when empty, steals the oldest task from the nearest non-empty victim
+    (FIFO), so load balances however uneven the per-task cost — the deep
+    refutation subtree ends up shared while cheap subtrees drain.
+
+    Contrast with [Simkit.Pool]: [Pool] parallelizes {e across} runs by
+    pulling indices off one shared cursor (every pull contends on the
+    same atomic); [Steal] parallelizes {e within} one search, where
+    subtree tasks are spawned together, wildly uneven, and mostly
+    consumed by their home domain without touching shared state.
+
+    Determinism contract: like [Pool], a task must derive everything
+    from its index and record metrics into a per-task registry; the
+    {e assignment} of tasks to workers (and hence {!stats.stolen}) is
+    timing-dependent, so callers must never let it influence results —
+    the checker drivers select the winner by lowest task index, never by
+    completion order. *)
+
+type stats = {
+  tasks : int;  (** [n] *)
+  stolen : int;
+      (** tasks executed by a worker other than the one they were dealt
+          to (timing-dependent; monitoring only) *)
+  executed_by : int array;
+      (** worker id per task index; [-1] if the task never ran (only
+          possible after a sibling raised and cancelled the run) *)
+}
+
+val run : jobs:int -> int -> (int -> unit) -> stats
+(** [run ~jobs n f] evaluates [f i] for each [i] in [0..n-1] on up to
+    [jobs] domains (the calling domain included).  [jobs <= 1] (or
+    [n <= 1]) runs sequentially, in index order, on the calling domain.
+    If a task raises, the run is cancelled (already started tasks
+    finish, no new ones start) and the exception of the lowest-index
+    failed task is re-raised — the same rule as [Pool.map].
+    @raise Invalid_argument if [n < 0]. *)

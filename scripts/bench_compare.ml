@@ -7,25 +7,40 @@
    - "per_sec"    (throughput; higher is better)
    - "ns_per_run" (latency; lower is better)
 
-   When a file tags rows with "phase" (the committed before/after files
-   do), the "after" row wins for a given name; otherwise the last row
-   with that name wins.
+   A file may carry {e several} samples of the same row — committed
+   baselines append one set per recording run, and CI concatenates
+   repeated --quick runs — and the comparison always uses the {e median}
+   per name, which is what lets the gate sit closer than the ~10%
+   single-run spread of a shared 1-core runner.  When a file tags rows
+   with "phase" (the committed before/after files do), only "after" (and
+   untagged) samples form the pool; "before" samples are used only when
+   a name has no after/untagged sample at all.
 
    By default the comparison is informational: exit 0 whenever both
-   files parse (CI runs it as a non-blocking step — shared runners make
-   wall-clock thresholds too flaky to gate on).  With
+   files parse (CI runs it as a non-blocking step for the volatile
+   rows).  With
 
      bench_compare BASELINE CURRENT --max-regress PCT [--only PREFIX]
+                                    [--repeat N]
 
-   it becomes a gate: exit 1 if any compared row regresses by more than
-   PCT percent (throughput drop, or latency increase).  --only restricts
-   the gated rows to names starting with PREFIX (e.g. "hot/"), so noisy
-   Bechamel micro-rows don't flap a gate meant for the checker hot
-   paths. *)
+   it becomes a gate: exit 1 if any compared row's current median
+   regresses by more than PCT percent against the baseline median
+   (throughput drop, or latency increase).  --only restricts the gated
+   rows to names starting with PREFIX (e.g. "hot/"), so noisy Bechamel
+   micro-rows don't flap a gate meant for the checker hot paths.
+   --repeat N asserts that every gated row has at least N samples in
+   CURRENT (i.e. the caller really ran the bench N times) — a gate fed
+   a single sample while claiming median-of-N is a misconfigured gate
+   and fails. *)
 
 module J = Obs.Json
 
-type row = { per_sec : float option; ns_per_run : float option }
+type samples = {
+  mutable per_sec : float list; (* after/untagged pool *)
+  mutable ns_per_run : float list;
+  mutable per_sec_before : float list;
+  mutable ns_before : float list;
+}
 
 let get_float name j = Option.bind (J.member name j) J.to_float_opt
 let get_str name j = Option.bind (J.member name j) J.to_string_opt
@@ -36,37 +51,68 @@ let load path =
       Printf.eprintf "bench_compare: %s: %s\n" path msg;
       exit 1
   | Ok lines ->
-      let tbl : (string, row) Hashtbl.t = Hashtbl.create 32 in
+      let tbl : (string, samples) Hashtbl.t = Hashtbl.create 32 in
       List.iter
         (fun j ->
           match (get_str "kind" j, get_str "name" j) with
           | Some "bench", Some name ->
-              let replace =
-                match get_str "phase" j with
-                | Some "before" -> not (Hashtbl.mem tbl name)
-                | _ -> true (* "after", untagged: last one wins *)
+              let s =
+                match Hashtbl.find_opt tbl name with
+                | Some s -> s
+                | None ->
+                    let s =
+                      {
+                        per_sec = [];
+                        ns_per_run = [];
+                        per_sec_before = [];
+                        ns_before = [];
+                      }
+                    in
+                    Hashtbl.add tbl name s;
+                    s
               in
-              if replace then
-                Hashtbl.replace tbl name
-                  {
-                    per_sec = get_float "per_sec" j;
-                    ns_per_run = get_float "ns_per_run" j;
-                  }
+              let before = get_str "phase" j = Some "before" in
+              Option.iter
+                (fun v ->
+                  if before then s.per_sec_before <- v :: s.per_sec_before
+                  else s.per_sec <- v :: s.per_sec)
+                (get_float "per_sec" j);
+              Option.iter
+                (fun v ->
+                  if before then s.ns_before <- v :: s.ns_before
+                  else s.ns_per_run <- v :: s.ns_per_run)
+                (get_float "ns_per_run" j)
           | _ -> ())
         lines;
       tbl
+
+let median = function
+  | [] -> None
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      Some
+        (if n mod 2 = 1 then a.(n / 2)
+         else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.)
+
+(* the comparison pool for one name: after/untagged samples, falling
+   back to before-phase samples for names recorded only as "before" *)
+let pool_per_sec s = if s.per_sec <> [] then s.per_sec else s.per_sec_before
+let pool_ns s = if s.ns_per_run <> [] then s.ns_per_run else s.ns_before
 
 type opts = {
   base_path : string;
   cur_path : string;
   max_regress : float option; (* percent; None = informational *)
   only : string option; (* gate only rows with this name prefix *)
+  repeat : int option; (* required sample count per gated row in CURRENT *)
 }
 
 let usage () =
   prerr_endline
     "usage: bench_compare BASELINE.jsonl CURRENT.jsonl [--max-regress PCT] \
-     [--only PREFIX]";
+     [--only PREFIX] [--repeat N]";
   exit 1
 
 let parse_args () =
@@ -77,11 +123,23 @@ let parse_args () =
         | Some p when p >= 0. -> go { acc with max_regress = Some p } rest
         | _ -> usage ())
     | "--only" :: prefix :: rest -> go { acc with only = Some prefix } rest
+    | "--repeat" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> go { acc with repeat = Some n } rest
+        | _ -> usage ())
     | _ -> usage ()
   in
   match Array.to_list Sys.argv with
   | _ :: b :: c :: rest ->
-      go { base_path = b; cur_path = c; max_regress = None; only = None } rest
+      go
+        {
+          base_path = b;
+          cur_path = c;
+          max_regress = None;
+          only = None;
+          repeat = None;
+        }
+        rest
   | _ -> usage ()
 
 let starts_with ~prefix s =
@@ -116,33 +174,57 @@ let () =
           failures := (name, regress) :: !failures
       | _ -> ()
     in
+    let undersampled name n_cur =
+      match (o.max_regress, o.repeat) with
+      | Some _, Some r when gated name && n_cur < r ->
+          failures := (name, nan) :: !failures;
+          true
+      | _ -> false
+    in
     Printf.printf "%-40s %14s %14s %9s\n" "bench" "baseline" "current"
       "speedup";
     List.iter
       (fun name ->
         let b = Hashtbl.find base name and c = Hashtbl.find cur name in
-        match (b, c) with
-        | { per_sec = Some bv; _ }, { per_sec = Some cv; _ } when bv > 0. ->
-            Printf.printf "%-40s %12.0f/s %12.0f/s %8.2fx\n" name bv cv
-              (cv /. bv);
-            check name (1. -. (cv /. bv))
-        | { ns_per_run = Some bv; _ }, { ns_per_run = Some cv; _ }
-          when cv > 0. ->
-            Printf.printf "%-40s %12.0fns %12.0fns %8.2fx\n" name bv cv
-              (bv /. cv);
-            check name ((cv /. bv) -. 1.)
+        let bp = pool_per_sec b and cp = pool_per_sec c in
+        let bn = pool_ns b and cn = pool_ns c in
+        match (median bp, median cp, median bn, median cn) with
+        | Some bv, Some cv, _, _ when bv > 0. ->
+            Printf.printf "%-40s %12.0f/s %12.0f/s %8.2fx  (n=%d/%d)\n" name
+              bv cv
+              (cv /. bv)
+              (List.length bp) (List.length cp);
+            if not (undersampled name (List.length cp)) then
+              check name (1. -. (cv /. bv))
+        | _, _, Some bv, Some cv when cv > 0. ->
+            Printf.printf "%-40s %12.0fns %12.0fns %8.2fx  (n=%d/%d)\n" name
+              bv cv (bv /. cv) (List.length bn) (List.length cn);
+            if not (undersampled name (List.length cn)) then
+              check name ((cv /. bv) -. 1.)
         | _ ->
             Printf.printf "%-40s %14s %14s %9s\n" name "-" "-" "n/a")
       names;
     match (o.max_regress, !failures) with
     | None, _ -> ()
     | Some pct, [] ->
-        Printf.printf "gate: no row regressed more than %.1f%%\n" pct
+        let med =
+          match o.repeat with
+          | Some r -> Printf.sprintf " (medians, >=%d samples)" r
+          | None -> " (medians)"
+        in
+        Printf.printf "gate: no row regressed more than %.1f%%%s\n" pct med
     | Some pct, fs ->
         List.iter
           (fun (name, r) ->
-            Printf.printf "gate FAILED: %s regressed %.1f%% (limit %.1f%%)\n"
-              name (r *. 100.) pct)
+            if Float.is_nan r then
+              Printf.printf
+                "gate FAILED: %s has fewer than the %d samples --repeat \
+                 requires\n"
+                name
+                (match o.repeat with Some r -> r | None -> 0)
+            else
+              Printf.printf "gate FAILED: %s regressed %.1f%% (limit %.1f%%)\n"
+                name (r *. 100.) pct)
           (List.rev fs);
         exit 1
   end
