@@ -131,6 +131,49 @@ let hot_par_trees =
        Core.Histgen.atomic_history ~count:4 ~seed:6
     |> List.map Core.Treecheck.of_prefixes)
 
+(* Streaming-checker set: the decide workload concatenated into one
+   multi-segment JSONL stream (times shifted, op ids offset), replayed
+   through a fresh serve engine per pass — measures the full ingest path
+   (parse, segment, incremental check, verdict). *)
+let hot_serve_lines =
+  lazy
+    (let hists =
+       gen_histories
+         { Core.Histgen.default_spec with n_ops = 12; n_procs = 4 }
+         Core.Histgen.atomic_history ~count:8 ~seed:7
+       @ gen_histories
+           { Core.Histgen.default_spec with n_ops = 10; n_procs = 4 }
+           Core.Histgen.arbitrary_history ~count:4 ~seed:8
+     in
+     let lines = ref [] in
+     let toff = ref 0 and idoff = ref 0 in
+     List.iter
+       (fun h ->
+         let maxt = ref 0 and maxid = ref 0 in
+         List.iter
+           (fun { Core.Event.time; event } ->
+             let time = time + !toff in
+             maxt := max !maxt time;
+             let ev =
+               match event with
+               | Core.Event.Invoke { op_id; proc; obj; kind } ->
+                   let op_id = op_id + !idoff in
+                   maxid := max !maxid op_id;
+                   Core.Serve.Ingest.Invoke { op_id; proc; obj; kind }
+               | Core.Event.Respond { op_id; result } ->
+                   let op_id = op_id + !idoff in
+                   maxid := max !maxid op_id;
+                   Core.Serve.Ingest.Respond { op_id; result }
+             in
+             lines :=
+               Obs.Json.to_string (Core.Serve.Ingest.event_json ~time ev)
+               :: !lines)
+           (Core.Hist.events h);
+         toff := !maxt + 1;
+         idoff := !maxid + 1)
+       hists;
+     List.rev !lines)
+
 (* Run [pass] repeatedly for [window_ms], then report
    counter-increments-per-second read from a private registry. *)
 let measure_rate ~name ~counter ~window_ms pass =
@@ -180,6 +223,28 @@ let throughput_rows ~window_ms () =
         List.iter
           (fun t -> ignore (Core.Treecheck.write_strong ~metrics:m ~init t))
           (Lazy.force hot_trees));
+    measure_rate ~name:"hot/serve-ingest-events-per-sec"
+      ~counter:"serve.events" ~window_ms (fun m ->
+        let engine = Core.Serve.Engine.create ~metrics:m ~emit:ignore () in
+        List.iter
+          (Core.Serve.Engine.feed_line engine)
+          (Lazy.force hot_serve_lines);
+        Core.Serve.Engine.finish engine);
+    measure_rate ~name:"hot/incremental-segment-states-per-sec"
+      ~counter:"linchk.inc.states" ~window_ms (fun m ->
+        List.iter
+          (fun h ->
+            let inc = Core.Increment.create ~metrics:m ~entry:[ init ] () in
+            List.iter
+              (fun { Core.Event.time; event } ->
+                match event with
+                | Core.Event.Invoke { op_id; kind; _ } ->
+                    Core.Increment.invoke inc ~id:op_id ~kind ~time
+                | Core.Event.Respond { op_id; result } ->
+                    Core.Increment.respond inc ~id:op_id ~result ~time)
+              (Core.Hist.events h);
+            ignore (Core.Increment.outcome inc))
+          (Lazy.force hot_decide_histories));
   ]
   @ List.concat_map
       (fun jobs ->

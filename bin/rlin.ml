@@ -4,7 +4,7 @@
    Subcommands:
      rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
                       [--drop P] [--dup P] [--delay P] [--crash n@s,...]
-                                       run the E1-E12 battery
+                                       run the E1-E13 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
@@ -17,6 +17,7 @@
      rlin chaos adv --mode MODE        chaos adversary vs the exact checker
      rlin consensus ...                run Corollary 9's A'
      rlin trace --source S --out FILE  dump a run's trace as JSONL
+     rlin serve ...                    streaming linearizability checker
      rlin metrics --source S           run a workload, print its metrics
 *)
 
@@ -201,7 +202,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
-         "Run the full experiment battery (E1-E12), one per paper artifact; \
+         "Run the full experiment battery (E1-E13), one per paper artifact; \
           $(b,--drop)/$(b,--dup)/$(b,--delay)/$(b,--crash) subject the \
           fault-aware experiments (E6, E10) to a deterministic link-fault \
           plan (crash schedules affect E6 only: E10's nodes are all \
@@ -754,6 +755,72 @@ let validate_trace_file file =
       in
       go 0 records
 
+(* --validate FILE --follow: tail a JSONL stream another process is still
+   writing.  Chunks go through the partial-line-tolerant reader, so a
+   final line caught mid-write is buffered and retried as the writer
+   finishes it; only after [idle_ms] without growth is a leftover
+   fragment declared truncated — and even then it is a warning, not a
+   failure (the writer was killed mid-line; the complete records before
+   it are intact). *)
+let validate_trace_follow file ~idle_ms =
+  match open_in_bin file with
+  | exception Sys_error e ->
+      Printf.eprintf "rlin trace --validate: %s\n" e;
+      2
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let reader = Core.Serve.Ingest.Reader.create () in
+          let buf = Bytes.create 65536 in
+          let count = ref 0 in
+          let bad = ref None in
+          let check_line line =
+            if !bad = None && String.trim line <> "" then
+              match
+                Result.bind (Obs.Json.of_string line)
+                  Core.Tracer.validate_event_json
+              with
+              | Ok () -> incr count
+              | Error e ->
+                  bad := Some (Printf.sprintf "record %d: %s" (!count + 1) e)
+          in
+          let rec loop idle =
+            if !bad = None then begin
+              let n = input ic buf 0 (Bytes.length buf) in
+              if n > 0 then begin
+                List.iter check_line
+                  (Core.Serve.Ingest.Reader.feed reader
+                     (Bytes.sub_string buf 0 n));
+                loop 0.
+              end
+              else if idle < float_of_int idle_ms then begin
+                Unix.sleepf 0.02;
+                loop (idle +. 20.)
+              end
+            end
+          in
+          loop 0.;
+          match !bad with
+          | Some e ->
+              Printf.eprintf "%s: %s\n" file e;
+              1
+          | None ->
+              (match Core.Serve.Ingest.Reader.take_rest reader with
+              | Some frag when String.trim frag <> "" -> (
+                  match
+                    Result.bind (Obs.Json.of_string frag)
+                      Core.Tracer.validate_event_json
+                  with
+                  | Ok () -> incr count
+                  | Error _ ->
+                      Printf.eprintf
+                        "%s: final line truncated mid-write, ignored\n" file)
+              | _ -> ());
+              Printf.printf "%s: %d valid trace event records (followed)\n"
+                file !count;
+              0)
+
 let trace_cmd =
   let source =
     Arg.(
@@ -823,7 +890,10 @@ let trace_cmd =
           ~doc:
             "Stream flight-recorder events to stdout as JSONL while the \
              run executes (each line verified as written; nothing is \
-             buffered).  Flight-recorded sources only.")
+             buffered).  Flight-recorded sources only.  With \
+             $(b,--validate), tail the file instead: keep validating as \
+             the writer appends, tolerating a partial (mid-write) final \
+             line, and stop after $(b,--idle-ms) without growth.")
   in
   let validate_file =
     Arg.(
@@ -833,7 +903,15 @@ let trace_cmd =
           ~doc:
             "Validate an existing trace artifact — a Perfetto document or \
              an event JSONL stream — against the schema, then exit \
-             (ignores every other flag).")
+             (ignores every other flag except $(b,--follow)).")
+  in
+  let idle_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "idle-ms" ] ~docv:"MS"
+          ~doc:
+            "With --validate --follow: stop once the file has not grown \
+             for this long.")
   in
   let flight =
     Arg.(
@@ -842,9 +920,11 @@ let trace_cmd =
           ~doc:"Flight-recorder ring capacity (retains the last K events).")
   in
   let run source out perfetto events_out dot_out op_seq follow validate_file
-      flight seed =
+      flight idle_ms seed =
     match validate_file with
-    | Some file -> validate_trace_file file
+    | Some file ->
+        if follow then validate_trace_follow file ~idle_ms
+        else validate_trace_file file
     | None -> (
         let wants_recorder =
           perfetto <> None || events_out <> None || dot_out <> None || follow
@@ -998,7 +1078,407 @@ let trace_cmd =
           stream, or a DOT ancestry graph.")
     Term.(
       const run $ source $ out $ perfetto $ events_out $ dot_out $ op_seq
-      $ follow $ validate_file $ flight $ seed_arg)
+      $ follow $ validate_file $ flight $ idle_ms $ seed_arg)
+
+(* ----- serve: crash-tolerant streaming linearizability checker --------------- *)
+
+exception Serve_io of string
+
+let serve_cmd =
+  let in_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "in" ] ~docv:"FILE"
+          ~doc:
+            "Trace JSONL input: a file, or $(b,-) for stdin (the default).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of --in: accept one \
+             connection, ingest it to EOF, then unlink the socket.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Verdict JSONL output (verified and flushed per record); \
+             $(b,-) for stdout (the default).")
+  in
+  let ckpt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable checkpoint (atomically) at every globally \
+             quiescent point that emitted new verdicts.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from --checkpoint: truncate --out back to the \
+             checkpoint's verdict count (discarding any partial final \
+             line a kill left), skip the already-consumed input lines, \
+             and re-emit the remaining verdicts byte-identically.")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Tail --in FILE while a writer appends, stopping after \
+             --idle-ms without growth (partial final lines are buffered \
+             and retried, never mis-parsed).")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "idle-ms" ] ~docv:"MS"
+          ~doc:"With --follow: stop once the input stops growing for this long.")
+  in
+  let state_budget_arg =
+    Arg.(
+      value
+      & opt int Core.Increment.default_state_budget
+      & info [ "state-budget" ] ~docv:"N"
+          ~doc:
+            "Per-segment reachable-state budget; exceeding it degrades \
+             the segment to an explicit unknown verdict.")
+  in
+  let seg_cap_arg =
+    Arg.(
+      value & opt int Core.Lincheck.max_ops
+      & info [ "segment-cap" ] ~docv:"N"
+          ~doc:
+            "Per-segment operation cap (at most the checker's hard cap); \
+             exceeding it degrades the segment to an unknown verdict.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Events buffered across all open segments before backpressure \
+             sheds the overflowing segment to an unknown verdict.")
+  in
+  let wall_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wall-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-segment wall-clock budget.  Off by default: a wall \
+             budget makes verdicts timing-dependent, so --resume is no \
+             longer guaranteed byte-identical.")
+  in
+  let values_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "values-cap" ] ~docv:"N"
+          ~doc:
+            "Max entry-set candidates materialized after a failed or \
+             unknown segment.")
+  in
+  let init_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "init" ] ~docv:"V"
+          ~doc:"Initial register value (an integer) for every object.")
+  in
+  let self_check_arg =
+    Arg.(
+      value & flag
+      & info [ "self-check" ]
+          ~doc:
+            "Buffer the stream and re-decide it with the offline \
+             reference checker afterwards; exit 3 on any verdict \
+             mismatch.  Incompatible with --resume (the reference needs \
+             the whole stream).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-json" ] ~docv:"FILE"
+          ~doc:
+            "Write a final serve_summary record (lines, events, \
+             quarantined, shed, verdict counts); $(b,-) for stdout.")
+  in
+  let run in_file socket out ckpt_path resume follow idle_ms state_budget
+      seg_cap max_pending wall values_cap init self_check summary =
+    let fail2 msg =
+      Printf.eprintf "rlin serve: %s\n" msg;
+      2
+    in
+    if self_check && resume then fail2 "--self-check cannot be combined with --resume"
+    else if resume && ckpt_path = None then fail2 "--resume needs --checkpoint FILE"
+    else if socket <> None && follow then fail2 "--follow applies to --in FILE, not --socket"
+    else if seg_cap < 1 || seg_cap > Core.Lincheck.max_ops then
+      fail2
+        (Printf.sprintf "--segment-cap %d outside 1..%d" seg_cap
+           Core.Lincheck.max_ops)
+    else if values_cap < 1 then fail2 "--values-cap must be at least 1"
+    else if max_pending < 1 then fail2 "--max-pending must be at least 1"
+    else begin
+      let config =
+        {
+          Core.Serve.Engine.init = Core.Value.Int init;
+          seg =
+            {
+              Core.Serve.Segmenter.seg_cap;
+              state_budget;
+              wall_budget_ms = wall;
+              values_cap;
+            };
+          max_pending;
+        }
+      in
+      (* --resume reconciliation: load the checkpoint, rewind the verdict
+         log to exactly the records it accounts for. *)
+      let restored =
+        if not resume then Ok None
+        else
+          match Core.Serve.Checkpoint.load (Option.get ckpt_path) with
+          | Error e -> Error (Printf.sprintf "cannot load checkpoint: %s" e)
+          | Ok ck ->
+              let keep = Core.Serve.Checkpoint.verdicts ck in
+              if out = "-" then Ok (Some ck)
+              else if Sys.file_exists out then (
+                match Core.Serve.Checkpoint.truncate_jsonl ~path:out ~keep with
+                | Ok () -> Ok (Some ck)
+                | Error e -> Error e)
+              else if keep = 0 then Ok (Some ck)
+              else
+                Error
+                  (Printf.sprintf
+                     "verdict log %s is missing but the checkpoint expects %d \
+                      verdicts"
+                     out keep)
+      in
+      match restored with
+      | Error e -> fail2 e
+      | Ok restored -> (
+          let out_oc =
+            if out = "-" then Ok stdout
+            else
+              match
+                if resume then
+                  open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 out
+                else open_out out
+              with
+              | oc -> Ok oc
+              | exception Sys_error e -> Error e
+          in
+          match out_oc with
+          | Error e -> fail2 e
+          | Ok out_oc ->
+              let close_out_oc () = if out <> "-" then close_out out_oc in
+              let engine_verdicts = ref [] in
+              let emit v =
+                (match
+                   Obs.Export.write_line_verified out_oc
+                     (Core.Serve.Verdict.json v)
+                 with
+                | Ok () -> flush out_oc
+                | Error e -> raise (Serve_io e));
+                if self_check then engine_verdicts := v :: !engine_verdicts
+              in
+              let on_quarantine ~line msg =
+                Printf.eprintf "rlin serve: quarantined line %d: %s\n%!" line
+                  msg
+              in
+              let engine =
+                match restored with
+                | Some ck ->
+                    Core.Serve.Engine.restore ~config ~emit ~on_quarantine ck
+                | None ->
+                    Core.Serve.Engine.create ~config ~emit ~on_quarantine ()
+              in
+              let skip =
+                ref
+                  (match restored with
+                  | Some ck -> ck.Core.Serve.Checkpoint.cursor
+                  | None -> 0)
+              in
+              let last_saved =
+                ref (match restored with Some ck -> Core.Serve.Checkpoint.verdicts ck | None -> -1)
+              in
+              let maybe_checkpoint () =
+                match ckpt_path with
+                | None -> ()
+                | Some path ->
+                    if Core.Serve.Engine.verdicts engine > !last_saved then (
+                      match Core.Serve.Engine.checkpoint engine with
+                      | Some ck ->
+                          flush out_oc;
+                          Core.Serve.Checkpoint.save path ck;
+                          last_saved := Core.Serve.Engine.verdicts engine
+                      | None -> ())
+              in
+              let collected = ref [] in
+              let feed_line l =
+                if !skip > 0 then decr skip
+                else begin
+                  if self_check then collected := l :: !collected;
+                  Core.Serve.Engine.feed_line engine l;
+                  maybe_checkpoint ()
+                end
+              in
+              let reader = Core.Serve.Ingest.Reader.create () in
+              let feed_chunk chunk =
+                List.iter feed_line (Core.Serve.Ingest.Reader.feed reader chunk)
+              in
+              let buf = Bytes.create 65536 in
+              let ingest_channel ic ~tail =
+                let rec loop idle =
+                  let n = input ic buf 0 (Bytes.length buf) in
+                  if n > 0 then begin
+                    feed_chunk (Bytes.sub_string buf 0 n);
+                    loop 0.
+                  end
+                  else if tail && idle < float_of_int idle_ms then begin
+                    Unix.sleepf 0.02;
+                    loop (idle +. 20.)
+                  end
+                in
+                loop 0.
+              in
+              let ingest () =
+                match socket with
+                | Some path ->
+                    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                    Fun.protect
+                      ~finally:(fun () ->
+                        Unix.close sock;
+                        if Sys.file_exists path then Unix.unlink path)
+                      (fun () ->
+                        if Sys.file_exists path then Unix.unlink path;
+                        Unix.bind sock (Unix.ADDR_UNIX path);
+                        Unix.listen sock 1;
+                        let fd, _ = Unix.accept sock in
+                        Fun.protect
+                          ~finally:(fun () -> Unix.close fd)
+                          (fun () ->
+                            let rec loop () =
+                              let n = Unix.read fd buf 0 (Bytes.length buf) in
+                              if n > 0 then begin
+                                feed_chunk (Bytes.sub_string buf 0 n);
+                                loop ()
+                              end
+                            in
+                            loop ()))
+                | None ->
+                    if in_file = "-" then ingest_channel stdin ~tail:false
+                    else (
+                      match open_in_bin in_file with
+                      | ic ->
+                          Fun.protect
+                            ~finally:(fun () -> close_in ic)
+                            (fun () -> ingest_channel ic ~tail:follow)
+                      | exception Sys_error e -> raise (Serve_io e))
+              in
+              match
+                (try
+                   ingest ();
+                   (match Core.Serve.Ingest.Reader.take_rest reader with
+                   | Some frag -> feed_line frag
+                   | None -> ());
+                   (* Only checkpoint a clean ending.  If the stream was
+                      cut mid-segment, [finish] emits flush verdicts for
+                      state a resumed run (seeing the segment whole) must
+                      re-derive — checkpointing after the flush would
+                      bake that partial view in.  Leaving the checkpoint
+                      at the last true quiescent point is what makes
+                      kill-then-resume byte-identical. *)
+                   let clean_end = Core.Serve.Engine.quiescent engine in
+                   Core.Serve.Engine.finish engine;
+                   if clean_end then maybe_checkpoint ();
+                   Ok ()
+                 with
+                | Serve_io e -> Error e
+                | Unix.Unix_error (err, fn, _) ->
+                    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+              with
+              | Error e ->
+                  close_out_oc ();
+                  fail2 e
+              | Ok () ->
+                  (match summary with
+                  | None -> ()
+                  | Some path ->
+                      let record = Core.Serve.Engine.summary_json engine in
+                      if path = "-" then (
+                        Obs.Export.write_line stdout record;
+                        flush stdout)
+                      else Obs.Export.to_file path [ record ]);
+                  let self_check_rc =
+                    if not self_check then 0
+                    else begin
+                      let r =
+                        Core.Serve.Reference.run ~config
+                          (List.rev !collected)
+                      in
+                      let cmp =
+                        Core.Serve.Reference.compare_verdicts
+                          ~engine:(List.rev !engine_verdicts)
+                          ~reference:r.Core.Serve.Reference.verdicts
+                      in
+                      if Core.Serve.Reference.agreed cmp then begin
+                        Printf.eprintf
+                          "rlin serve: self-check ok (%d verdicts matched, %d \
+                           skipped)\n"
+                          cmp.Core.Serve.Reference.matched
+                          cmp.Core.Serve.Reference.skipped;
+                        0
+                      end
+                      else begin
+                        List.iter
+                          (fun (ev, rv) ->
+                            let s = function
+                              | Some v ->
+                                  Obs.Json.to_string (Core.Serve.Verdict.json v)
+                              | None -> "(missing)"
+                            in
+                            Printf.eprintf
+                              "rlin serve: self-check MISMATCH\n  engine:    \
+                               %s\n  reference: %s\n"
+                              (s ev) (s rv))
+                          cmp.Core.Serve.Reference.mismatches;
+                        3
+                      end
+                    end
+                  in
+                  close_out_oc ();
+                  if self_check_rc <> 0 then self_check_rc
+                  else if Core.Serve.Engine.fail engine > 0 then 1
+                  else 0)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running streaming linearizability checker: ingest a trace \
+          JSONL stream (file, stdin, or Unix socket), segment each \
+          object's history at quiescent points, decide segments \
+          incrementally with bounded memory, and emit per-segment verdict \
+          records.  Corrupt or impossible lines are quarantined (counted, \
+          reported, skipped — never fatal); over-budget segments degrade \
+          to explicit unknown verdicts; --checkpoint/--resume survive \
+          kills with byte-identical output.  Exits 1 if any segment \
+          failed, 2 on I/O or config errors, 3 on a --self-check \
+          mismatch.")
+    Term.(
+      const run $ in_arg $ socket_arg $ out_arg $ ckpt_arg $ resume_arg
+      $ follow_arg $ idle_arg $ state_budget_arg $ seg_cap_arg
+      $ max_pending_arg $ wall_arg $ values_cap_arg $ init_arg
+      $ self_check_arg $ summary_arg)
 
 (* ----- metrics ----------------------------------------------------------------- *)
 
@@ -1242,5 +1722,6 @@ let () =
             chaos_cmd;
             consensus_cmd;
             trace_cmd;
+            serve_cmd;
             metrics_cmd;
           ]))

@@ -72,6 +72,11 @@ module Treecheck = Linchk.Treecheck
 module Ipset = Linchk.Ipset
 module Wsl_function = Linchk.Alg3
 module Fstar = Linchk.Fstar
+module Increment = Linchk.Increment
+
+(* ----- streaming service ------------------------------------------------------ *)
+
+module Serve = Serve
 
 (* ----- the game, adversaries, experiments ----------------------------------- *)
 

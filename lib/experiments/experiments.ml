@@ -717,6 +717,257 @@ let e12_chaos ?(jobs = 1) ~quick () =
           ("deterministic", if deterministic then 1. else 0.);
         ] ))
 
+(* ---------- E13 (streaming serve checker) -------------------------------------- *)
+
+let e13_serve ?(jobs = 1) ~quick () =
+  ignore jobs;
+  (* a multiple of 3 so the alg2/alg4/faulty-ABD rotation stays balanced *)
+  let runs = if quick then 6 else 24 in
+  measured_report ~id:"E13"
+    ~claim:
+      "the streaming serve checker (incremental segmentation, ingest \
+       quarantine, budget degradation) agrees with the offline decision \
+       procedure on replayed traces, benign and faulty"
+    ~expected:
+      "engine verdicts byte-identical to the offline reference oracle on \
+       per-run and concatenated multi-segment streams, conjunction equal \
+       to Lincheck.check; corrupted streams quarantined with exact counts \
+       and unchanged verdicts; tiny budgets degrade to explicit unknown \
+       verdicts on every segment"
+    (fun () ->
+      let serve ?config lines =
+        let verdicts = ref [] in
+        let engine =
+          Core.Serve.Engine.create ?config
+            ~emit:(fun v -> verdicts := v :: !verdicts)
+            ()
+        in
+        List.iter (Core.Serve.Engine.feed_line engine) lines;
+        Core.Serve.Engine.finish engine;
+        (engine, List.rev !verdicts)
+      in
+      let workload i =
+        let seed = Int64.of_int (1300 + i) in
+        if i mod 3 = 0 then (
+          (* faulty: lossy duplicating links plus a crashed replica, so
+             the stream carries stalled (pending-forever) operations *)
+          let r =
+            Core.Abd_runs.execute
+              {
+                Core.Abd_runs.default with
+                Core.Abd_runs.seed;
+                crash = [ 4 ];
+                faults =
+                  {
+                    Core.Faults.none with
+                    Core.Faults.drop = 0.05;
+                    duplicate = 0.05;
+                  };
+              }
+          in
+          (r.Core.Abd_runs.trace, r.Core.Abd_runs.history))
+        else if i mod 3 = 1 then (
+          let r =
+            Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2
+              ~reads_per_proc:2 ~seed ()
+          in
+          (r.Core.Scenario.trace, r.Core.Scenario.history))
+        else (
+          let r =
+            Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2
+              ~reads_per_proc:2 ~seed ()
+          in
+          (r.Core.Scenario.trace, r.Core.Scenario.history))
+      in
+      let oracle_agrees ~engine_verdicts ~lines =
+        let r = Core.Serve.Reference.run lines in
+        let cmp =
+          Core.Serve.Reference.compare_verdicts ~engine:engine_verdicts
+            ~reference:r.Core.Serve.Reference.verdicts
+        in
+        Core.Serve.Reference.agreed cmp
+        && cmp.Core.Serve.Reference.skipped = 0
+      in
+      (* A: every run's full trace (annotations included) replayed as a
+         stream — engine = reference oracle, and the verdict conjunction
+         = the offline checker on the run's history. *)
+      let single_ok = ref 0 in
+      let total_verdicts = ref 0 in
+      let streams = ref [] in
+      for i = 1 to runs do
+        let trace, hist = workload i in
+        let lines =
+          List.map Core.Json.to_string (Core.Trace.json_entries trace)
+        in
+        streams := (lines, hist) :: !streams;
+        let engine, verdicts = serve lines in
+        total_verdicts := !total_verdicts + List.length verdicts;
+        let offline =
+          try Core.Lincheck.check ~init:(Core.Value.Int 0) hist
+          with Core.Lincheck.Too_large _ -> true
+        in
+        if
+          Core.Serve.Engine.quarantined engine = 0
+          && (Core.Serve.Engine.fail engine = 0) = offline
+          && oracle_agrees ~engine_verdicts:verdicts ~lines
+        then incr single_ok
+      done;
+      let streams = List.rev !streams in
+      (* B: concatenated multi-segment streams — three runs time-shifted
+         and id-offset into one stream; engine = oracle, and the verdict
+         conjunction = the offline checker on the combined history. *)
+      let render_stream histories =
+        let lines = ref [] in
+        let events = ref [] in
+        let toff = ref 0 and idoff = ref 0 in
+        List.iter
+          (fun hist ->
+            let maxt = ref 0 and maxid = ref 0 in
+            List.iter
+              (fun { Core.Event.time; event } ->
+                let time = time + !toff in
+                maxt := max !maxt time;
+                let remap op_id = op_id + !idoff in
+                let ev =
+                  match event with
+                  | Core.Event.Invoke { op_id; obj; kind; proc = _ } ->
+                      let op_id = remap op_id in
+                      maxid := max !maxid op_id;
+                      (* one process per op: proc is irrelevant to
+                         linearizability and this keeps the combined
+                         event list well-formed for Hist.of_events *)
+                      Core.Serve.Ingest.Invoke
+                        { op_id; proc = op_id; obj; kind }
+                  | Core.Event.Respond { op_id; result } ->
+                      let op_id = remap op_id in
+                      maxid := max !maxid op_id;
+                      Core.Serve.Ingest.Respond { op_id; result }
+                in
+                let j = Core.Serve.Ingest.event_json ~time ev in
+                lines := Core.Json.to_string j :: !lines;
+                let event =
+                  match ev with
+                  | Core.Serve.Ingest.Invoke { op_id; proc; obj; kind } ->
+                      Core.Event.Invoke { op_id; proc; obj; kind }
+                  | Core.Serve.Ingest.Respond { op_id; result } ->
+                      Core.Event.Respond { op_id; result }
+                in
+                events := { Core.Event.time; event } :: !events)
+              (Core.Hist.events hist);
+            toff := !maxt + 1;
+            idoff := !maxid + 1)
+          histories;
+        (List.rev !lines, List.rev !events)
+      in
+      let groups = runs / 3 in
+      let multi_ok = ref 0 in
+      for g = 0 to groups - 1 do
+        let histories =
+          List.filteri (fun i _ -> i / 3 = g) streams |> List.map snd
+        in
+        let lines, events = render_stream histories in
+        let engine, verdicts = serve lines in
+        let combined = Core.Hist.of_events_exn events in
+        let offline =
+          Core.Lincheck.check_multi
+            ~init_of:(fun _ -> Core.Value.Int 0)
+            combined
+        in
+        if
+          Core.Serve.Engine.quarantined engine = 0
+          && (Core.Serve.Engine.fail engine = 0) = offline
+          && oracle_agrees ~engine_verdicts:verdicts ~lines
+        then incr multi_ok
+      done;
+      (* C: mutate a stream — leading garbage, a replayed (stale) invoke
+         line, a truncated tail — and demand exactly three quarantined
+         lines and byte-identical verdicts. *)
+      let clean_lines, _ = List.nth streams 0 in
+      let _, clean_verdicts = serve clean_lines in
+      let stale =
+        List.find
+          (fun l ->
+            match Core.Json.of_string l with
+            | Ok j -> Core.Json.member "kind" j = Some (Core.Json.Str "invoke")
+            | Error _ -> false)
+          clean_lines
+      in
+      let corrupted =
+        ("%% not json %%" :: clean_lines) @ [ stale; "{\"t\":9,\"ki" ]
+      in
+      let cengine, cverdicts = serve corrupted in
+      let corrupt_ok =
+        Core.Serve.Engine.quarantined cengine = 3
+        && List.length cverdicts = List.length clean_verdicts
+        && List.for_all2 Core.Serve.Verdict.equal cverdicts clean_verdicts
+      in
+      (* D: degradation — a 4-state budget and a 4-op cap must turn every
+         nontrivial segment into an explicit structured unknown, never a
+         crash or a silent pass. *)
+      let degraded_config seg =
+        { Core.Serve.Engine.default_config with Core.Serve.Engine.seg }
+      in
+      let count_unknown pred verdicts =
+        List.length
+          (List.filter
+             (fun v ->
+               match v.Core.Serve.Verdict.outcome with
+               | Core.Serve.Verdict.Unknown r -> pred r
+               | _ -> false)
+             verdicts)
+      in
+      let _, sb_verdicts =
+        serve
+          ~config:
+            (degraded_config
+               {
+                 Core.Serve.Segmenter.default_config with
+                 Core.Serve.Segmenter.state_budget = 4;
+               })
+          clean_lines
+      in
+      let _, oc_verdicts =
+        serve
+          ~config:
+            (degraded_config
+               {
+                 Core.Serve.Segmenter.default_config with
+                 Core.Serve.Segmenter.seg_cap = 4;
+               })
+          clean_lines
+      in
+      let state_unknowns =
+        count_unknown
+          (function Core.Increment.State_budget _ -> true | _ -> false)
+          sb_verdicts
+      in
+      let cap_unknowns =
+        count_unknown
+          (function Core.Increment.Op_cap _ -> true | _ -> false)
+          oc_verdicts
+      in
+      let degrade_ok =
+        state_unknowns > 0 && cap_unknowns > 0
+        && List.length sb_verdicts = List.length clean_verdicts
+        && List.length oc_verdicts = List.length clean_verdicts
+      in
+      ( Printf.sprintf
+          "single: %d/%d streams agree (engine = oracle = offline, %d \
+           verdicts); multi-segment: %d/%d; corruption: %s (3 quarantined, \
+           verdicts unchanged); degradation: %d state-budget + %d op-cap \
+           unknowns"
+          !single_ok runs !total_verdicts !multi_ok groups
+          (if corrupt_ok then "ok" else "FAILED")
+          state_unknowns cap_unknowns,
+        !single_ok = runs && !multi_ok = groups && corrupt_ok && degrade_ok,
+        [
+          ("streams", float_of_int runs);
+          ("verdicts", float_of_int !total_verdicts);
+          ("multi_segment_groups", float_of_int groups);
+          ("state_budget_unknowns", float_of_int state_unknowns);
+          ("op_cap_unknowns", float_of_int cap_unknowns);
+        ] ))
+
 let catalogue ?faults () =
   let faulty f ?jobs ~quick () = f ?jobs ?faults ~quick () in
   [
@@ -732,6 +983,7 @@ let catalogue ?faults () =
     ("E10", faulty e10_mwabd);
     ("E11", e11_faults);
     ("E12", e12_chaos);
+    ("E13", e13_serve);
   ]
 
 let ids = List.map fst (catalogue ())

@@ -1,0 +1,202 @@
+module J = Obs.Json
+
+(* Checkpoint/resume for [rlin serve].
+
+   A checkpoint is taken only at *globally* quiescent points (no object
+   has an open segment), so the whole serving state reduces to: the
+   input cursor (lines consumed), the running counters, the time
+   high-water mark, and — per object — the next segment's index and
+   entry set.  Re-feeding the stream from [cursor] through a restored
+   engine re-emits exactly the verdicts the uninterrupted run would have
+   emitted from that point, because everything downstream is a
+   deterministic function of (entry sets, remaining lines).
+
+   One JSON record, written atomically (tmp + rename) so a kill during
+   the write leaves the previous checkpoint intact. *)
+
+let schema = 1
+
+type obj_state = { obj : string; index : int; entry : Segmenter.entry }
+
+type t = {
+  cursor : int; (* input lines consumed, including quarantined ones *)
+  last_time : int; (* monotonicity high-water mark *)
+  events : int;
+  annotations : int;
+  quarantined : int;
+  shed_events : int;
+  ok : int;
+  fail : int;
+  unknown : int;
+  objects : obj_state list; (* sorted by object name *)
+}
+
+let verdicts t = t.ok + t.fail + t.unknown
+
+let obj_json o =
+  J.Obj
+    [
+      ("obj", J.Str o.obj);
+      ("segment", J.Int o.index);
+      ("exact", J.Bool o.entry.Segmenter.exact);
+      ("overflow", J.Bool o.entry.Segmenter.overflow);
+      ( "values",
+        J.List (List.map Ingest.value_json o.entry.Segmenter.values) );
+    ]
+
+let obj_of_json j =
+  let str k = Option.bind (J.member k j) J.to_string_opt in
+  let int k = Option.bind (J.member k j) J.to_int_opt in
+  let bool k =
+    Option.bind (J.member k j) (function J.Bool b -> Some b | _ -> None)
+  in
+  match
+    ( str "obj",
+      int "segment",
+      bool "exact",
+      bool "overflow",
+      Option.bind (J.member "values" j) J.to_list_opt )
+  with
+  | Some obj, Some index, Some exact, Some overflow, Some vals -> (
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+            match Ingest.value_of_json v with
+            | Ok v -> go (v :: acc) rest
+            | Error e -> Error e)
+      in
+      match go [] vals with
+      | Ok values ->
+          Ok { obj; index; entry = { Segmenter.exact; values; overflow } }
+      | Error e -> Error (Printf.sprintf "object %s: %s" obj e))
+  | _ -> Error "checkpoint object: missing or mistyped field"
+
+let json t =
+  J.Obj
+    [
+      ("kind", J.Str "serve_checkpoint");
+      ("schema", J.Int schema);
+      ("cursor", J.Int t.cursor);
+      ("last_time", J.Int t.last_time);
+      ("events", J.Int t.events);
+      ("annotations", J.Int t.annotations);
+      ("quarantined", J.Int t.quarantined);
+      ("shed_events", J.Int t.shed_events);
+      ("ok", J.Int t.ok);
+      ("fail", J.Int t.fail);
+      ("unknown", J.Int t.unknown);
+      ("objects", J.List (List.map obj_json t.objects));
+    ]
+
+let of_json j =
+  let int k = Option.bind (J.member k j) J.to_int_opt in
+  match Option.bind (J.member "kind" j) J.to_string_opt with
+  | Some "serve_checkpoint" -> (
+      match int "schema" with
+      | Some s when s <> schema ->
+          Error (Printf.sprintf "unsupported checkpoint schema %d" s)
+      | None -> Error "checkpoint: missing \"schema\""
+      | Some _ -> (
+          match
+            ( int "cursor",
+              int "last_time",
+              int "events",
+              int "annotations",
+              int "quarantined",
+              int "shed_events",
+              int "ok",
+              int "fail",
+              int "unknown",
+              Option.bind (J.member "objects" j) J.to_list_opt )
+          with
+          | ( Some cursor,
+              Some last_time,
+              Some events,
+              Some annotations,
+              Some quarantined,
+              Some shed_events,
+              Some ok,
+              Some fail,
+              Some unknown,
+              Some objs ) -> (
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | o :: rest -> (
+                    match obj_of_json o with
+                    | Ok o -> go (o :: acc) rest
+                    | Error e -> Error e)
+              in
+              match go [] objs with
+              | Ok objects ->
+                  Ok
+                    {
+                      cursor;
+                      last_time;
+                      events;
+                      annotations;
+                      quarantined;
+                      shed_events;
+                      ok;
+                      fail;
+                      unknown;
+                      objects;
+                    }
+              | Error e -> Error e)
+          | _ -> Error "checkpoint: missing or mistyped field"))
+  | Some k -> Error (Printf.sprintf "not a checkpoint record (kind %S)" k)
+  | None -> Error "checkpoint: missing \"kind\""
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs.Export.write_line oc (json t));
+  Sys.rename tmp path
+
+let load path =
+  match Obs.Export.parse_file path with
+  | Error e -> Error e
+  | Ok [ j ] -> of_json j
+  | Ok records ->
+      Error
+        (Printf.sprintf "checkpoint file holds %d records, expected 1"
+           (List.length records))
+
+(* Rewrite a verdict log down to its first [keep] complete lines — the
+   resume-time reconciliation that discards both verdicts emitted after
+   the checkpoint and a partial final line a kill left behind. *)
+let truncate_jsonl ~path ~keep =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s ->
+      let lines = String.split_on_char '\n' s in
+      (* everything before the last '\n' is a complete line; the final
+         element of the split is a fragment (or empty) *)
+      let rec complete acc = function
+        | [] | [ _ ] -> List.rev acc
+        | l :: rest -> complete (l :: acc) rest
+      in
+      let complete_lines = complete [] lines in
+      if List.length complete_lines < keep then
+        Error
+          (Printf.sprintf
+             "verdict log %s has %d complete lines, checkpoint expects %d"
+             path
+             (List.length complete_lines)
+             keep)
+      else begin
+        let kept = List.filteri (fun i _ -> i < keep) complete_lines in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              kept);
+        Sys.rename tmp path;
+        Ok ()
+      end

@@ -1,0 +1,38 @@
+(** The offline oracle behind [rlin serve --self-check]: same screens,
+    same segmentation, same entry-set propagation as {!Engine}, but each
+    segment is decided by the offline {!Linchk.Lincheck.check} (feasible
+    final values via a synthetic appended read).  On a run with no
+    resource degradation the verdict records are byte-identical to the
+    engine's. *)
+
+type result = {
+  verdicts : Verdict.t list;
+  lines : int;
+  events : int;
+  annotations : int;
+  quarantined : int;
+}
+
+val run : ?config:Engine.config -> string list -> result
+(** Replay the raw input lines offline.  [config]'s [state_budget],
+    [wall_budget_ms] and [max_pending] are ignored — this oracle is
+    unbounded by construction. *)
+
+val resource_unknown : Verdict.t -> bool
+(** An [Unknown] whose reason (state budget, wall budget, shed) the
+    oracle cannot mirror. *)
+
+type comparison = {
+  matched : int;
+  skipped : int;  (** resource-degraded objects' tails — not comparable *)
+  mismatches : (Verdict.t option * Verdict.t option) list;
+      (** (engine, reference) pairs that should have agreed but differ *)
+}
+
+val agreed : comparison -> bool
+
+val compare_verdicts :
+  engine:Verdict.t list -> reference:Verdict.t list -> comparison
+(** Pair by (object, segment index); strict {!Verdict.equal} until an
+    object's first resource-[Unknown] on the engine side, skipped from
+    there on (the entry sets legitimately diverge). *)

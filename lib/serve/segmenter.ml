@@ -1,0 +1,218 @@
+module V = History.Value
+module Op = History.Op
+module Inc = Linchk.Increment
+
+(* Per-object streaming segmentation.
+
+   The segmentation invariant (DESIGN.md §15): a quiescent point — an
+   event after which every invoked op has responded — splits the
+   object's history into independently-checkable segments, because any
+   linearization of the whole history decomposes at the boundary (every
+   op on the left really-precedes every op on the right).  The only
+   cross-boundary state is the register's value, so each segment starts
+   from the previous one's feasible boundary values ({!Inc.outcome}'s
+   [Pass] list) and the conjunction of segment verdicts equals the
+   offline verdict on the whole history.
+
+   After a [Fail] or [Unknown] segment the exact boundary set is
+   unavailable; the entry set becomes the over-approximation "anything
+   the register could hold" — the previous candidates plus every value
+   the segment wrote — flagged [exact = false] in subsequent verdicts.
+   If that set outgrows [values_cap] it cannot be materialized and
+   later segments degrade to an explicit [Entry_overflow] unknown
+   rather than guessing. *)
+
+type config = {
+  seg_cap : int;
+  state_budget : int;
+  wall_budget_ms : float option;
+  values_cap : int;
+}
+
+let default_config =
+  {
+    seg_cap = Linchk.Lincheck.max_ops;
+    state_budget = Inc.default_state_budget;
+    wall_budget_ms = None;
+    values_cap = 64;
+  }
+
+type entry = { exact : bool; values : V.t list; overflow : bool }
+
+let entry_exact values = { exact = true; values; overflow = false }
+
+type op_state = Open of bool (* is_read *) | Done
+
+type t = {
+  obj : string;
+  cfg : config;
+  metrics : Obs.Metrics.t;
+  mutable index : int;
+  mutable entry : entry;
+  mutable inc : Inc.t option;
+  ids : (int, op_state) Hashtbl.t; (* this segment's op ids *)
+  mutable seg_writes : V.t list; (* distinct, reverse first-write order *)
+  mutable seg_write_count : int;
+  mutable writes_overflow : bool;
+  mutable first_t : int;
+  mutable last_t : int;
+  mutable ops : int;
+  mutable open_cost : int; (* events buffered while not degraded *)
+}
+
+let create ?(metrics = Obs.Metrics.global) ~config ~obj ~entry ~index () =
+  {
+    obj;
+    cfg = config;
+    metrics;
+    index;
+    entry;
+    inc = None;
+    ids = Hashtbl.create 64;
+    seg_writes = [];
+    seg_write_count = 0;
+    writes_overflow = false;
+    first_t = 0;
+    last_t = 0;
+    ops = 0;
+    open_cost = 0;
+  }
+
+let obj t = t.obj
+let index t = t.index
+let entry t = t.entry
+let is_open t = Option.is_some t.inc
+let open_cost t = t.open_cost
+
+let start_segment t =
+  let inc =
+    Inc.create ~metrics:t.metrics ~cap:t.cfg.seg_cap
+      ~state_budget:t.cfg.state_budget ?wall_budget_ms:t.cfg.wall_budget_ms
+      ~entry:(if t.entry.values = [] then [ V.Bot ] else t.entry.values)
+      ()
+  in
+  if t.entry.overflow then
+    Inc.degrade inc (Inc.Entry_overflow { cap = t.cfg.values_cap });
+  t.inc <- Some inc;
+  inc
+
+let dedup_mem vs v = List.exists (V.equal v) vs
+
+let note_write t v =
+  if not (dedup_mem t.seg_writes v) then begin
+    if t.seg_write_count >= t.cfg.values_cap then t.writes_overflow <- true
+    else begin
+      t.seg_writes <- v :: t.seg_writes;
+      t.seg_write_count <- t.seg_write_count + 1
+    end
+  end
+
+let shed t ~pending ~max_pending =
+  match t.inc with
+  | None -> ()
+  | Some inc ->
+      Inc.degrade inc (Inc.Shed { pending; max_pending });
+      t.open_cost <- 0
+
+(* Retire the current segment: decide it, compute the next entry set,
+   reset per-segment state.  [closed] is false only at EOF flush. *)
+let retire t inc ~closed =
+  let outcome = Inc.outcome inc in
+  let verdict_outcome, final_vals, next_entry =
+    match outcome with
+    | Inc.Pass finals ->
+        let next =
+          if closed then entry_exact finals
+          else t.entry (* flush: stream over, entry unused *)
+        in
+        (Verdict.Ok_, (if closed then List.length finals else 0), next)
+    | Inc.Fail | Inc.Unknown _ ->
+        let out =
+          match outcome with
+          | Inc.Fail -> Verdict.Fail
+          | Inc.Unknown r -> Verdict.Unknown r
+          | Inc.Pass _ -> assert false
+        in
+        (* anything the register could hold now: the old candidates plus
+           everything this segment wrote *)
+        let values =
+          List.fold_left
+            (fun acc v -> if dedup_mem acc v then acc else acc @ [ v ])
+            t.entry.values (List.rev t.seg_writes)
+        in
+        let overflow =
+          t.entry.overflow || t.writes_overflow
+          || List.length values > t.cfg.values_cap
+        in
+        (* keep the materialized list bounded even once overflowed *)
+        let values =
+          if overflow then List.filteri (fun i _ -> i < t.cfg.values_cap) values
+          else values
+        in
+        (out, 0, { exact = false; values; overflow })
+  in
+  let v =
+    {
+      Verdict.obj = t.obj;
+      segment = t.index;
+      from_t = t.first_t;
+      to_t = t.last_t;
+      ops = t.ops;
+      closed;
+      outcome = verdict_outcome;
+      entry_vals = List.length t.entry.values;
+      entry_any = (not t.entry.exact) || t.entry.overflow;
+      final_vals;
+    }
+  in
+  t.inc <- None;
+  Hashtbl.reset t.ids;
+  t.seg_writes <- [];
+  t.seg_write_count <- 0;
+  t.writes_overflow <- false;
+  t.ops <- 0;
+  t.open_cost <- 0;
+  t.index <- t.index + 1;
+  t.entry <- next_entry;
+  v
+
+let invoke t ~id ~kind ~time =
+  if Hashtbl.mem t.ids id then
+    Error (Printf.sprintf "duplicate op id #%d in segment %d" id t.index)
+  else begin
+    let inc = match t.inc with Some i -> i | None -> start_segment t in
+    if t.ops = 0 then t.first_t <- time;
+    t.last_t <- time;
+    t.ops <- t.ops + 1;
+    (match kind with Op.Write v -> note_write t v | Op.Read -> ());
+    Hashtbl.replace t.ids id (Open (kind = Op.Read));
+    Inc.invoke inc ~id ~kind ~time;
+    if Option.is_none (Inc.degraded inc) then
+      t.open_cost <- t.open_cost + 1;
+    Ok ()
+  end
+
+let respond t ~id ~result ~time =
+  match Hashtbl.find_opt t.ids id with
+  | None -> Error (Printf.sprintf "response for unknown op id #%d" id)
+  | Some Done -> Error (Printf.sprintf "second response for op id #%d" id)
+  | Some (Open is_read) ->
+      if is_read && Option.is_none result then
+        (* screened here because the offline prep rejects a completed
+           read without a result; the op stays pending (conservative) *)
+        Error (Printf.sprintf "read op #%d responded without a result" id)
+      else begin
+        let inc = match t.inc with Some i -> i | None -> assert false in
+        t.last_t <- time;
+        Hashtbl.replace t.ids id Done;
+        Inc.respond inc ~id ~result ~time;
+        if Option.is_none (Inc.degraded inc) then
+          t.open_cost <- t.open_cost + 1;
+        if Inc.pending inc = 0 then Ok (Some (retire t inc ~closed:true))
+        else Ok None
+      end
+
+let flush t =
+  match t.inc with
+  | None -> None
+  | Some inc -> Some (retire t inc ~closed:false)

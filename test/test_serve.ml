@@ -1,0 +1,472 @@
+(* Tests for the streaming serve checker: the incremental reachable-set
+   checker against the offline decision procedure, the engine against the
+   reference oracle on replayed traces, ingest quarantine, budget
+   degradation, backpressure shedding, checkpoint/resume plumbing, the
+   lenient JSONL parser and the streaming linearizability monitor. *)
+
+module V = Core.Value
+module Op = Core.Op
+module Event = Core.Event
+module Hist = Core.Hist
+module L = Core.Lincheck
+module Gen = Core.Histgen
+module Inc = Core.Increment
+module Serve = Core.Serve
+module Seg = Serve.Segmenter
+module Engine = Serve.Engine
+module Verdict = Serve.Verdict
+module Reference = Serve.Reference
+module Checkpoint = Serve.Checkpoint
+module Ingest = Serve.Ingest
+module J = Core.Json
+module Monitor = Check.Monitor
+module Config = Core.Abd_runs.Config
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- incremental checker vs the offline decision procedure ----- *)
+
+let feed_increment ?cap ?state_budget ~entry hist =
+  let inc = Inc.create ?cap ?state_budget ~entry () in
+  List.iter
+    (fun { Event.time; event } ->
+      match event with
+      | Event.Invoke { op_id; kind; _ } -> Inc.invoke inc ~id:op_id ~kind ~time
+      | Event.Respond { op_id; result } ->
+          Inc.respond inc ~id:op_id ~result ~time)
+    (Hist.events hist);
+  Inc.outcome inc
+
+let spec = { Gen.default_spec with Gen.n_procs = 3; n_ops = 12 }
+
+let increment_tests =
+  [
+    tc "incremental verdict = offline verdict on 200 seeded histories"
+      (fun () ->
+        let rand = Random.State.make [| 0xC0FFEE |] in
+        let run gen =
+          let h = QCheck.Gen.generate1 ~rand gen in
+          let offline = L.check ~init:spec.Gen.init h in
+          match feed_increment ~entry:[ spec.Gen.init ] h with
+          | Inc.Pass _ -> check_bool "offline agrees on pass" true offline
+          | Inc.Fail -> check_bool "offline agrees on fail" false offline
+          | Inc.Unknown _ ->
+              Alcotest.fail "unexpected unknown without a budget"
+        in
+        for _ = 1 to 100 do
+          run (Gen.arbitrary_history spec)
+        done;
+        for _ = 1 to 100 do
+          run (Gen.atomic_history spec)
+        done);
+    tc "state budget degrades to a structured unknown" (fun () ->
+        let rand = Random.State.make [| 0xBEEF |] in
+        let h = QCheck.Gen.generate1 ~rand (Gen.atomic_history spec) in
+        match feed_increment ~state_budget:1 ~entry:[ spec.Gen.init ] h with
+        | Inc.Unknown (Inc.State_budget { budget; _ }) ->
+            check_int "budget echoed" 1 budget
+        | _ -> Alcotest.fail "expected a state-budget unknown");
+    tc "op cap degrades to a structured unknown" (fun () ->
+        let rand = Random.State.make [| 0xBEEF |] in
+        let h = QCheck.Gen.generate1 ~rand (Gen.atomic_history spec) in
+        match feed_increment ~cap:2 ~entry:[ spec.Gen.init ] h with
+        | Inc.Unknown (Inc.Op_cap { cap; _ }) -> check_int "cap echoed" 2 cap
+        | _ -> Alcotest.fail "expected an op-cap unknown");
+  ]
+
+(* ---------- chunked line reader ---------------------------------------- *)
+
+let reader_tests =
+  [
+    tc "partial tails are buffered across chunks" (fun () ->
+        let r = Ingest.Reader.create () in
+        Alcotest.(check (list string))
+          "first chunk" [ "a" ]
+          (Ingest.Reader.feed r "a\nb");
+        Alcotest.(check (option string))
+          "fragment pending" (Some "b") (Ingest.Reader.pending r);
+        Alcotest.(check (list string))
+          "fragment completed" [ "bc"; "" ]
+          (Ingest.Reader.feed r "c\n\nd");
+        Alcotest.(check (option string))
+          "unterminated final line" (Some "d")
+          (Ingest.Reader.take_rest r);
+        Alcotest.(check (option string))
+          "rest is consumed" None
+          (Ingest.Reader.take_rest r));
+  ]
+
+(* ---------- engine vs reference oracle vs offline on replayed traces --- *)
+
+let serve ?config lines =
+  let verdicts = ref [] in
+  let quarantined = ref [] in
+  let engine =
+    Engine.create ?config
+      ~emit:(fun v -> verdicts := v :: !verdicts)
+      ~on_quarantine:(fun ~line reason -> quarantined := (line, reason) :: !quarantined)
+      ()
+  in
+  List.iter (Engine.feed_line engine) lines;
+  Engine.finish engine;
+  (engine, List.rev !verdicts, List.rev !quarantined)
+
+let trace_lines trace = List.map J.to_string (Core.Trace.json_entries trace)
+
+let workload i =
+  let seed = Int64.of_int (4200 + i) in
+  if i mod 3 = 0 then (
+    let r =
+      Core.Abd_runs.execute
+        {
+          Core.Abd_runs.default with
+          Core.Abd_runs.seed;
+          crash = [ 4 ];
+          faults =
+            { Core.Faults.none with Core.Faults.drop = 0.05; duplicate = 0.05 };
+        }
+    in
+    (r.Core.Abd_runs.trace, r.Core.Abd_runs.history))
+  else if i mod 3 = 1 then (
+    let r =
+      Core.Scenario.random_alg2_run ~n:3 ~writes_per_proc:2 ~reads_per_proc:2
+        ~seed ()
+    in
+    (r.Core.Scenario.trace, r.Core.Scenario.history))
+  else (
+    let r =
+      Core.Scenario.random_alg4_run ~n:3 ~writes_per_proc:2 ~reads_per_proc:2
+        ~seed ()
+    in
+    (r.Core.Scenario.trace, r.Core.Scenario.history))
+
+let engine_tests =
+  [
+    tc "engine = reference oracle = offline on benign and faulty traces"
+      (fun () ->
+        for i = 1 to 9 do
+          let trace, hist = workload i in
+          let lines = trace_lines trace in
+          let engine, verdicts, _ = serve lines in
+          check_int "no quarantine on a clean stream" 0
+            (Engine.quarantined engine);
+          let offline = L.check ~init:(V.Int 0) hist in
+          check_bool "verdict conjunction = offline" offline
+            (Engine.fail engine = 0);
+          let r = Reference.run lines in
+          let cmp =
+            Reference.compare_verdicts ~engine:verdicts
+              ~reference:r.Reference.verdicts
+          in
+          check_bool "reference agrees" true (Reference.agreed cmp);
+          check_int "no skipped objects" 0 cmp.Reference.skipped
+        done);
+    tc "summary json carries the counters" (fun () ->
+        let trace, _ = workload 1 in
+        let engine, verdicts, _ = serve (trace_lines trace) in
+        match Engine.summary_json engine with
+        | J.Obj fields ->
+            check_bool "kind" true
+              (List.assoc_opt "kind" fields = Some (J.Str "serve_summary"));
+            check_bool "lines counted" true
+              (List.assoc_opt "lines" fields = Some (J.Int (Engine.lines engine)));
+            check_int "verdict counters consistent"
+              (List.length verdicts)
+              (Engine.ok engine + Engine.fail engine + Engine.unknown engine)
+        | _ -> Alcotest.fail "summary is not an object");
+  ]
+
+(* ---------- ingest quarantine on mutated streams ----------------------- *)
+
+let quarantine_tests =
+  [
+    tc "corrupt lines are counted with 1-based numbers, never fatal"
+      (fun () ->
+        let trace, _ = workload 1 in
+        let lines = trace_lines trace in
+        let _, clean_verdicts, _ = serve lines in
+        let stale =
+          List.find
+            (fun l ->
+              match J.of_string l with
+              | Ok j -> J.member "kind" j = Some (J.Str "invoke")
+              | Error _ -> false)
+            lines
+        in
+        (* leading garbage, an unknown schema kind, a replayed stale
+           invoke, and a truncated tail *)
+        let mutated =
+          ("%% not json %%" :: "{\"kind\":\"mystery\",\"t\":0}" :: lines)
+          @ [ stale; "{\"t\":9,\"ki" ]
+        in
+        let engine, verdicts, quarantined = serve mutated in
+        check_int "exactly the injected lines quarantined" 4
+          (Engine.quarantined engine);
+        Alcotest.(check (list int))
+          "1-based line numbers" [ 1; 2; List.length lines + 3; List.length lines + 4 ]
+          (List.map fst quarantined);
+        check_bool "verdicts unchanged by the mutations" true
+          (List.length verdicts = List.length clean_verdicts
+          && List.for_all2 Verdict.equal verdicts clean_verdicts));
+    tc "non-monotone time and orphan ids quarantine, dup ids too" (fun () ->
+        let ev ~time e = J.to_string (Ingest.event_json ~time e) in
+        let inv ~t ~id v =
+          ev ~time:t
+            (Ingest.Invoke
+               { op_id = id; proc = id; obj = "r"; kind = Op.Write (V.Int v) })
+        in
+        let rsp ~t ~id = ev ~time:t (Ingest.Respond { op_id = id; result = None }) in
+        let lines =
+          [
+            inv ~t:1 ~id:1 10;
+            inv ~t:1 ~id:2 20 (* equal time: quarantined *);
+            inv ~t:2 ~id:1 30 (* duplicate op id: quarantined *);
+            rsp ~t:3 ~id:9 (* orphan respond: quarantined *);
+            rsp ~t:4 ~id:1;
+          ]
+        in
+        let engine, verdicts, _ = serve lines in
+        check_int "three quarantined" 3 (Engine.quarantined engine);
+        check_int "one segment retired" 1 (List.length verdicts);
+        check_int "and it passes" 1 (Engine.ok engine));
+  ]
+
+(* ---------- budget degradation and backpressure ------------------------ *)
+
+let with_seg seg = { Engine.default_config with Engine.seg }
+
+let degradation_tests =
+  [
+    tc "tiny state budget yields explicit state-budget unknowns" (fun () ->
+        let trace, _ = workload 1 in
+        let lines = trace_lines trace in
+        let _, clean, _ = serve lines in
+        let _, verdicts, _ =
+          serve
+            ~config:(with_seg { Seg.default_config with Seg.state_budget = 4 })
+            lines
+        in
+        check_int "every segment still decided" (List.length clean)
+          (List.length verdicts);
+        check_bool "some state-budget unknown" true
+          (List.exists
+             (fun v ->
+               match v.Verdict.outcome with
+               | Verdict.Unknown r -> Inc.reason_cause r = "state-budget"
+               | _ -> false)
+             verdicts));
+    tc "tiny op cap yields explicit op-cap unknowns" (fun () ->
+        let trace, _ = workload 1 in
+        let _, verdicts, _ =
+          serve
+            ~config:(with_seg { Seg.default_config with Seg.seg_cap = 2 })
+            (trace_lines trace)
+        in
+        check_bool "some op-cap unknown" true
+          (List.exists
+             (fun v ->
+               match v.Verdict.outcome with
+               | Verdict.Unknown r -> Inc.reason_cause r = "op-cap"
+               | _ -> false)
+             verdicts));
+    tc "backpressure sheds the overflowing segment" (fun () ->
+        let ev ~time e = J.to_string (Ingest.event_json ~time e) in
+        let lines =
+          [
+            ev ~time:1
+              (Ingest.Invoke
+                 { op_id = 1; proc = 1; obj = "r"; kind = Op.Write (V.Int 7) });
+            ev ~time:2
+              (Ingest.Invoke { op_id = 2; proc = 2; obj = "r"; kind = Op.Read });
+            ev ~time:3 (Ingest.Respond { op_id = 1; result = None });
+            ev ~time:4
+              (Ingest.Respond { op_id = 2; result = Some (V.Int 7) });
+          ]
+        in
+        let engine, verdicts, _ =
+          serve
+            ~config:{ Engine.default_config with Engine.max_pending = 1 }
+            lines
+        in
+        check_bool "events were shed" true (Engine.shed_events engine > 0);
+        match verdicts with
+        | [ v ] -> (
+            match v.Verdict.outcome with
+            | Verdict.Unknown (Inc.Shed { max_pending; _ }) ->
+                check_int "bound echoed" 1 max_pending
+            | _ -> Alcotest.fail "expected a shed unknown")
+        | _ -> Alcotest.fail "expected exactly one verdict");
+  ]
+
+(* ---------- checkpoint / resume ---------------------------------------- *)
+
+let checkpoint_tests =
+  [
+    tc "checkpoint json round-trips" (fun () ->
+        let trace, _ = workload 2 in
+        let engine, _, _ = serve (trace_lines trace) in
+        (* a scenario trace ends quiescent, so the fed (pre-finish)
+           engine state is recoverable; re-feed to capture it *)
+        let engine2 =
+          Engine.create ~emit:(fun _ -> ()) ()
+        in
+        List.iter (Engine.feed_line engine2) (trace_lines trace);
+        check_bool "quiescent at end of a completed trace" true
+          (Engine.quiescent engine2);
+        match Engine.checkpoint engine2 with
+        | None -> Alcotest.fail "no checkpoint at a quiescent point"
+        | Some ck -> (
+            ignore engine;
+            match Checkpoint.of_json (Checkpoint.json ck) with
+            | Error e -> Alcotest.fail e
+            | Ok ck' ->
+                check_str "byte-identical rendering"
+                  (J.to_string (Checkpoint.json ck))
+                  (J.to_string (Checkpoint.json ck'))));
+    tc "restore + remaining lines replays the full verdict stream" (fun () ->
+        let trace, _ = workload 5 in
+        let lines = trace_lines trace in
+        let _, full, _ = serve lines in
+        (* feed line by line, remembering the last mid-stream checkpoint *)
+        let emitted = ref [] in
+        let engine =
+          Engine.create ~emit:(fun v -> emitted := v :: !emitted) ()
+        in
+        let best = ref None in
+        List.iter
+          (fun l ->
+            Engine.feed_line engine l;
+            match Engine.checkpoint engine with
+            | Some ck when Checkpoint.verdicts ck > 0 ->
+                best := Some (ck, List.rev !emitted)
+            | _ -> ())
+          lines;
+        match !best with
+        | None -> Alcotest.fail "no mid-stream quiescent checkpoint"
+        | Some (ck, prefix) ->
+            let resumed = ref [] in
+            let engine' =
+              Engine.restore ~emit:(fun v -> resumed := v :: !resumed) ck
+            in
+            List.iteri
+              (fun i l ->
+                if i >= ck.Checkpoint.cursor then Engine.feed_line engine' l)
+              lines;
+            Engine.finish engine';
+            let replay = prefix @ List.rev !resumed in
+            check_int "same verdict count" (List.length full)
+              (List.length replay);
+            check_bool "byte-identical verdicts" true
+              (List.for_all2 Verdict.equal full replay));
+    tc "truncate_jsonl keeps complete lines and rejects short logs"
+      (fun () ->
+        let path = Filename.temp_file "serve_test" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Out_channel.with_open_bin path (fun oc ->
+                output_string oc "{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n{\"a\":4");
+            (match Checkpoint.truncate_jsonl ~path ~keep:2 with
+            | Error e -> Alcotest.fail e
+            | Ok () ->
+                check_str "two complete lines survive" "{\"a\":1}\n{\"a\":2}\n"
+                  (In_channel.with_open_bin path In_channel.input_all));
+            match Checkpoint.truncate_jsonl ~path ~keep:5 with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "short log must be rejected"));
+  ]
+
+(* ---------- lenient JSONL export parsing ------------------------------- *)
+
+let lenient_tests =
+  [
+    tc "parse_lines_lenient separates good records from bad lines"
+      (fun () ->
+        let good, bad =
+          Obs.Export.parse_lines_lenient
+            "{\"a\":1}\ngarbage\n\n{\"b\":2}\n{broken"
+        in
+        check_int "good records" 2 (List.length good);
+        Alcotest.(check (list int))
+          "1-based bad line numbers" [ 2; 5 ] (List.map fst bad));
+    tc "parse_file_lenient reports bad lines without failing" (fun () ->
+        let path = Filename.temp_file "serve_test" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Out_channel.with_open_bin path (fun oc ->
+                output_string oc "{\"a\":1}\nnope\n{\"b\":2}\n");
+            match Obs.Export.parse_file_lenient path with
+            | Error e -> Alcotest.fail e
+            | Ok (good, bad) ->
+                check_int "good records" 2 (List.length good);
+                Alcotest.(check (list int))
+                  "bad line numbers" [ 2 ] (List.map fst bad)));
+  ]
+
+(* ---------- streaming linearizability monitor -------------------------- *)
+
+let violation_str = function
+  | None -> "none"
+  | Some v -> J.to_string (Monitor.violation_json v)
+
+let monitor_tests =
+  [
+    tc "streaming monitor reports exactly the stock monitor's verdicts"
+      (fun () ->
+        let configs =
+          Config.default
+          :: List.map
+               (fun seed ->
+                 {
+                   Config.default with
+                   Config.writes_each = 2;
+                   reads_each = 2;
+                   quorum = Some 2;
+                   seed = Int64.of_int seed;
+                   faults =
+                     {
+                       Simkit.Faults.none with
+                       Simkit.Faults.drop = 0.05;
+                     };
+                 })
+               [ 1; 2; 3; 4; 5 ]
+        in
+        List.iter
+          (fun cfg ->
+            let stock =
+              Monitor.run_config ~monitors:[ Monitor.linearizability ] cfg
+            in
+            let streaming =
+              Monitor.run_config
+                ~monitors:[ Monitor.linearizability_streaming ]
+                cfg
+            in
+            check_str "same violation (or none)" (violation_str stock)
+              (violation_str streaming))
+          configs);
+    tc "with_streaming_check swaps by name only" (fun () ->
+        let swapped = Monitor.with_streaming_check Monitor.standard in
+        check_int "same monitor count"
+          (List.length Monitor.standard)
+          (List.length swapped);
+        check_bool "names preserved" true
+          (List.for_all2
+             (fun a b -> a.Monitor.name = b.Monitor.name)
+             Monitor.standard swapped));
+  ]
+
+let suite =
+  [
+    ("serve:increment", increment_tests);
+    ("serve:reader", reader_tests);
+    ("serve:engine", engine_tests);
+    ("serve:quarantine", quarantine_tests);
+    ("serve:degradation", degradation_tests);
+    ("serve:checkpoint", checkpoint_tests);
+    ("serve:lenient-export", lenient_tests);
+    ("serve:monitor", monitor_tests);
+  ]
