@@ -230,6 +230,24 @@ let throughput_rows ~window_ms () =
           (Core.Serve.Engine.feed_line engine)
           (Lazy.force hot_serve_lines);
         Core.Serve.Engine.finish engine);
+    (* a full ABD run through two crash + state-transfer recoveries with
+       nothing durable: the recovery path (restart, incarnation bump,
+       read-back handshake) priced per scheduler step *)
+    measure_rate ~name:"e14/abd-recovery-steps-per-sec"
+      ~counter:"sched.steps" ~window_ms (fun m ->
+        ignore
+          (Core.Abd_runs.execute_config ~metrics:m
+             {
+               Core.Run_config.default with
+               Core.Run_config.seed = 9L;
+               persist = `Never;
+               faults =
+                 {
+                   Core.Faults.none with
+                   Core.Faults.crash_at = [ (60, 3); (120, 4) ];
+                   recover_at = [ (110, 3); (170, 4) ];
+                 };
+             }));
     measure_rate ~name:"hot/incremental-segment-states-per-sec"
       ~counter:"linchk.inc.states" ~window_ms (fun m ->
         List.iter
@@ -338,6 +356,22 @@ let tests =
                       duplicate = 0.05;
                       delay = 0.05;
                       delay_bound = 4;
+                    };
+                })));
+    (* --- E14: an ABD workload through a crash + state-transfer recovery ----- *)
+    Test.make ~name:"e14/abd-recovery"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Abd_runs.execute_config
+                {
+                  Core.Run_config.default with
+                  Core.Run_config.seed = 9L;
+                  persist = `Never;
+                  faults =
+                    {
+                      Core.Faults.none with
+                      Core.Faults.crash_at = [ (60, 3); (120, 4) ];
+                      recover_at = [ (110, 3); (170, 4) ];
                     };
                 })));
   ]

@@ -4,7 +4,8 @@
    Subcommands:
      rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
                       [--drop P] [--dup P] [--delay P] [--crash n@s,...]
-                                       run the E1-E13 battery
+                      [--recover n@s,...]
+                                       run the E1-E14 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
@@ -110,6 +111,35 @@ let split_crash_items items =
     (function `Node n -> Left n | `At (s, n) -> Right (s, n))
     items
 
+(* `--recover` entries: NODE@STEP only — a recovery is always pinned to
+   the step clock, and validation demands it follow a crash of the same
+   node (see Runs.validate_crash_schedule). *)
+let recover_arg ~what =
+  let term =
+    Arg.(
+      value
+      & opt (list crash_item_conv) []
+      & info [ "recover" ] ~docv:"SPECS"
+          ~doc:
+            "Comma-separated NODE@STEP recovery schedule, e.g. \
+             $(b,3@400): restart node 3 at step 400 with a fresh \
+             incarnation.  Each entry must recover a node crashed \
+             earlier by $(b,--crash) (crash/recover must alternate per \
+             node).")
+  in
+  let check items =
+    List.map
+      (function
+        | `At (s, n) -> (s, n)
+        | `Node n ->
+            Printf.eprintf
+              "rlin: %s --recover takes NODE@STEP entries (got bare node %d)\n"
+              what n;
+            exit 2)
+      items
+  in
+  Term.(const check $ term)
+
 (* ----- experiments --------------------------------------------------------- *)
 
 let jobs_arg =
@@ -145,7 +175,7 @@ let experiments_cmd =
             "Also write the battery as line-delimited JSON, one record per \
              report ('-' for stdout).")
   in
-  let run quick jobs only json faults crash =
+  let run quick jobs only json faults crash recover =
     (match only with
     | Some ids when
         List.exists
@@ -158,8 +188,9 @@ let experiments_cmd =
     | _ -> ());
     let faults =
       (* --crash n@s[,n@s...] joins the link-fault plan as its crash_at
-         schedule; validated against E6's topology (5 nodes, clients
-         0/1/2) — the only fault-aware experiment with crashable nodes *)
+         schedule (--recover as its recover_at); validated against E6's
+         topology (5 nodes, clients 0/1/2) — the only fault-aware
+         experiment with crashable nodes *)
       let legacy, schedule = split_crash_items crash in
       if legacy <> [] then begin
         Printf.eprintf
@@ -169,16 +200,22 @@ let experiments_cmd =
       end;
       (try
          Core.Abd_runs.validate_crash_schedule ~what:"rlin experiments" ~n:5
-           ~clients:[ 0; 1; 2 ] schedule
+           ~clients:[ 0; 1; 2 ] ~recoveries:recover schedule
        with Invalid_argument msg ->
          Printf.eprintf "rlin: %s\n" msg;
          exit 2);
       match (faults, schedule) with
       | None, [] -> None
       | Some plan, schedule ->
-          Some { plan with Core.Faults.crash_at = schedule }
+          Some
+            { plan with Core.Faults.crash_at = schedule; recover_at = recover }
       | None, schedule ->
-          Some { Core.Faults.none with Core.Faults.crash_at = schedule }
+          Some
+            {
+              Core.Faults.none with
+              Core.Faults.crash_at = schedule;
+              recover_at = recover;
+            }
     in
     (match faults with
     | Some plan -> (
@@ -202,18 +239,19 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:
-         "Run the full experiment battery (E1-E13), one per paper artifact; \
-          $(b,--drop)/$(b,--dup)/$(b,--delay)/$(b,--crash) subject the \
-          fault-aware experiments (E6, E10) to a deterministic link-fault \
-          plan (crash schedules affect E6 only: E10's nodes are all \
-          clients).")
+         "Run the full experiment battery (E1-E14), one per paper artifact; \
+          $(b,--drop)/$(b,--dup)/$(b,--delay)/$(b,--crash)/$(b,--recover) \
+          subject the fault-aware experiments (E6, E10) to a deterministic \
+          link-fault plan (crash/recovery schedules affect E6 only: E10's \
+          nodes are all clients).")
     Term.(
       const run $ quick $ jobs_arg $ only $ json $ faults_term
       $ crash_arg
           ~doc:
             "Comma-separated NODE@STEP crash schedule for the fault-aware \
              experiments, e.g. $(b,3@150,4@300) (E6 topology: 5 nodes, \
-             clients 0-2).")
+             clients 0-2)."
+      $ recover_arg ~what:"experiments")
 
 (* ----- game ----------------------------------------------------------------- *)
 
@@ -324,18 +362,20 @@ let abd_cmd =
   let writes =
     Arg.(value & opt int 5 & info [ "writes" ] ~docv:"K" ~doc:"Writer operations.")
   in
-  let run n writes crash seed faults =
+  let run n writes crash recover seed faults =
     (* bare nodes crash once the run is underway (the legacy behaviour);
        NODE@STEP entries join the fault plan's step-clock schedule *)
     let legacy, schedule = split_crash_items crash in
     (try
        Core.Abd_runs.validate_crash_schedule ~what:"rlin abd" ~n
-         ~clients:[ 0; 1; 2 ] schedule
+         ~clients:[ 0; 1; 2 ] ~recoveries:recover schedule
      with Invalid_argument msg ->
        Printf.eprintf "rlin: %s\n" msg;
        exit 2);
     let faults = Option.value faults ~default:Core.Faults.none in
-    let faults = { faults with Core.Faults.crash_at = schedule } in
+    let faults =
+      { faults with Core.Faults.crash_at = schedule; recover_at = recover }
+    in
     let w =
       {
         Core.Abd_runs.n;
@@ -367,8 +407,9 @@ let abd_cmd =
        ~doc:
          "Run an ABD workload in the message-passing simulator, optionally \
           under a link-fault plan ($(b,--drop)/$(b,--dup)/$(b,--delay)) \
-          and a crash schedule ($(b,--crash 3,4@200): crash node 3 once \
-          underway, node 4 at step 200).")
+          and a crash/recovery schedule ($(b,--crash 3,4@200): crash node \
+          3 once underway, node 4 at step 200; $(b,--recover 4@500): \
+          restart node 4 at step 500).")
     Term.(
       const run $ n_arg 5 $ writes
       $ crash_arg
@@ -376,7 +417,7 @@ let abd_cmd =
             "Comma-separated crash entries: a bare NODE crashes after the \
              first write completes, NODE@STEP crashes on the scheduler's \
              step clock."
-      $ seed_arg $ faults_term)
+      $ recover_arg ~what:"abd" $ seed_arg $ faults_term)
 
 (* ----- consensus ------------------------------------------------------------- *)
 
@@ -460,6 +501,17 @@ let chaos_run_cmd =
              - 1 (no quorum intersection), proving the monitor -> shrinker \
              -> corpus loop catches a real protocol bug.")
   in
+  let inject_recovery =
+    Arg.(
+      value & flag
+      & info [ "inject-recovery-bug" ]
+          ~doc:
+            "Self-test: generate configs that pair every crash with a \
+             recovery, persist nothing, and skip the state-transfer \
+             handshake — recovered replicas rejoin quorums amnesiac, \
+             which the recovery-sanity (or linearizability) monitor must \
+             catch.  Mutually exclusive with $(b,--inject-quorum-bug).")
+  in
   let corpus =
     Arg.(
       value
@@ -498,11 +550,22 @@ let chaos_run_cmd =
              Verdicts, reports and corpora are identical whatever $(docv) \
              is.")
   in
-  let run budget seed jobs check_jobs inject corpus json flight =
+  let run budget seed jobs check_jobs inject inject_recovery corpus json
+      flight =
+    if inject && inject_recovery then begin
+      Printf.eprintf
+        "rlin: --inject-quorum-bug and --inject-recovery-bug are mutually \
+         exclusive\n";
+      exit 2
+    end;
+    let inject =
+      if inject then Some Core.Chaos.Quorum_too_small
+      else if inject_recovery then Some Core.Chaos.Unsafe_recovery
+      else None
+    in
     let report =
-      Core.Chaos.search ~jobs ~check_jobs
-        ?inject:(if inject then Some Core.Chaos.Quorum_too_small else None)
-        ~flight ~telemetry:Obs.Metrics.global ~seed ~budget ()
+      Core.Chaos.search ~jobs ~check_jobs ?inject ~flight
+        ~telemetry:Obs.Metrics.global ~seed ~budget ()
     in
     let findings = report.Core.Chaos.findings in
     Printf.printf "chaos: %d configs explored (seed %Ld), %d violations\n"
@@ -539,14 +602,15 @@ let chaos_run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Random chaos search: sample (workload x fault plan x crash \
-          schedule x policy) configurations, execute each against the \
-          online monitors (linearizability, termination, quorum sanity), \
-          and delta-debug every violation to a minimal reproducer.  Exits \
-          non-zero when violations were found.")
+         "Random chaos search: sample (workload x fault plan x \
+          crash/recovery schedule x persist policy) configurations, \
+          execute each against the online monitors (linearizability, \
+          termination, quorum sanity, recovery sanity), and delta-debug \
+          every violation to a minimal reproducer.  Exits non-zero when \
+          violations were found.")
     Term.(
-      const run $ budget $ seed_arg $ jobs_arg $ check_jobs $ inject $ corpus
-      $ json $ flight)
+      const run $ budget $ seed_arg $ jobs_arg $ check_jobs $ inject
+      $ inject_recovery $ corpus $ json $ flight)
 
 let replay_path path =
   match Core.Corpus.load path with

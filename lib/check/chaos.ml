@@ -3,7 +3,7 @@ module Faults = Simkit.Faults
 module Rng = Simkit.Rng
 module Pool = Simkit.Pool
 
-type bug = Quorum_too_small
+type bug = Quorum_too_small | Unsafe_recovery
 
 let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
 
@@ -23,7 +23,13 @@ let task_seed ~seed index =
 let gen_config ?inject ~seed index =
   let rng = Rng.split (Rng.create (task_seed ~seed index)) in
   let proto = if Rng.bool rng then Config.Sw else Config.Mw in
-  let n = if Rng.bool rng then 3 else 5 in
+  let n =
+    match inject with
+    (* the seeded recovery bug needs room for a crash+recover pair
+       alongside the clients, so pin the 5-node topology *)
+    | Some Unsafe_recovery -> 5
+    | Some Quorum_too_small | None -> if Rng.bool rng then 3 else 5
+  in
   let writers =
     match proto with
     | Config.Sw -> [ 0 ]
@@ -43,10 +49,38 @@ let gen_config ?inject ~seed index =
     List.filter (fun x -> not (List.mem x clients)) (List.init n Fun.id)
   in
   let max_crashes = min (List.length crashable) ((n - 1) / 2) in
-  let n_crashes = Rng.int rng (max_crashes + 1) in
+  let n_crashes =
+    match inject with
+    | Some Unsafe_recovery -> 1 + Rng.int rng max_crashes (* >= 1 pair *)
+    | Some Quorum_too_small | None -> Rng.int rng (max_crashes + 1)
+  in
   let crash_at =
     List.filteri (fun i _ -> i < n_crashes) crashable
-    |> List.map (fun node -> (Rng.int rng 1500, node))
+    |> List.map (fun node ->
+           (* amnesia needs the pair to land while the run is still
+              stepping (short runs finish within a few hundred steps),
+              after the node has absorbed un-persisted state — so the
+              injected bug crashes early; clean searches roam wide *)
+           let step =
+             match inject with
+             | Some Unsafe_recovery -> 30 + Rng.int rng 120
+             | Some Quorum_too_small | None -> Rng.int rng 1500
+           in
+           (step, node))
+  in
+  (* the recovery lattice: each crashed node may restart later in the
+     run.  Clean searches draw the pairing (and the persist policy)
+     randomly — safe recoveries must never trip a monitor; the injected
+     recovery bug pairs every crash so amnesia is reachable. *)
+  let recover_at =
+    List.filter_map
+      (fun (s, node) ->
+        match inject with
+        | Some Unsafe_recovery -> Some (s + 30 + Rng.int rng 90, node)
+        | Some Quorum_too_small | None ->
+            if Rng.bool rng then Some (s + 100 + Rng.int rng 1200, node)
+            else None)
+      crash_at
   in
   let partitions =
     if Rng.int rng 4 = 0 then
@@ -57,7 +91,14 @@ let gen_config ?inject ~seed index =
   let quorum =
     match inject with
     | Some Quorum_too_small -> Some (n / 2) (* majority - 1: no intersection *)
-    | None -> None
+    | Some Unsafe_recovery | None -> None
+  in
+  let persist, unsafe_recovery =
+    match inject with
+    (* nothing durable + no handshake: recovery rolls the replica back *)
+    | Some Unsafe_recovery -> (`Never, true)
+    | Some Quorum_too_small | None ->
+        ((if Rng.int rng 4 = 0 then `Never else `Every), false)
   in
   let c =
     {
@@ -68,11 +109,21 @@ let gen_config ?inject ~seed index =
       readers;
       reads_each;
       faults =
-        { Faults.drop; duplicate; delay; delay_bound; crash_at; partitions };
+        {
+          Faults.drop;
+          duplicate;
+          delay;
+          delay_bound;
+          crash_at;
+          recover_at;
+          partitions;
+        };
       seed = Rng.next_int64 rng;
       policy;
       max_steps = None;
       quorum;
+      persist;
+      unsafe_recovery;
     }
   in
   Config.validate c;

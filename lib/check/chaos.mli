@@ -9,17 +9,24 @@
     contract, and shrinking is sequential in index order — so [-j 1] and
     [-j N] produce byte-identical reports. *)
 
-type bug = Quorum_too_small
-    (** Self-test fault injection: generate configs whose [quorum]
-        override is [majority - 1], breaking quorum intersection.  E12
-        uses it to prove the search → shrink → corpus loop catches a real
-        protocol bug. *)
+(** Self-test fault injections proving the search → shrink → corpus loop
+    catches real protocol bugs:
+    - [Quorum_too_small]: configs whose [quorum] override is
+      [majority - 1], breaking quorum intersection (E12);
+    - [Unsafe_recovery]: configs pairing every crash with a recovery
+      under [persist = `Never] and [unsafe_recovery = true], so a
+      restarted replica rejoins quorums with rolled-back state (E14,
+      caught by {!Monitor.recovery_sanity}). *)
+type bug = Quorum_too_small | Unsafe_recovery
 
 val gen_config :
   ?inject:bug -> seed:int64 -> int -> Msgpass.Runs.Config.t
 (** The [index]-th config of stream [seed]; always {!Msgpass.Runs.Config.validate}-clean.
     Probabilities stay on the lower {!Simkit.Faults.prob_ladder} rungs,
-    crash schedules are strict minorities of non-client nodes. *)
+    crash schedules are strict minorities of non-client nodes, and each
+    crashed node may draw a paired later recovery (clean searches use
+    the safe state-transfer handshake, so recoveries never trip a
+    monitor on healthy code). *)
 
 type finding = {
   index : int;  (** which sampled config *)

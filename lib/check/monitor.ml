@@ -122,6 +122,38 @@ let quorum_sanity =
                 });
   }
 
+(* Every unsafe recovery that actually lost acknowledged state bumps the
+   [reg.*.amnesia] counter (see [Abd.recover_node]): the replica rejoined
+   quorums with a rolled-back copy, so quorum intersection no longer
+   spans the crash.  This is what catches the injected
+   [unsafe_recovery + `Never] bug even on runs whose histories happen to
+   linearize. *)
+let recovery_sanity =
+  {
+    name = "recovery-sanity";
+    check =
+      (fun ~config ~run:_ ~metrics ->
+        let ctr =
+          match config.Runs.Config.proto with
+          | Runs.Config.Sw -> "reg.abd.amnesia"
+          | Runs.Config.Mw -> "reg.mwabd.amnesia"
+        in
+        let lost = Obs.Metrics.counter metrics ctr in
+        if lost = 0 then None
+        else
+          Some
+            {
+              monitor = "recovery-sanity";
+              detail =
+                Printf.sprintf
+                  "%d unsafe recover%s rejoined quorums after losing \
+                   acknowledged state: quorum intersection does not span \
+                   the crash"
+                  lost
+                  (if lost = 1 then "y" else "ies");
+            });
+  }
+
 (* The same invariant decided by the streaming path: the run's events
    are fed one at a time through [Serve.Segmenter], which retires a
    segment at every quiescent point and conjoins the verdicts.  A [Fail]
@@ -171,7 +203,7 @@ let linearizability_streaming =
         else None);
   }
 
-let standard = [ linearizability; termination; quorum_sanity ]
+let standard = [ linearizability; termination; quorum_sanity; recovery_sanity ]
 
 (* Swap the stock linearizability monitor for its [jobs]-domain variant.
    Sound because the checker's verdicts are [jobs]-invariant; a no-op on

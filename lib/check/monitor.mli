@@ -9,8 +9,8 @@
 type violation = {
   monitor : string;
       (** which invariant failed: ["linearizability"],
-          ["termination/stalled"], ["termination/budget"] or
-          ["quorum-sanity"] *)
+          ["termination/stalled"], ["termination/budget"],
+          ["quorum-sanity"] or ["recovery-sanity"] *)
   detail : string;  (** human-readable specifics *)
 }
 
@@ -70,8 +70,16 @@ val quorum_sanity : t
     {!Msgpass.Abd.create} even on schedules where the history happens to
     linearize anyway. *)
 
+val recovery_sanity : t
+(** No replica rejoined quorums after losing acknowledged state: the
+    [reg.*.amnesia] counter (bumped by an [unsafe_recovery] restart whose
+    crash dropped un-persisted records, see {!Msgpass.Abd.recover_node})
+    must stay 0.  Catches the test-only [unsafe_recovery + `Never] bug
+    even on schedules where the history happens to linearize anyway. *)
+
 val standard : t list
-(** The three monitors above, in that order. *)
+(** [linearizability; termination; quorum_sanity; recovery_sanity], in
+    that order. *)
 
 val run_config :
   ?monitors:t list ->

@@ -51,6 +51,7 @@ module Tracer = Obs.Tracer
 module Rng = Simkit.Rng
 module Fiber = Simkit.Fiber
 module Faults = Simkit.Faults
+module Stable = Simkit.Stable
 module Sched = Simkit.Sched
 module Trace = Simkit.Trace
 module Pool = Simkit.Pool

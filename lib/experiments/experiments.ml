@@ -968,6 +968,205 @@ let e13_serve ?(jobs = 1) ~quick () =
           ("op_cap_unknowns", float_of_int cap_unknowns);
         ] ))
 
+(* ---------- E14 (crash-recovery) ----------------------------------------------- *)
+
+let e14_recovery ?(jobs = 1) ~quick () =
+  (* Two parts from one experiment, mirroring E12's clean/bug split.
+     Part 1 sweeps (recovery delay x persist policy x link-fault mix)
+     over both registers with a fixed two-crash schedule, every crash
+     paired with a recovery: safe recoveries (state-transfer handshake)
+     must never cost termination or linearizability.  Part 2 points the
+     chaos search at the seeded unsafe-recovery bug (nothing durable +
+     no handshake) and demands the catch -> shrink -> replay loop. *)
+  let delays = if quick then [ 50; 900 ] else [ 50; 300; 900 ] in
+  let persists = [ `Every; `Never ] in
+  let mixes = [ (0.0, 0.0); (0.1, 0.05) ] in
+  let runs = if quick then 3 else 8 in
+  measured_report ~id:"E14"
+    ~claim:
+      "crash-recovery: with durable replica state and the state-transfer \
+       recovery handshake, ABD/MW-ABD terminate and stay linearizable \
+       across node crashes and restarts; skipping the handshake with \
+       nothing durable is a real bug the chaos loop catches, shrinks and \
+       replays"
+    ~expected:
+      "100% termination and linearizability (and zero amnesia) at every \
+       (recovery delay x persist policy x fault mix x register) point; \
+       the seeded unsafe-recovery search finds violations, every finding \
+       keeps the bug (unsafe recovery, nothing durable) and at least one \
+       shrinks to a single crash+recover pair with zero link-fault \
+       probabilities, corpus entries replay verbatim; reports identical \
+       across -j"
+    (fun () ->
+      (* -- part 1: the safe-recovery lattice -- *)
+      let points =
+        List.concat_map
+          (fun delay ->
+            List.concat_map
+              (fun persist ->
+                List.map (fun mix -> (delay, persist, mix)) mixes)
+              persists)
+          delays
+      in
+      let config_of ~proto ~delay ~persist ~drop ~dup ~seed =
+        let faults =
+          {
+            Core.Faults.none with
+            Core.Faults.drop;
+            duplicate = dup;
+            delay = 0.05;
+            delay_bound = 4;
+            (* replicas 3 and 4 (never clients) crash on the step clock
+               and restart [delay] steps later.  Crash early: runs of
+               this size finish within a couple hundred steps, and only
+               the shortest delay is required to land every restart *)
+            crash_at = [ (60, 3); (120, 4) ];
+            recover_at = [ (60 + delay, 3); (120 + delay, 4) ];
+          }
+        in
+        match proto with
+        | `Sw -> { Core.Run_config.default with Core.Run_config.faults; seed; persist }
+        | `Mw ->
+            {
+              Core.Run_config.default with
+              Core.Run_config.proto = Core.Run_config.Mw;
+              writers = [ 0; 1 ];
+              readers = [ 2 ];
+              faults;
+              seed;
+              persist;
+            }
+      in
+      let per_point =
+        List.mapi
+          (fun pi (delay, persist, (drop, dup)) ->
+            (* one task per run: first [runs] ABD, then [runs] MW-ABD *)
+            let results =
+              Core.Pool.map_runs ~jobs ~metrics:pool_metrics (2 * runs)
+                (fun ~metrics i ->
+                  let proto = if i < runs then `Sw else `Mw in
+                  let k = if i < runs then i else i - runs in
+                  let seed =
+                    Int64.of_int (((pi + 1) * 1009) + (k * 71) + 14)
+                  in
+                  let c = config_of ~proto ~delay ~persist ~drop ~dup ~seed in
+                  let run = Core.Abd_runs.execute_config ~metrics c in
+                  let lin =
+                    run.Core.Abd_runs.completed
+                    && Core.Lincheck.check ~metrics ~init:(Core.Value.Int 0)
+                         run.Core.Abd_runs.history
+                  in
+                  let pre = match proto with `Sw -> "reg.abd." | `Mw -> "reg.mwabd." in
+                  ( run.Core.Abd_runs.completed,
+                    lin,
+                    run.Core.Abd_runs.stalled <> None,
+                    Obs.Metrics.counter metrics (pre ^ "recoveries"),
+                    Obs.Metrics.counter metrics (pre ^ "state_transfer"),
+                    Obs.Metrics.counter metrics (pre ^ "amnesia") ))
+            in
+            let total = Array.length results in
+            let fold f init = Array.fold_left f init results in
+            let terminated =
+              fold (fun a (c, _, _, _, _, _) -> if c then a + 1 else a) 0
+            in
+            let lin_ok =
+              fold (fun a (_, l, _, _, _, _) -> if l then a + 1 else a) 0
+            in
+            let stalls =
+              fold (fun a (_, _, s, _, _, _) -> if s then a + 1 else a) 0
+            in
+            let recov = fold (fun a (_, _, _, r, _, _) -> a + r) 0 in
+            let xfers = fold (fun a (_, _, _, _, x, _) -> a + x) 0 in
+            let amnesia = fold (fun a (_, _, _, _, _, m) -> a + m) 0 in
+            (delay, persist, drop, total, terminated, lin_ok, stalls, recov,
+             xfers, amnesia))
+          points
+      in
+      let sweep_ok =
+        List.for_all
+          (fun (delay, _, _, total, terminated, lin_ok, stalls, recov, xfers, amnesia) ->
+            terminated = total && lin_ok = total && stalls = 0 && amnesia = 0
+            (* short delays land well inside the run: every scheduled
+               restart must actually happen, and safely (one handshake
+               per restart).  Longer delays may outlive a finished run. *)
+            && (delay > List.hd delays || (recov = 2 * total && xfers = recov)))
+          per_point
+      in
+      let recov_total =
+        List.fold_left
+          (fun a (_, _, _, _, _, _, _, r, _, _) -> a + r)
+          0 per_point
+      in
+      (* -- part 2: the seeded unsafe-recovery bug -- *)
+      let seed = 14L in
+      let bug_budget = if quick then 6 else 12 in
+      let buggy =
+        Core.Chaos.search ~jobs ~inject:Core.Chaos.Unsafe_recovery
+          ~telemetry:pool_metrics ~seed ~budget:bug_budget ()
+      in
+      let found = List.length buggy.Core.Chaos.findings in
+      let minimal_pair f =
+        let m = f.Core.Chaos.shrunk.Core.Shrink.config in
+        List.length m.Core.Run_config.faults.Core.Faults.crash_at = 1
+        && List.length m.Core.Run_config.faults.Core.Faults.recover_at = 1
+        && m.Core.Run_config.faults.Core.Faults.drop = 0.
+        && m.Core.Run_config.faults.Core.Faults.duplicate = 0.
+      in
+      let shrunk_ok =
+        found > 0
+        && List.for_all
+             (fun f ->
+               let m = f.Core.Chaos.shrunk.Core.Shrink.config in
+               (* amnesia surfaces either as a rolled-back replica caught
+                  red-handed (recovery-sanity) or as the stale read it
+                  causes (linearizability) *)
+               List.mem f.Core.Chaos.first.Core.Monitor.monitor
+                 [ "recovery-sanity"; "linearizability" ]
+               && m.Core.Run_config.unsafe_recovery
+               && m.Core.Run_config.persist = `Never)
+             buggy.Core.Chaos.findings
+        (* amnesia is schedule-sensitive: for some seeds a residual link
+           fault is load-bearing (removing it re-times the run and the
+           violation vanishes), so not every fixpoint is the canonical
+           minimum — but the search must exhibit it at least once *)
+        && List.exists minimal_pair buggy.Core.Chaos.findings
+      in
+      let entries = Core.Chaos.to_entries buggy in
+      let replayed =
+        List.length
+          (List.filter
+             (fun e -> Core.Corpus.replay e = Core.Corpus.Reproduced)
+             entries)
+      in
+      let replay_ok = entries <> [] && replayed = List.length entries in
+      let again =
+        Core.Chaos.search ~jobs:(if jobs = 1 then 2 else 1)
+          ~inject:Core.Chaos.Unsafe_recovery ~seed ~budget:bug_budget ()
+      in
+      let deterministic =
+        Core.Json.to_string (Core.Chaos.report_json buggy)
+        = Core.Json.to_string (Core.Chaos.report_json again)
+      in
+      ( Printf.sprintf
+          "sweep: %d points x %d runs, %s, %d recoveries exercised; bug: \
+           %d/%d caught, %d/%d reproducers replay verbatim; deterministic \
+           across jobs: %b"
+          (List.length points) (2 * runs)
+          (if sweep_ok then "all terminate + linearizable, 0 amnesia"
+           else "FAILED")
+          recov_total found bug_budget replayed (List.length entries)
+          deterministic,
+        sweep_ok && recov_total > 0 && shrunk_ok && replay_ok && deterministic,
+        [
+          ("sweep_points", float_of_int (List.length points));
+          ("runs_per_point", float_of_int (2 * runs));
+          ("recoveries", float_of_int recov_total);
+          ("bug_runs", float_of_int bug_budget);
+          ("bug_found", float_of_int found);
+          ("replayed", float_of_int replayed);
+          ("deterministic", if deterministic then 1. else 0.);
+        ] ))
+
 let catalogue ?faults () =
   let faulty f ?jobs ~quick () = f ?jobs ?faults ~quick () in
   [
@@ -984,6 +1183,7 @@ let catalogue ?faults () =
     ("E11", e11_faults);
     ("E12", e12_chaos);
     ("E13", e13_serve);
+    ("E14", e14_recovery);
   ]
 
 let ids = List.map fst (catalogue ())

@@ -94,7 +94,9 @@ val e12_chaos : ?jobs:int -> quick:bool -> unit -> report
     verbatim — with byte-identical reports at any [jobs]. *)
 
 val ids : string list
-(** The battery's experiment ids, in order: ["E1"; …; "E12"]. *)
+(** The battery's experiment ids, in order: ["E1"; …; "E14"].  (E13, the
+    streaming-serve agreement test, and E14, the crash–recovery sweep +
+    seeded unsafe-recovery bug hunt, run from the catalogue only.) *)
 
 val all :
   ?jobs:int ->

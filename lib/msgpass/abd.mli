@@ -43,9 +43,18 @@ type msg
 
 val net : t -> msg Net.t
 
+type persist = [ `Every | `Never ]
+(** The replica's sync-point discipline: [`Every] makes each accepted
+    update durable before it is acknowledged (write-through — safe under
+    any recovery mode); [`Never] leaves updates in the volatile tail of
+    the write-ahead log, so a crash rolls the replica's durable copy back
+    to its last sync (only the initial state, for [`Never]). *)
+
 val create :
   ?retry_after:int ->
   ?quorum:int ->
+  ?persist:persist ->
+  ?unsafe_recovery:bool ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -64,7 +73,16 @@ val create :
     linearizability — it exists so the chaos self-test (E12) can prove the
     monitor → shrinker → corpus loop catches a real protocol bug.  Every
     round records the size it waited for in the [reg.abd.quorum.need]
-    histogram, which is what the quorum-sanity monitor audits. *)
+    histogram, which is what the quorum-sanity monitor audits.
+
+    [persist] (default [`Every]) is the replica sync-point policy backing
+    each node's {!Simkit.Stable} log.  [unsafe_recovery] (default
+    [false]) makes {!recover_node} skip the state-transfer handshake and
+    serve straight from the durable copy.  {b Test-only bug injection}:
+    with [`Never] persistence an unsafe recovery rejoins quorums with
+    rolled-back state, breaking quorum intersection across the crash —
+    the seeded bug the recovery-sanity monitor catches (counted as
+    [reg.abd.amnesia]). *)
 
 val name : t -> string
 val n : t -> int
@@ -80,7 +98,20 @@ val read : t -> reader:int -> int
 
 val crash_node : t -> node:int -> unit
 (** Crash a node's server (and its client fiber if spawned): it stops
-    acknowledging.  The caller is responsible for keeping a majority
-    alive. *)
+    acknowledging, and the un-persisted suffix of its stable-storage log
+    is lost.  The caller is responsible for keeping a majority alive. *)
+
+val recover_node : t -> node:int -> unit
+(** Crash–recovery: restart a crashed node's server with a bumped
+    incarnation and a fresh mailbox.  The new incarnation reloads the
+    durable register copy, then runs a {e state-transfer handshake} —
+    read back from a majority of the {e other} replicas (self-exclusion
+    keeps an amnesiac copy from vouching for itself), adopt the largest
+    timestamp, persist, and only then serve — so a recovered replica can
+    never answer quorums with state older than what its pre-crash
+    incarnation acknowledged.  With [unsafe_recovery] the handshake is
+    skipped.  Counted as [reg.abd.recoveries]; handshakes as
+    [reg.abd.state_transfer]; lossy unsafe rejoins as [reg.abd.amnesia].
+    @raise Invalid_argument if the node's server has not crashed. *)
 
 val server_pid : node:int -> int

@@ -28,9 +28,14 @@
 
 type t
 
+type persist = [ `Every | `Never ]
+(** Replica sync-point policy; see {!Abd.persist}. *)
+
 val create :
   ?retry_after:int ->
   ?quorum:int ->
+  ?persist:persist ->
+  ?unsafe_recovery:bool ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -41,7 +46,11 @@ val create :
     (pids [100 + node]).  [retry_after] (default 25; [<= 0] disables) is
     the client retransmission timeout in own-fiber yields.  [quorum]
     (default the majority) is the test-only bug-injection hook described
-    in {!Abd.create}; rounds record it in [reg.mwabd.quorum.need]. *)
+    in {!Abd.create}; rounds record it in [reg.mwabd.quorum.need].
+    [persist] (default [`Every]) and [unsafe_recovery] (default [false])
+    are the crash–recovery knobs described in {!Abd.create}; the
+    counters are [reg.mwabd.recoveries] / [reg.mwabd.state_transfer] /
+    [reg.mwabd.amnesia]. *)
 
 type msg
 
@@ -55,6 +64,13 @@ val read : t -> reader:int -> int
 
 val crash_node : t -> node:int -> unit
 (** Crash a node's server (and its client fiber if spawned); the network
-    dead-letters its mail from now on.  Keep a majority alive. *)
+    dead-letters its mail from now on, and the un-persisted suffix of the
+    node's stable-storage log is lost.  Keep a majority alive. *)
+
+val recover_node : t -> node:int -> unit
+(** Restart a crashed node's server with a bumped incarnation, a fresh
+    mailbox and the state-transfer recovery handshake (skipped under
+    [unsafe_recovery]); see {!Abd.recover_node}.
+    @raise Invalid_argument if the node's server has not crashed. *)
 
 val server_pid : node:int -> int

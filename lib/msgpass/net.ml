@@ -4,8 +4,11 @@ type 'a msg = { src : int; dst : int; payload : 'a }
    reorder-window budget of Simkit.Faults).  [ev] is the flight-recorder
    sequence number of the send event (-1 when tracing is off): deliver
    events cite it as their causal parent, which is the message id that
-   gives the exported trace its happens-before edges. *)
-type 'a item = { m : 'a msg; mutable deferrals : int; ev : int }
+   gives the exported trace its happens-before edges.  [inc] is the
+   sender's incarnation number at send time (Sched.incarnation): it rides
+   with the message into the mailbox so a quorum collector can tell a
+   pre-crash ghost from a reply by the sender's current incarnation. *)
+type 'a item = { m : 'a msg; mutable deferrals : int; ev : int; inc : int }
 
 (* A growable ring buffer over the in-flight messages, oldest first.
    Replaces the previous O(n)-append list: push/length are O(1) and
@@ -94,8 +97,9 @@ type 'a t = {
   n : int;
   flight : 'a item Dq.t; (* oldest first *)
   (* a mailbox entry carries the deliver event's seq (-1 untraced), so a
-     receive can restore the causal context to "caused by this message" *)
-  mailboxes : (int, ('a * int) Queue.t) Hashtbl.t;
+     receive can restore the causal context to "caused by this message",
+     plus the sender pid and the sender's incarnation at send time *)
+  mailboxes : (int, ('a * int * int * int) Queue.t) Hashtbl.t;
   mutable dead : int list; (* destinations whose mail is dead-lettered *)
   mutable faults : Simkit.Faults.t option;
   trc : Obs.Tracer.t;
@@ -162,6 +166,14 @@ let mark_dead t ~pid =
 
 let is_dead t ~pid = List.mem pid t.dead
 
+let revive t ~pid =
+  if List.mem pid t.dead then begin
+    t.dead <- List.filter (fun p -> p <> pid) t.dead;
+    (* a recovering node boots with an empty mailbox: everything addressed
+       to the old incarnation was dead-lettered while it was down *)
+    Queue.clear (mailbox t pid)
+  end
+
 let note_in_flight t =
   Obs.Metrics.set_gauge_h t.in_flight_g (float_of_int (Dq.length t.flight))
 
@@ -174,7 +186,13 @@ let send t ~src ~dst payload =
         ~sim:(Simkit.Sched.steps t.sched) ~cat:"net" "send"
     else -1
   in
-  Dq.push_back t.flight { m = { src; dst; payload }; deferrals = 0; ev };
+  Dq.push_back t.flight
+    {
+      m = { src; dst; payload };
+      deferrals = 0;
+      ev;
+      inc = Simkit.Sched.incarnation t.sched ~pid:src;
+    };
   note_in_flight t
 
 let broadcast t ~src payload =
@@ -182,15 +200,20 @@ let broadcast t ~src payload =
     send t ~src ~dst payload
   done
 
-let try_recv t ~pid =
+(* the stamped receive collect_quorum uses: payload plus (src, send-time
+   incarnation) so the collector can reject pre-crash ghosts *)
+let try_recv_stamped t ~pid =
   let q = mailbox t pid in
   if Queue.is_empty q then None
   else begin
-    let payload, dseq = Queue.pop q in
+    let payload, dseq, src, inc = Queue.pop q in
     (* what this process does next is caused by this message *)
     if dseq >= 0 then Obs.Tracer.set_ctx t.trc dseq;
-    Some payload
+    Some (payload, src, inc)
   end
+
+let try_recv t ~pid =
+  Option.map (fun (payload, _, _) -> payload) (try_recv_stamped t ~pid)
 
 let recv t ~pid =
   let rec wait () =
@@ -223,7 +246,7 @@ let deliver_nth t i =
   in
   let enqueue () =
     Obs.Metrics.incr_h t.delivered_c;
-    Queue.push (m.payload, fate "deliver") (mailbox t m.dst)
+    Queue.push (m.payload, fate "deliver", m.src, it.inc) (mailbox t m.dst)
   in
   if is_dead t ~pid:m.dst then begin
     Obs.Metrics.incr_h t.dead_letters_c;
@@ -254,7 +277,8 @@ let deliver_nth t i =
           | Simkit.Faults.Duplicate ->
               Obs.Metrics.incr_h t.f_duplicated_c;
               enqueue ();
-              Dq.push_back t.flight { m; deferrals = it.deferrals; ev = it.ev }
+              Dq.push_back t.flight
+                { m; deferrals = it.deferrals; ev = it.ev; inc = it.inc }
           | Simkit.Faults.Deliver -> enqueue ()
         end
   end;
@@ -298,7 +322,9 @@ let deliver_all t =
       end
       else begin
         Obs.Metrics.incr_h t.delivered_c;
-        Queue.push (it.m.payload, fate "deliver") (mailbox t it.m.dst)
+        Queue.push
+          (it.m.payload, fate "deliver", it.m.src, it.inc)
+          (mailbox t it.m.dst)
       end);
   Dq.clear t.flight;
   note_in_flight t
@@ -326,17 +352,23 @@ let collect_quorum t ~pid ~need ~seen ~classify ~stale ~retry_after ~resend =
   Array.iter (fun b -> if b then incr count) seen;
   let idle = ref 0 in
   while !count < need do
-    match try_recv t ~pid with
-    | Some payload -> (
+    match try_recv_stamped t ~pid with
+    | Some (payload, src, inc) -> (
         idle := 0;
-        match classify payload with
-        | Some node when node >= 0 && node < Array.length seen ->
-            if not seen.(node) then begin
-              seen.(node) <- true;
-              incr count
-            end
-            (* duplicate reply from a counted node: idempotent, ignore *)
-        | Some _ | None -> stale ())
+        (* the incarnation rule: a reply stamped with an older incarnation
+           of its sender was produced before that sender crashed — its
+           state may predate what the recovered incarnation re-promised,
+           so it can never count toward a post-recovery quorum *)
+        if inc <> Simkit.Sched.incarnation t.sched ~pid:src then stale ()
+        else
+          match classify payload with
+          | Some node when node >= 0 && node < Array.length seen ->
+              if not seen.(node) then begin
+                seen.(node) <- true;
+                incr count
+              end
+              (* duplicate reply from a counted node: idempotent, ignore *)
+          | Some _ | None -> stale ())
     | None ->
         Simkit.Fiber.yield ();
         incr idle;
@@ -391,6 +423,11 @@ let progress_counters =
     "net.faults.delayed";
     "net.faults.duplicated";
     "trace.responds";
+    (* crash–recovery work is progress too: a recovery storm (restarts
+       plus state-transfer rounds) must not read as a livelock *)
+    "sched.restarts";
+    "reg.abd.state_transfer";
+    "reg.mwabd.state_transfer";
   ]
 
 let watchdog ?(window = 5_000) t =

@@ -53,6 +53,13 @@ val mark_dead : 'a t -> pid:int -> unit
 
 val is_dead : 'a t -> pid:int -> bool
 
+val revive : 'a t -> pid:int -> unit
+(** Undo {!mark_dead} for a recovering node: deliveries to [pid] reach a
+    mailbox again.  The mailbox starts empty — everything addressed to
+    the pre-crash incarnation was dead-lettered while the node was down,
+    exactly the fresh-mailbox semantics of {!Simkit.Sched.restart}.
+    No-op if [pid] is not dead. *)
+
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Enqueue in-flight (no yield: sending is part of the current step). *)
 
@@ -118,7 +125,15 @@ val collect_quorum :
     [stale]).  After [retry_after] consecutive fruitless yields (a
     step-count timeout on this fiber's clock), [resend ~missing] is called
     with the replicas not yet heard from; [retry_after <= 0] disables
-    retransmission (the pre-fault blocking behaviour). *)
+    retransmission (the pre-fault blocking behaviour).
+
+    The {e incarnation rule}: every mailbox entry is stamped with its
+    sender's incarnation at send time, and a reply whose stamp differs
+    from the sender's {e current} {!Simkit.Sched.incarnation} is handed
+    to [stale] without being classified.  A reply produced by a previous
+    incarnation reflects state from before that node crashed, so it can
+    never count toward a post-recovery quorum — this is what keeps
+    quorum intersection sound across crash–recovery. *)
 
 val describe : 'a t -> string
 (** Structured diagnostic: in-flight messages as [src->dst] (with deferral
@@ -127,7 +142,8 @@ val describe : 'a t -> string
 
 val watchdog : ?window:int -> 'a t -> Simkit.Sched.watchdog
 (** A watchdog for {!Simkit.Sched.run} whose progress measure sums the
-    network counters ([net.sends]/[delivered]/[dead_letters]/[faults.*])
-    and [trace.responds] in this net's registry: it fires only on true
-    quiescent livelock — no message activity and no operation completing
-    for [window] (default 5000) consecutive steps. *)
+    network counters ([net.sends]/[delivered]/[dead_letters]/[faults.*]),
+    [trace.responds], and the crash–recovery counters ([sched.restarts],
+    [reg.*.state_transfer]) in this net's registry: it fires only on true
+    quiescent livelock — no message activity, no operation completing and
+    no node recovering for [window] (default 5000) consecutive steps. *)

@@ -46,9 +46,18 @@ let check_crashes ~what ~n ~clients crash_nodes =
         invalid_arg (what ^ ": crashed nodes cannot be clients"))
     crash_nodes
 
-let validate_crash_schedule ~what ~n ~clients schedule =
+let validate_crash_schedule ?(recoveries = []) ~what ~n ~clients schedule =
   check_crashes ~what ~n ~clients
-    (List.sort_uniq Int.compare (List.map snd schedule))
+    (List.sort_uniq Int.compare (List.map snd schedule));
+  (* recoveries must pair with crashes (per-node alternation, crash
+     first): borrowing Faults.validate rejects recoveries of
+     never-crashed nodes and recover-before-crash schedules *)
+  if recoveries <> [] then
+    try
+      Faults.validate
+        { Faults.none with Faults.crash_at = schedule; recover_at = recoveries }
+    with Invalid_argument msg ->
+      invalid_arg (Printf.sprintf "%s: %s" what msg)
 
 let execute ?metrics ?tracer w =
   Faults.validate w.faults;
@@ -92,18 +101,23 @@ let execute ?metrics ?tracer w =
       crashed := true;
       List.iter (fun node -> Abd.crash_node reg ~node) w.crash
     end;
-    (* the fault plan's scheduled crashes, keyed on the step clock *)
+    (* the fault plan's scheduled crashes and recoveries, keyed on the
+       step clock (crashes first: a due recovery's crash is always at a
+       strictly earlier step, per Faults.validate) *)
     (match faults with
     | Some f ->
-        List.iter
-          (fun node -> Abd.crash_node reg ~node)
-          (Faults.crashes_due f ~step:(Sched.steps sched))
+        let step = Sched.steps sched in
+        List.iter (fun node -> Abd.crash_node reg ~node)
+          (Faults.crashes_due f ~step);
+        List.iter (fun node -> Abd.recover_node reg ~node)
+          (Faults.recoveries_due f ~step)
     | None -> ());
     if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
   in
   let policy = Net.auto_deliver_policy (Abd.net reg) ~rng base_policy in
   let max_steps =
-    (w.writes + (List.length w.readers * w.reads_each)) * w.n * 600
+    ((w.writes + (List.length w.readers * w.reads_each)) * w.n * 600)
+    + (2_000 * List.length w.faults.Faults.recover_at)
   in
   let stalled = ref None in
   let steps =
@@ -162,15 +176,19 @@ let execute_mw ?metrics ?tracer ?(faults = Faults.none) ~n ~writers
   let policy s =
     (match fpolicy with
     | Some f ->
-        List.iter
-          (fun node -> Mwabd.crash_node reg ~node)
-          (Faults.crashes_due f ~step:(Sched.steps sched))
+        let step = Sched.steps sched in
+        List.iter (fun node -> Mwabd.crash_node reg ~node)
+          (Faults.crashes_due f ~step);
+        List.iter (fun node -> Mwabd.recover_node reg ~node)
+          (Faults.recoveries_due f ~step)
     | None -> ());
     if !remaining = 0 then Sched.Halt else Sched.random_policy rng s
   in
   let policy = Net.auto_deliver_policy (Mwabd.net reg) ~rng policy in
   let ops = (List.length writers * writes_each) + (List.length readers * reads_each) in
-  let max_steps = ops * n * 800 in
+  let max_steps =
+    (ops * n * 800) + (2_000 * List.length faults.Faults.recover_at)
+  in
   let stalled = ref None in
   let steps =
     try
@@ -212,6 +230,8 @@ module Config = struct
     policy : [ `Random | `Round_robin ];
     max_steps : int option;
     quorum : int option;
+    persist : [ `Every | `Never ];
+    unsafe_recovery : bool;
   }
 
   let default =
@@ -227,6 +247,8 @@ module Config = struct
       policy = `Random;
       max_steps = None;
       quorum = None;
+      persist = `Every;
+      unsafe_recovery = false;
     }
 
   let auto_max_steps c =
@@ -234,7 +256,8 @@ module Config = struct
       (List.length c.writers * c.writes_each)
       + (List.length c.readers * c.reads_each)
     in
-    max 1 ops * c.n * 800
+    (max 1 ops * c.n * 800)
+    + (2_000 * List.length c.faults.Faults.recover_at)
 
   let obj c = match c.proto with Sw -> "ABD" | Mw -> "MW"
 
@@ -291,6 +314,10 @@ module Config = struct
           match c.quorum with
           | Some q -> Obs.Json.Int q
           | None -> Obs.Json.Null );
+        ( "persist",
+          Obs.Json.Str
+            (match c.persist with `Every -> "every" | `Never -> "never") );
+        ("unsafe_recovery", Obs.Json.Bool c.unsafe_recovery);
       ]
 
   let of_json j =
@@ -343,6 +370,22 @@ module Config = struct
     in
     let* max_steps = opt_int "max_steps" in
     let* quorum = opt_int "quorum" in
+    (* absent in pre-recovery corpus entries: default to the safe knobs *)
+    let* persist =
+      match Obs.Json.member "persist" j with
+      | None -> Ok `Every
+      | Some v -> (
+          match Obs.Json.to_string_opt v with
+          | Some "every" -> Ok `Every
+          | Some "never" -> Ok `Never
+          | _ -> Error "Runs.Config.of_json: bad \"persist\"")
+    in
+    let* unsafe_recovery =
+      match Obs.Json.member "unsafe_recovery" j with
+      | None -> Ok false
+      | Some (Obs.Json.Bool b) -> Ok b
+      | Some _ -> Error "Runs.Config.of_json: bad \"unsafe_recovery\""
+    in
     let c =
       {
         proto;
@@ -356,6 +399,8 @@ module Config = struct
         policy;
         max_steps;
         quorum;
+        persist;
+        unsafe_recovery;
       }
     in
     match validate c with
@@ -375,7 +420,7 @@ let execute_config ?metrics ?tracer (c : Config.t) =
   in
   (* generic over the register's message type: attach faults, spawn the
      client fibers, drive to quiescence under the configured policy *)
-  let drive net ~obj ~crash ~write ~read =
+  let drive net ~obj ~crash ~recover ~write ~read =
     Option.iter (Net.set_faults net) fpolicy;
     List.iter
       (fun w ->
@@ -397,7 +442,9 @@ let execute_config ?metrics ?tracer (c : Config.t) =
     let base s =
       (match fpolicy with
       | Some f ->
-          List.iter crash (Faults.crashes_due f ~step:(Sched.steps sched))
+          let step = Sched.steps sched in
+          List.iter crash (Faults.crashes_due f ~step);
+          List.iter recover (Faults.recoveries_due f ~step)
       | None -> ());
       if !remaining = 0 then Sched.Halt
       else
@@ -431,20 +478,24 @@ let execute_config ?metrics ?tracer (c : Config.t) =
   | Config.Sw ->
       let writer = List.hd c.Config.writers in
       let reg =
-        Abd.create ?quorum:c.Config.quorum ~sched ~name:"ABD" ~n:c.Config.n
-          ~writer ~init:0 ()
+        Abd.create ?quorum:c.Config.quorum ~persist:c.Config.persist
+          ~unsafe_recovery:c.Config.unsafe_recovery ~sched ~name:"ABD"
+          ~n:c.Config.n ~writer ~init:0 ()
       in
       drive (Abd.net reg) ~obj:"ABD"
         ~crash:(fun node -> Abd.crash_node reg ~node)
+        ~recover:(fun node -> Abd.recover_node reg ~node)
         ~write:(fun _ k -> Abd.write reg (100 + k))
         ~read:(fun r -> ignore (Abd.read reg ~reader:r))
   | Config.Mw ->
       let reg =
-        Mwabd.create ?quorum:c.Config.quorum ~sched ~name:"MW" ~n:c.Config.n
-          ~init:0 ()
+        Mwabd.create ?quorum:c.Config.quorum ~persist:c.Config.persist
+          ~unsafe_recovery:c.Config.unsafe_recovery ~sched ~name:"MW"
+          ~n:c.Config.n ~init:0 ()
       in
       drive (Mwabd.net reg) ~obj:"MW"
         ~crash:(fun node -> Mwabd.crash_node reg ~node)
+        ~recover:(fun node -> Mwabd.recover_node reg ~node)
         ~write:(fun w k -> Mwabd.write reg ~proc:w ((1000 * (w + 1)) + k))
         ~read:(fun r -> ignore (Mwabd.read reg ~reader:r))
 

@@ -29,8 +29,9 @@ type run = {
 
 val execute : ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> workload -> run
 (** Spawn the writer/reader clients, crash the requested minority after
-    the first write completes (plus the fault plan's [crash_at] schedule,
-    keyed on the scheduler's step clock), and drive everything with a
+    the first write completes (plus the fault plan's [crash_at] /
+    [recover_at] schedules, keyed on the scheduler's step clock), and
+    drive everything with a
     random scheduler + random message delivery — under the workload's
     fault plan — until the clients finish, [Sched.run]'s budget runs out,
     or the network watchdog detects a stall.
@@ -66,10 +67,19 @@ val check : ?metrics:Obs.Metrics.t -> run -> (unit, string) result
     the watchdog diagnostic. *)
 
 val validate_crash_schedule :
-  what:string -> n:int -> clients:int list -> (int * int) list -> unit
+  ?recoveries:(int * int) list ->
+  what:string ->
+  n:int ->
+  clients:int list ->
+  (int * int) list ->
+  unit
 (** Validate a [(step, node)] crash schedule against an [n]-node register
     with the given client nodes: the crashed set must be a strict
-    minority of in-range non-client nodes.
+    minority of in-range non-client nodes.  [recoveries] (default [[]])
+    is a matching [(step, node)] recovery schedule; per node, crash and
+    recovery events must alternate starting with a crash at strictly
+    increasing steps — in particular a recovery of a never-crashed node
+    is rejected (see {!Simkit.Faults.validate}).
     @raise Invalid_argument otherwise, prefixed with [what]. *)
 
 (** A self-contained, serializable description of one register run — the
@@ -92,6 +102,11 @@ module Config : sig
     max_steps : int option;  (** [None] = {!auto_max_steps} *)
     quorum : int option;
         (** test-only quorum override ({!Abd.create}); [None] = majority *)
+    persist : [ `Every | `Never ];
+        (** replica sync-point policy ({!Abd.persist}) *)
+    unsafe_recovery : bool;
+        (** skip the state-transfer recovery handshake — the test-only
+            seeded bug ({!Abd.create}); safe only with [`Every] *)
   }
 
   val default : t
@@ -107,14 +122,18 @@ module Config : sig
 
   val json : t -> Obs.Json.t
   val of_json : Obs.Json.t -> (t, string) result
-  (** Inverse of {!json}; validates the decoded config. *)
+  (** Inverse of {!json}; validates the decoded config.  Entries written
+      before the crash–recovery model lack ["persist"] /
+      ["unsafe_recovery"] / ["recover_at"]; they decode to the safe
+      defaults so the committed corpus keeps replaying verbatim. *)
 end
 
 val execute_config :
   ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> Config.t -> run
 (** Run a config to quiescence: attach its fault plan, spawn the writer
-    and reader client fibers, apply the plan's [crash_at] schedule on the
-    step clock, and drive with the configured scheduling policy until the
+    and reader client fibers, apply the plan's [crash_at] and
+    [recover_at] schedules on the step clock (crashes before recoveries
+    within a tick), and drive with the configured scheduling policy until the
     clients finish, the step budget runs out, or the watchdog trips.
     Deterministic in the config alone — an armed [tracer] observes the
     run without perturbing it, so re-executing a violating config with a

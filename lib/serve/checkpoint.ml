@@ -146,13 +146,30 @@ let of_json j =
   | Some k -> Error (Printf.sprintf "not a checkpoint record (kind %S)" k)
   | None -> Error "checkpoint: missing \"kind\""
 
-let save path t =
+(* Write-then-rename alone survives a process kill, but not a machine
+   crash: the rename can hit disk before the data does, publishing an
+   empty or torn checkpoint.  Flush and fsync the temp file before the
+   rename, then best-effort fsync the directory so the rename itself is
+   durable (some filesystems don't allow directory fds — skip then). *)
+let atomic_replace ~path ~write =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Obs.Export.write_line oc (json t));
-  Sys.rename tmp path
+    (fun () ->
+      write oc;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let save path t =
+  atomic_replace ~path ~write:(fun oc -> Obs.Export.write_line oc (json t))
 
 let load path =
   match Obs.Export.parse_file path with
@@ -187,16 +204,11 @@ let truncate_jsonl ~path ~keep =
              keep)
       else begin
         let kept = List.filteri (fun i _ -> i < keep) complete_lines in
-        let tmp = path ^ ".tmp" in
-        let oc = open_out tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
+        atomic_replace ~path ~write:(fun oc ->
             List.iter
               (fun l ->
                 output_string oc l;
                 output_char oc '\n')
               kept);
-        Sys.rename tmp path;
         Ok ()
       end

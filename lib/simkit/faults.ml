@@ -4,6 +4,7 @@ type plan = {
   delay : float;
   delay_bound : int;
   crash_at : (int * int) list;
+  recover_at : (int * int) list;
   partitions : (int * int * int list) list;
 }
 
@@ -14,12 +15,13 @@ let none =
     delay = 0.;
     delay_bound = 0;
     crash_at = [];
+    recover_at = [];
     partitions = [];
   }
 
 let is_benign p =
   p.drop = 0. && p.duplicate = 0. && p.delay = 0. && p.crash_at = []
-  && p.partitions = []
+  && p.recover_at = [] && p.partitions = []
 
 let affects_delivery p =
   p.drop > 0. || p.duplicate > 0. || p.delay > 0. || p.partitions <> []
@@ -41,6 +43,54 @@ let validate p =
     (fun (step, _) ->
       if step < 0 then invalid_arg "Faults: crash_at steps must be >= 0")
     p.crash_at;
+  List.iter
+    (fun (step, _) ->
+      if step < 0 then invalid_arg "Faults: recover_at steps must be >= 0")
+    p.recover_at;
+  (* a recovery only makes sense for a node that is down when it fires:
+     merge each node's crash and recover events on the timeline and insist
+     they alternate crash, recover, crash, ... at strictly increasing
+     steps.  This is what rejects recoveries of never-crashed nodes and
+     recover-before-crash schedules in one rule. *)
+  let nodes =
+    List.sort_uniq Int.compare
+      (List.map snd p.crash_at @ List.map snd p.recover_at)
+  in
+  List.iter
+    (fun node ->
+      let events =
+        List.sort compare
+          (List.filter_map
+             (fun (s, n) -> if n = node then Some (s, `Crash) else None)
+             p.crash_at
+          @ List.filter_map
+              (fun (s, n) -> if n = node then Some (s, `Recover) else None)
+              p.recover_at)
+      in
+      let rec alternate last_step expect = function
+        | [] -> ()
+        | (step, kind) :: rest ->
+            if kind <> expect then
+              invalid_arg
+                (Printf.sprintf
+                   "Faults: node %d %s at step %d without an intervening %s"
+                   node
+                   (match kind with `Crash -> "crashes" | `Recover -> "recovers")
+                   step
+                   (match kind with `Crash -> "recovery" | `Recover -> "crash"))
+            else if last_step >= 0 && step <= last_step then
+              invalid_arg
+                (Printf.sprintf
+                   "Faults: node %d has two crash/recover events at steps %d \
+                    and %d (must be strictly increasing)"
+                   node last_step step)
+            else
+              alternate step
+                (match kind with `Crash -> `Recover | `Recover -> `Crash)
+                rest
+      in
+      alternate (-1) `Crash events)
+    nodes;
   List.iter
     (fun (start, len, isolated) ->
       if start < 0 then
@@ -93,6 +143,13 @@ let plan_json p =
                Obs.Json.Obj
                  [ ("step", Obs.Json.Int step); ("node", Obs.Json.Int node) ])
              p.crash_at) );
+      ( "recover_at",
+        Obs.Json.List
+          (List.map
+             (fun (step, node) ->
+               Obs.Json.Obj
+                 [ ("step", Obs.Json.Int step); ("node", Obs.Json.Int node) ])
+             p.recover_at) );
       ( "partitions",
         Obs.Json.List
           (List.map
@@ -135,6 +192,28 @@ let plan_of_json j =
         | Some step, Some node -> Some (step, node)
         | _ -> None)
   in
+  (* [recover_at] postdates the first committed corpus entries; a missing
+     field means the crash-stop era's empty schedule, so old reproducers
+     keep parsing unchanged. *)
+  let* recover_at =
+    match Obs.Json.member "recover_at" j with
+    | None -> Ok []
+    | Some v -> (
+        match Obs.Json.to_list_opt v with
+        | None -> Error "Faults.plan_of_json: bad \"recover_at\""
+        | Some items ->
+            Ok
+              (List.filter_map
+                 (fun e ->
+                   match
+                     ( Option.bind (Obs.Json.member "step" e) Obs.Json.to_int_opt,
+                       Option.bind (Obs.Json.member "node" e) Obs.Json.to_int_opt
+                     )
+                   with
+                   | Some step, Some node -> Some (step, node)
+                   | _ -> None)
+                 items))
+  in
   let* partitions =
     list_field "partitions" (fun e ->
         match
@@ -146,7 +225,9 @@ let plan_of_json j =
             Some (start, len, List.filter_map Obs.Json.to_int_opt iso)
         | _ -> None)
   in
-  let p = { drop; duplicate; delay; delay_bound; crash_at; partitions } in
+  let p =
+    { drop; duplicate; delay; delay_bound; crash_at; recover_at; partitions }
+  in
   match validate p with
   | () -> Ok p
   | exception Invalid_argument msg -> Error msg
@@ -187,9 +268,45 @@ let shrink_plan p =
         | None -> []);
       ]
   in
+  (* dropping a crash also drops the recovery paired with it (the first
+     recovery of that node after the crash step — alternation makes that
+     the unique match), so every candidate still validates *)
   let crashes =
     List.init (List.length p.crash_at) (fun k ->
-        { p with crash_at = drop_nth p.crash_at k })
+        let step, node = List.nth p.crash_at k in
+        let paired =
+          List.fold_left
+            (fun best (s, n) ->
+              if n = node && s > step then
+                match best with Some b when b <= s -> best | _ -> Some s
+              else best)
+            None p.recover_at
+        in
+        let recover_at =
+          match paired with
+          | None -> p.recover_at
+          | Some s ->
+              let dropped = ref false in
+              List.filter
+                (fun (s', n') ->
+                  if (not !dropped) && s' = s && n' = node then (
+                    dropped := true;
+                    false)
+                  else true)
+                p.recover_at
+        in
+        { p with crash_at = drop_nth p.crash_at k; recover_at })
+  in
+  (* a recovery dropped on its own turns a crash–recover pair back into
+     crash-stop — strictly simpler; alternation-breaking drops (a middle
+     recovery with a later crash of the same node) are filtered out *)
+  let recoveries =
+    List.filter
+      (fun cand -> match validate cand with
+        | () -> true
+        | exception Invalid_argument _ -> false)
+      (List.init (List.length p.recover_at) (fun k ->
+           { p with recover_at = drop_nth p.recover_at k }))
   in
   let partitions =
     List.init (List.length p.partitions) (fun k ->
@@ -201,12 +318,14 @@ let shrink_plan p =
       [ { p with delay_bound = p.delay_bound / 2 } ]
     else []
   in
-  probs @ crashes @ partitions @ window
+  probs @ crashes @ recoveries @ partitions @ window
 
 let pp_plan fmt p =
-  Format.fprintf fmt "drop=%g dup=%g delay=%g(<=%d) crashes=%d partitions=%d"
+  Format.fprintf fmt
+    "drop=%g dup=%g delay=%g(<=%d) crashes=%d recoveries=%d partitions=%d"
     p.drop p.duplicate p.delay p.delay_bound
     (List.length p.crash_at)
+    (List.length p.recover_at)
     (List.length p.partitions)
 
 type action = Deliver | Drop | Duplicate | Defer
@@ -215,6 +334,7 @@ type t = {
   plan_ : plan;
   rng : Rng.t;
   mutable pending_crashes : (int * int) list; (* ascending by step *)
+  mutable pending_recoveries : (int * int) list; (* ascending by step *)
 }
 
 let create ?(seed = 0xFA17L) plan_ =
@@ -224,6 +344,8 @@ let create ?(seed = 0xFA17L) plan_ =
     rng = Rng.create seed;
     pending_crashes =
       List.sort (fun (a, _) (b, _) -> Int.compare a b) plan_.crash_at;
+    pending_recoveries =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) plan_.recover_at;
   }
 
 let plan t = t.plan_
@@ -255,4 +377,11 @@ let crashes_due t ~step =
     List.partition (fun (s, _) -> s <= step) t.pending_crashes
   in
   t.pending_crashes <- rest;
+  List.map snd due
+
+let recoveries_due t ~step =
+  let due, rest =
+    List.partition (fun (s, _) -> s <= step) t.pending_recoveries
+  in
+  t.pending_recoveries <- rest;
   List.map snd due

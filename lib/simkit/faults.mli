@@ -37,6 +37,14 @@ type plan = {
   crash_at : (int * int) list;
       (** [(step, node)]: crash [node] once the scheduler step counter
           reaches [step] — consumed via {!crashes_due} by the run driver *)
+  recover_at : (int * int) list;
+      (** [(step, node)]: restart [node] once the scheduler step counter
+          reaches [step] — consumed via {!recoveries_due}.  Each entry must
+          pair with an earlier [crash_at] entry for the same node: per
+          node, crash and recover events must alternate starting with a
+          crash, at strictly increasing steps (so a recovery of a
+          never-crashed or still-running node is rejected by
+          {!validate}). *)
   partitions : (int * int * int list) list;
       (** [(start, length, isolated)]: during scheduler steps
           [start <= step < start + length], messages crossing the boundary
@@ -56,9 +64,11 @@ val affects_delivery : plan -> bool
 val validate : plan -> unit
 (** @raise Invalid_argument unless all probabilities are in [0,1], their
     sum is <= 1 (one uniform draw decides the action), [delay_bound >= 0]
-    (and > 0 whenever [delay > 0]), crash steps are non-negative, and the
-    partition intervals are non-inverted (positive length), non-empty
-    (isolate at least one node) and pairwise non-overlapping in time. *)
+    (and > 0 whenever [delay > 0]), crash/recover steps are non-negative,
+    each node's crash and recover events alternate (crash first, strictly
+    increasing steps), and the partition intervals are non-inverted
+    (positive length), non-empty (isolate at least one node) and pairwise
+    non-overlapping in time. *)
 
 val plan_json : plan -> Obs.Json.t
 (** The plan as data — embedded verbatim in chaos regression-corpus
@@ -76,9 +86,12 @@ val prob_ladder : float list
 val shrink_plan : plan -> plan list
 (** Mutation hook for the delta-debugging shrinker: every plan strictly
     smaller than [p] along exactly one axis — each probability moved one
-    {!prob_ladder} rung toward 0, each [crash_at] entry dropped, each
-    partition dropped, the reorder window halved.  Every candidate
-    {!validate}s; a fully-benign plan has no candidates. *)
+    {!prob_ladder} rung toward 0, each [crash_at] entry dropped (together
+    with the recovery paired to it, so alternation survives), each
+    [recover_at] entry dropped on its own (crash–recover degrades to
+    crash-stop), each partition dropped, the reorder window halved.
+    Every candidate {!validate}s; a fully-benign plan has no
+    candidates. *)
 
 val pp_plan : Format.formatter -> plan -> unit
 (** One-line rendering, e.g. [drop=0.1 dup=0.05 delay=0 crashes=2]. *)
@@ -110,3 +123,10 @@ val partition_active : t -> step:int -> bool
 val crashes_due : t -> step:int -> int list
 (** Nodes whose [crash_at] step has arrived, each returned exactly once
     across the life of [t] (ascending schedule order). *)
+
+val recoveries_due : t -> step:int -> int list
+(** Nodes whose [recover_at] step has arrived, each entry returned
+    exactly once across the life of [t] (ascending schedule order).  The
+    run driver applies crashes before recoveries within one policy tick;
+    validation guarantees a due recovery's crash fired at a strictly
+    earlier step. *)

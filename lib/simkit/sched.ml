@@ -3,6 +3,7 @@ type t = {
   rng_ : Rng.t;
   fibers : (int, Fiber.t) Hashtbl.t;
   mutable crashed_ : int list;
+  incarnations : (int, int) Hashtbl.t; (* absent = 0 *)
   mutable rr_cursor : int;
   mutable steps_ : int;
   metrics_ : Obs.Metrics.t;
@@ -11,6 +12,7 @@ type t = {
   spawns_c : Obs.Metrics.Counter.t;
   steps_c : Obs.Metrics.Counter.t;
   crashes_c : Obs.Metrics.Counter.t;
+  restarts_c : Obs.Metrics.Counter.t;
   coins_c : Obs.Metrics.Counter.t;
   runs_c : Obs.Metrics.Counter.t;
   watchdog_c : Obs.Metrics.Counter.t;
@@ -24,6 +26,7 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global)
     rng_ = Rng.create seed;
     fibers = Hashtbl.create 16;
     crashed_ = [];
+    incarnations = Hashtbl.create 8;
     rr_cursor = 0;
     steps_ = 0;
     metrics_ = metrics;
@@ -31,6 +34,7 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global)
     spawns_c = Obs.Metrics.counter_h metrics "sched.spawns";
     steps_c = Obs.Metrics.counter_h metrics "sched.steps";
     crashes_c = Obs.Metrics.counter_h metrics "sched.crashes";
+    restarts_c = Obs.Metrics.counter_h metrics "sched.restarts";
     coins_c = Obs.Metrics.counter_h metrics "sched.coins";
     runs_c = Obs.Metrics.counter_h metrics "sched.runs";
     watchdog_c = Obs.Metrics.counter_h metrics "sched.watchdog.fired";
@@ -100,6 +104,26 @@ let crash t ~pid =
            ~cat:"sched" "crash");
     Trace.note t.tr ~tag:"crash" ~text:(Printf.sprintf "p%d" pid)
   end
+
+let incarnation t ~pid =
+  Option.value (Hashtbl.find_opt t.incarnations pid) ~default:0
+
+let restart t ~pid f =
+  ignore (find t pid);
+  if not (crashed t ~pid) then
+    invalid_arg (Printf.sprintf "Sched.restart: pid %d has not crashed" pid);
+  t.crashed_ <- List.filter (fun p -> p <> pid) t.crashed_;
+  Hashtbl.replace t.fibers pid (Fiber.spawn ~pid f);
+  let inc = incarnation t ~pid + 1 in
+  Hashtbl.replace t.incarnations pid inc;
+  Obs.Metrics.incr_h t.restarts_c;
+  if Obs.Tracer.armed t.tracer_ then
+    ignore
+      (Obs.Tracer.emit t.tracer_ ~track:pid ~parent:(-1)
+         ~args:[ ("incarnation", Obs.Json.Int inc) ]
+         ~sim:t.steps_ ~cat:"sched" "recover");
+  Trace.note t.tr ~tag:"recover" ~text:(Printf.sprintf "p%d i%d" pid inc);
+  inc
 
 let coin t ~proc =
   let v = Rng.coin t.rng_ in

@@ -15,7 +15,8 @@ val create :
   ?seed:int64 -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> unit -> t
 (** [metrics] (default {!Obs.Metrics.global}) receives the scheduler's
     counters — [sched.steps], [sched.coins], [sched.crashes],
-    [sched.spawns], [sched.runs] — and the per-{!run} step histogram
+    [sched.restarts], [sched.spawns], [sched.runs] — and the per-{!run}
+    step histogram
     [sched.run.steps], plus everything its {!Trace.t} records.
 
     [tracer] (default {!Obs.Tracer.null}, i.e. off) is the flight
@@ -66,6 +67,20 @@ val crash : t -> pid:int -> unit
     processes crash). *)
 
 val crashed : t -> pid:int -> bool
+
+val restart : t -> pid:int -> (unit -> unit) -> int
+(** Crash–recovery: restart a crashed process with fresh code (a recovery
+    routine — the crashed fiber's control state is gone for good, only
+    whatever the process persisted elsewhere survives).  Bumps and
+    returns the pid's {!incarnation}, clears the crashed flag, replaces
+    the fiber, fires the [sched.restarts] counter and emits a ["recover"]
+    flight-recorder event.
+    @raise Invalid_argument if [pid] is unknown or has not crashed. *)
+
+val incarnation : t -> pid:int -> int
+(** How many times [pid] has been {!restart}ed (0 for a first-incarnation
+    process).  {!Msgpass.Net} stamps every send with the sender's current
+    incarnation so quorum collection can reject pre-crash ghosts. *)
 
 val coin : t -> proc:int -> int
 (** Flip a fair coin using the scheduler's RNG, record it in the trace

@@ -1,0 +1,82 @@
+type policy = Every | Explicit | Prob of float
+
+type 'a node_log = {
+  mutable records : 'a list; (* newest first *)
+  mutable len_ : int;
+  mutable durable_ : int; (* durable frontier: oldest [durable_] records *)
+  mutable lost_ : int;
+}
+
+type 'a t = {
+  logs : 'a node_log array;
+  policy : policy;
+  rng : Rng.t;
+  appends_c : Obs.Metrics.Counter.t;
+  persists_c : Obs.Metrics.Counter.t;
+  lost_c : Obs.Metrics.Counter.t;
+}
+
+let create ?(metrics = Obs.Metrics.global) ?(policy = Every) ?rng ~n () =
+  if n <= 0 then invalid_arg "Stable.create: n must be > 0";
+  (match policy with
+  | Prob p when not (p >= 0. && p <= 1.) ->
+      invalid_arg "Stable.create: Prob probability must be in [0,1]"
+  | _ -> ());
+  {
+    logs =
+      Array.init n (fun _ ->
+          { records = []; len_ = 0; durable_ = 0; lost_ = 0 });
+    policy;
+    rng = (match rng with Some r -> r | None -> Rng.create 0x57AB1EL);
+    appends_c = Obs.Metrics.counter_h metrics "stable.appends";
+    persists_c = Obs.Metrics.counter_h metrics "stable.persists";
+    lost_c = Obs.Metrics.counter_h metrics "stable.lost";
+  }
+
+let node_log t node =
+  if node < 0 || node >= Array.length t.logs then
+    invalid_arg (Printf.sprintf "Stable: node %d out of range" node);
+  t.logs.(node)
+
+let persist t ~node =
+  let l = node_log t node in
+  let newly = l.len_ - l.durable_ in
+  if newly > 0 then begin
+    l.durable_ <- l.len_;
+    Obs.Metrics.incr_h ~by:newly t.persists_c
+  end
+
+let append t ~node v =
+  let l = node_log t node in
+  l.records <- v :: l.records;
+  l.len_ <- l.len_ + 1;
+  Obs.Metrics.incr_h t.appends_c;
+  match t.policy with
+  | Every -> persist t ~node
+  | Explicit -> ()
+  | Prob p -> if Rng.float t.rng < p then persist t ~node
+
+let crash t ~node =
+  let l = node_log t node in
+  let dropped = l.len_ - l.durable_ in
+  if dropped > 0 then begin
+    let rec chop k xs = if k = 0 then xs else chop (k - 1) (List.tl xs) in
+    l.records <- chop dropped l.records;
+    l.len_ <- l.durable_;
+    l.lost_ <- l.lost_ + dropped;
+    Obs.Metrics.incr_h ~by:dropped t.lost_c
+  end;
+  dropped
+
+let last t ~node =
+  match (node_log t node).records with [] -> None | v :: _ -> Some v
+
+let last_durable t ~node =
+  let l = node_log t node in
+  if l.durable_ = 0 then None
+  else Some (List.nth l.records (l.len_ - l.durable_))
+
+let log t ~node = List.rev (node_log t node).records
+let durable_len t ~node = (node_log t node).durable_
+let len t ~node = (node_log t node).len_
+let lost t ~node = (node_log t node).lost_

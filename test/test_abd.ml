@@ -55,6 +55,44 @@ let net_tests =
         Net.send net ~src:0 ~dst:2 2;
         Net.drop_to net ~dst:1;
         check_int "one left" 1 (Net.in_flight net));
+    tc "pre-crash replies never count toward post-recovery quorums" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:3 in
+        Sched.spawn sched ~pid:1 (fun () -> Core.Fiber.yield ());
+        (* nodes 1 and 2 both reply (stamped incarnation 0), then node 1
+           crashes and restarts: its stamp is now stale *)
+        Net.send net ~src:1 ~dst:0 1;
+        Net.send net ~src:2 ~dst:0 2;
+        Net.deliver_all net;
+        Sched.crash sched ~pid:1;
+        ignore (Sched.restart sched ~pid:1 (fun () -> ()));
+        let stale = ref 0 in
+        let seen = Array.make 3 false in
+        Sched.spawn sched ~pid:0 (fun () ->
+            Net.collect_quorum net ~pid:0 ~need:1 ~seen
+              ~classify:(fun v -> Some v)
+              ~stale:(fun () -> incr stale)
+              ~retry_after:0
+              ~resend:(fun ~missing:_ -> ()));
+        ignore (Sched.run sched ~policy:Sched.round_robin ~max_steps:100);
+        check_int "old-incarnation reply handed to stale" 1 !stale;
+        check_bool "not counted" true (not seen.(1));
+        check_bool "fresh reply counted" true seen.(2));
+    tc "revive restores delivery with an empty mailbox" (fun () ->
+        let sched = Sched.create () in
+        let net : int Net.t = Net.create ~sched ~n:2 in
+        Net.send net ~src:0 ~dst:1 1;
+        ignore (Net.deliver_now net ~dst:1);
+        Net.mark_dead net ~pid:1;
+        Net.send net ~src:0 ~dst:1 2;
+        ignore (Net.deliver_now net ~dst:1);
+        Net.revive net ~pid:1;
+        check_bool "alive again" true (not (Net.is_dead net ~pid:1));
+        check_int "fresh mailbox" 0 (Net.mailbox_size net ~pid:1);
+        Net.send net ~src:0 ~dst:1 3;
+        ignore (Net.deliver_now net ~dst:1);
+        check_bool "post-revival mail flows" true
+          (Net.try_recv net ~pid:1 = Some 3));
     tc "random delivery eventually drains" (fun () ->
         let sched = Sched.create () in
         let net : int Net.t = Net.create ~sched ~n:4 in
@@ -181,4 +219,76 @@ let abd_tests =
               (is_prefix writer_order final || is_prefix final writer_order));
   ]
 
-let suite = [ ("msgpass.net", net_tests); ("msgpass.abd", abd_tests) ]
+(* ----- crash-recovery -------------------------------------------------------- *)
+
+let recovery_tests =
+  [
+    tc "safe recovery runs one state transfer and loses nothing" (fun () ->
+        let m = Obs.Metrics.create () in
+        let sched = Sched.create ~metrics:m ~seed:5L () in
+        let reg =
+          Abd.create ~sched ~name:"R" ~n:5 ~writer:0 ~init:0 ~persist:`Never ()
+        in
+        let got = ref (-1) in
+        Sched.spawn sched ~pid:0 (fun () ->
+            Abd.write reg 7;
+            Abd.crash_node reg ~node:3;
+            Abd.write reg 8;
+            Abd.recover_node reg ~node:3;
+            (* let the handshake finish before reading *)
+            for _ = 1 to 100 do
+              Core.Fiber.yield ()
+            done;
+            got := Abd.read reg ~reader:0);
+        let rng = Core.Rng.create 2L in
+        let policy =
+          Net.auto_deliver_policy (Abd.net reg) ~rng (Sched.random_policy rng)
+        in
+        ignore (Sched.run sched ~policy ~max_steps:20_000);
+        check_int "read sees the latest write" 8 !got;
+        check_int "one restart" 1 (Obs.Metrics.counter m "sched.restarts");
+        check_int "one handshake" 1
+          (Obs.Metrics.counter m "reg.abd.state_transfer");
+        check_int "one recovery" 1 (Obs.Metrics.counter m "reg.abd.recoveries");
+        check_int "no amnesia" 0 (Obs.Metrics.counter m "reg.abd.amnesia"));
+    tc "unsafe recovery with nothing durable is amnesia" (fun () ->
+        let m = Obs.Metrics.create () in
+        let sched = Sched.create ~metrics:m ~seed:5L () in
+        let reg =
+          Abd.create ~sched ~name:"R" ~n:5 ~writer:0 ~init:0 ~persist:`Never
+            ~unsafe_recovery:true ()
+        in
+        Sched.spawn sched ~pid:0 (fun () ->
+            Abd.write reg 7;
+            (* make sure replica 3 has processed the write before it
+               crashes, so the crash really discards acknowledged state *)
+            Net.deliver_all (Abd.net reg);
+            for _ = 1 to 100 do
+              Core.Fiber.yield ()
+            done;
+            Abd.crash_node reg ~node:3;
+            Abd.recover_node reg ~node:3;
+            ignore (Abd.read reg ~reader:0));
+        let rng = Core.Rng.create 2L in
+        let policy =
+          Net.auto_deliver_policy (Abd.net reg) ~rng (Sched.random_policy rng)
+        in
+        ignore (Sched.run sched ~policy ~max_steps:20_000);
+        check_int "rolled-back rejoin counted" 1
+          (Obs.Metrics.counter m "reg.abd.amnesia");
+        check_int "no handshake ran" 0
+          (Obs.Metrics.counter m "reg.abd.state_transfer"));
+    tc "recover_node demands a crashed node" (fun () ->
+        let sched = Sched.create () in
+        let reg = Abd.create ~sched ~name:"R" ~n:3 ~writer:0 ~init:0 () in
+        Alcotest.check_raises "running"
+          (Invalid_argument "Sched.restart: pid 102 has not crashed") (fun () ->
+            Abd.recover_node reg ~node:2));
+  ]
+
+let suite =
+  [
+    ("msgpass.net", net_tests);
+    ("msgpass.abd", abd_tests);
+    ("msgpass.abd.recovery", recovery_tests);
+  ]

@@ -41,6 +41,73 @@ let monitor_tests =
             check_str "same rendering" (json_str (Config.json c))
               (json_str (Config.json c'))
         | Error e -> Alcotest.fail e);
+    tc "recovery knobs round-trip; pre-recovery JSON gets defaults" (fun () ->
+        let c =
+          {
+            Config.default with
+            Config.persist = `Never;
+            unsafe_recovery = true;
+            faults =
+              {
+                Simkit.Faults.none with
+                Simkit.Faults.crash_at = [ (100, 3) ];
+                recover_at = [ (200, 3) ];
+              };
+          }
+        in
+        (match Config.of_json (Config.json c) with
+        | Ok c' ->
+            check_str "same rendering" (json_str (Config.json c))
+              (json_str (Config.json c'))
+        | Error e -> Alcotest.fail e);
+        (* a config serialized before the crash-recovery model has no
+           persist / unsafe_recovery fields: it must decode to the safe
+           defaults, keeping the committed corpus replayable *)
+        let stripped =
+          match Config.json Config.default with
+          | Obs.Json.Obj fs ->
+              Obs.Json.Obj
+                (List.filter
+                   (fun (k, _) -> k <> "persist" && k <> "unsafe_recovery")
+                   fs)
+          | _ -> assert false
+        in
+        match Config.of_json stripped with
+        | Ok c' ->
+            check_bool "safe defaults" true
+              (c'.Config.persist = `Every && not c'.Config.unsafe_recovery)
+        | Error e -> Alcotest.fail e);
+    tc "unsafe lossy recovery trips recovery-sanity" (fun () ->
+        let c =
+          {
+            Config.default with
+            Config.persist = `Never;
+            unsafe_recovery = true;
+            faults =
+              {
+                Simkit.Faults.none with
+                Simkit.Faults.crash_at = [ (80, 3) ];
+                recover_at = [ (160, 3) ];
+              };
+          }
+        in
+        match Monitor.run_config ~monitors:[ Monitor.recovery_sanity ] c with
+        | Some v -> check_str "monitor" "recovery-sanity" v.Monitor.monitor
+        | None -> Alcotest.fail "recovery-sanity did not fire");
+    tc "the same schedule with safe recovery passes every monitor" (fun () ->
+        let c =
+          {
+            Config.default with
+            Config.persist = `Never;
+            faults =
+              {
+                Simkit.Faults.none with
+                Simkit.Faults.crash_at = [ (80, 3) ];
+                recover_at = [ (160, 3) ];
+              };
+          }
+        in
+        check_bool "no violation" true (Monitor.run_config c = None));
   ]
 
 (* an injected-bug config that fails fast: the shrink tests below
@@ -176,6 +243,31 @@ let chaos_tests =
               (m.Config.faults.Simkit.Faults.drop = 0.))
           r.Chaos.findings;
         (* every finding replays from its corpus entry *)
+        List.iter
+          (fun e ->
+            check_bool "replays" true (Corpus.replay e = Corpus.Reproduced))
+          (Chaos.to_entries r));
+    tcs "the injected unsafe-recovery bug is found and shrunk" (fun () ->
+        let r =
+          Chaos.search ~inject:Chaos.Unsafe_recovery ~seed:42L ~budget:6 ()
+        in
+        check_bool "found" true (r.Chaos.findings <> []);
+        List.iter
+          (fun f ->
+            (* amnesia is caught red-handed (recovery-sanity) or via the
+               stale read it causes (linearizability) *)
+            check_bool "monitor" true
+              (List.mem f.Chaos.first.Monitor.monitor
+                 [ "recovery-sanity"; "linearizability" ]);
+            let m = f.Chaos.shrunk.Shrink.config in
+            check_bool "kept the bug" true m.Config.unsafe_recovery;
+            check_bool "at most one crash+recover pair" true
+              (List.length m.Config.faults.Simkit.Faults.crash_at <= 1
+              && List.length m.Config.faults.Simkit.Faults.recover_at <= 1);
+            check_bool "link faults shrunk away" true
+              (m.Config.faults.Simkit.Faults.drop = 0.
+              && m.Config.faults.Simkit.Faults.duplicate = 0.))
+          r.Chaos.findings;
         List.iter
           (fun e ->
             check_bool "replays" true (Corpus.replay e = Corpus.Reproduced))

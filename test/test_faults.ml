@@ -13,13 +13,14 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let plan ?(drop = 0.) ?(dup = 0.) ?(delay = 0.) ?(delay_bound = 0)
-    ?(crash_at = []) ?(partitions = []) () =
+    ?(crash_at = []) ?(recover_at = []) ?(partitions = []) () =
   {
     Faults.drop;
     duplicate = dup;
     delay;
     delay_bound;
     crash_at;
+    recover_at;
     partitions;
   }
 
@@ -153,6 +154,90 @@ let faults_tests =
         check_bool "not twice" true (Faults.crashes_due f ~step:20 = []);
         check_bool "second due" true (Faults.crashes_due f ~step:99 = [ 4 ]);
         check_bool "drained" true (Faults.crashes_due f ~step:999 = []));
+    tc "validate demands crash/recover alternation per node" (fun () ->
+        let bad p = try Faults.validate p; false with Invalid_argument _ -> true in
+        check_bool "paired ok" true
+          (not (bad (plan ~crash_at:[ (10, 3) ] ~recover_at:[ (50, 3) ] ())));
+        check_bool "crash-recover-crash ok" true
+          (not
+             (bad
+                (plan
+                   ~crash_at:[ (10, 3); (100, 3) ]
+                   ~recover_at:[ (50, 3) ]
+                   ())));
+        check_bool "recovery of a never-crashed node" true
+          (bad (plan ~recover_at:[ (50, 3) ] ()));
+        check_bool "recovery before its crash" true
+          (bad (plan ~crash_at:[ (50, 3) ] ~recover_at:[ (10, 3) ] ()));
+        check_bool "recovery at the crash step" true
+          (bad (plan ~crash_at:[ (50, 3) ] ~recover_at:[ (50, 3) ] ()));
+        check_bool "double recovery" true
+          (bad (plan ~crash_at:[ (10, 3) ] ~recover_at:[ (50, 3); (60, 3) ] ()));
+        check_bool "double crash without recovery" true
+          (bad (plan ~crash_at:[ (10, 3); (20, 3) ] ()));
+        check_bool "negative recovery step" true
+          (bad (plan ~crash_at:[ (10, 3) ] ~recover_at:[ (-1, 3) ] ())));
+    tc "recovery plans round-trip through JSON; old entries default" (fun () ->
+        let p =
+          plan
+            ~crash_at:[ (150, 3); (300, 4) ]
+            ~recover_at:[ (400, 3); (500, 4) ]
+            ()
+        in
+        (match Faults.plan_of_json (Faults.plan_json p) with
+        | Ok p' -> check_bool "round-trip" true (p = p')
+        | Error e -> Alcotest.fail e);
+        (* a plan serialized before the crash-recovery model has no
+           "recover_at" field: it must parse to an empty schedule *)
+        let old =
+          match Faults.plan_json (plan ~crash_at:[ (10, 3) ] ()) with
+          | Obs.Json.Obj fields ->
+              Obs.Json.Obj (List.filter (fun (k, _) -> k <> "recover_at") fields)
+          | _ -> assert false
+        in
+        match Faults.plan_of_json old with
+        | Ok p' -> check_bool "defaults to []" true (p'.Faults.recover_at = [])
+        | Error e -> Alcotest.fail e);
+    tc "shrinking a crash drops its paired recovery" (fun () ->
+        let p =
+          plan
+            ~crash_at:[ (150, 3); (300, 4) ]
+            ~recover_at:[ (400, 3); (500, 4) ]
+            ()
+        in
+        let cands = Faults.shrink_plan p in
+        List.iter Faults.validate cands;
+        check_bool "pair (3) dropped together" true
+          (List.exists
+             (fun q ->
+               q.Faults.crash_at = [ (300, 4) ]
+               && q.Faults.recover_at = [ (500, 4) ])
+             cands);
+        check_bool "pair (4) dropped together" true
+          (List.exists
+             (fun q ->
+               q.Faults.crash_at = [ (150, 3) ]
+               && q.Faults.recover_at = [ (400, 3) ])
+             cands);
+        check_bool "a recovery alone can be dropped" true
+          (List.exists
+             (fun q ->
+               q.Faults.crash_at = p.Faults.crash_at
+               && q.Faults.recover_at = [ (500, 4) ])
+             cands));
+    tc "recoveries_due releases each node once, by step" (fun () ->
+        let f =
+          Faults.create
+            (plan
+               ~crash_at:[ (5, 3); (5, 4) ]
+               ~recover_at:[ (30, 4); (10, 3) ]
+               ())
+        in
+        check_bool "nothing early" true (Faults.recoveries_due f ~step:7 = []);
+        check_bool "first due" true (Faults.recoveries_due f ~step:10 = [ 3 ]);
+        check_bool "not twice" true (Faults.recoveries_due f ~step:20 = []);
+        check_bool "second due" true (Faults.recoveries_due f ~step:99 = [ 4 ]);
+        check_bool "drained" true (Faults.recoveries_due f ~step:999 = []));
   ]
 
 (* ----- the network under faults -------------------------------------------- *)
@@ -402,6 +487,51 @@ let e2e_tests =
         check_bool "completed" true run.Runs.completed;
         check_bool "linearizable" true
           (Core.Lincheck.check ~init:(Core.Value.Int 0) run.Runs.history));
+    tc "ABD survives crash+recover schedules under lossy links" (fun () ->
+        let metrics = Obs.Metrics.create () in
+        let w =
+          {
+            Runs.default with
+            faults =
+              {
+                lossy_plan with
+                Faults.crash_at = [ (100, 3); (300, 4) ];
+                recover_at = [ (250, 3); (450, 4) ];
+              };
+            seed = 23L;
+          }
+        in
+        let run = Runs.execute ~metrics w in
+        check_bool "completed" true run.Runs.completed;
+        check_bool "no stall" true (run.Runs.stalled = None);
+        check_bool "checks pass" true (Runs.check ~metrics run = Ok ());
+        check_int "both nodes restarted" 2
+          (Obs.Metrics.counter metrics "sched.restarts");
+        check_int "one handshake per restart" 2
+          (Obs.Metrics.counter metrics "reg.abd.state_transfer");
+        check_int "no amnesia under write-through persistence" 0
+          (Obs.Metrics.counter metrics "reg.abd.amnesia"));
+    tc "recovery runs are byte-identical across executions" (fun () ->
+        let w =
+          {
+            Runs.default with
+            faults =
+              {
+                lossy_plan with
+                Faults.crash_at = [ (100, 3) ];
+                recover_at = [ (280, 3) ];
+              };
+            seed = 31L;
+          }
+        in
+        let snap () =
+          let run = Runs.execute ~metrics:(Obs.Metrics.create ()) w in
+          ( run.Runs.completed,
+            run.Runs.steps,
+            List.map Obs.Json.to_string
+              (Core.Trace.json_entries run.Runs.trace) )
+        in
+        check_bool "identical" true (snap () = snap ()));
     tc "crashing a majority via the plan is rejected" (fun () ->
         Alcotest.check_raises "majority"
           (Invalid_argument "Runs.execute: crash set must be a strict minority")

@@ -8,7 +8,8 @@ let () =
    @ Test_adv_register.suite @ Test_registers.suite
    @ Test_weak_register.suite @ Test_lincheck.suite
    @ Test_treecheck.suite @ Test_alg3.suite @ Test_fstar.suite
-   @ Test_game.suite @ Test_abd.suite @ Test_faults.suite @ Test_mwabd.suite
+   @ Test_game.suite @ Test_abd.suite @ Test_faults.suite @ Test_stable.suite
+   @ Test_mwabd.suite
    @ Test_consensus.suite
    @ Test_multicore.suite @ Test_obs.suite @ Test_pool.suite
    @ Test_check.suite @ Test_parcheck.suite @ Test_tracer.suite

@@ -289,13 +289,26 @@ let cancel_tests =
         | None -> Alcotest.fail "sequential verdict flipped");
         List.iter
           (fun jobs ->
+            (* whether a losing subtree is still in flight when the
+               winner posts is a race against the OS scheduler: a worker
+               that finishes its whole task before the cancel signal
+               lands records nothing.  Accumulate into one metrics sink
+               across a few attempts — the verdict and witness are
+               checked every time, only the cancellation count is
+               allowed to need more than one try. *)
             let m = Core.Metrics.create () in
-            (match L.witness ~metrics:m ~jobs ~init h with
-            | Some ops ->
-                Alcotest.(check (list int))
-                  (Printf.sprintf "witness at jobs %d" jobs)
-                  expect (ids_of ops)
-            | None -> Alcotest.failf "jobs %d verdict flipped" jobs);
+            let attempts = 20 in
+            let rec go i =
+              (match L.witness ~metrics:m ~jobs ~init h with
+              | Some ops ->
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "witness at jobs %d" jobs)
+                    expect (ids_of ops)
+              | None -> Alcotest.failf "jobs %d verdict flipped" jobs);
+              if Core.Metrics.counter m "linchk.par.cancelled" < 1 && i < attempts
+              then go (i + 1)
+            in
+            go 1;
             check_bool
               (Printf.sprintf "tasks spawned at jobs %d" jobs)
               true

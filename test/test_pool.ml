@@ -161,7 +161,7 @@ let test_only_selection () =
   Alcotest.check_raises "unknown id rejected"
     (Invalid_argument
        "Experiments: unknown id \"E99\" (know E1, E2, E3, E4, E5, E6, E7, \
-        E8, E9, E10, E11, E12, E13)") (fun () ->
+        E8, E9, E10, E11, E12, E13, E14)") (fun () ->
       ignore (Experiments.all ~only:[ "E99" ] ~quick:true ()))
 
 let suite =

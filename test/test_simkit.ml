@@ -186,6 +186,34 @@ let sched_tests =
         ignore
           (Sched.run s ~policy:(Sched.scripted [ 2; 1; 1; 2 ]) ~max_steps:100);
         Alcotest.(check (list int)) "order" [ 2; 1; 1; 2 ] (List.rev !log));
+    tc "restart revives a crashed pid with a bumped incarnation" (fun () ->
+        let m = Obs.Metrics.create () in
+        let s = Sched.create ~metrics:m () in
+        let lives = ref [] in
+        Sched.spawn s ~pid:1 (fun () ->
+            lives := "first" :: !lives;
+            Fiber.yield ());
+        check_int "fresh pid" 0 (Sched.incarnation s ~pid:1);
+        Sched.crash s ~pid:1;
+        let inc = Sched.restart s ~pid:1 (fun () -> lives := "second" :: !lives) in
+        check_int "bumped" 1 inc;
+        check_int "readable" 1 (Sched.incarnation s ~pid:1);
+        check_bool "no longer crashed" true (not (Sched.crashed s ~pid:1));
+        ignore (Sched.run s ~policy:Sched.round_robin ~max_steps:100);
+        check_bool "the new body ran" true (!lives = [ "second" ]);
+        check_int "counted" 1 (Obs.Metrics.counter m "sched.restarts");
+        (* crash + restart again: incarnations only ever grow *)
+        Sched.crash s ~pid:1;
+        check_int "second restart" 2
+          (Sched.restart s ~pid:1 (fun () -> ())));
+    tc "restart demands a crashed pid" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> Fiber.yield ());
+        Alcotest.check_raises "running"
+          (Invalid_argument "Sched.restart: pid 1 has not crashed") (fun () ->
+            ignore (Sched.restart s ~pid:1 (fun () -> ())));
+        Alcotest.check_raises "unknown" (Invalid_argument "Sched: unknown pid 9")
+          (fun () -> ignore (Sched.restart s ~pid:9 (fun () -> ()))));
     tc "coin recorded in trace" (fun () ->
         let s = Sched.create ~seed:13L () in
         Sched.spawn s ~pid:1 (fun () -> ignore (Sched.coin s ~proc:1));
