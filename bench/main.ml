@@ -200,6 +200,24 @@ let measure_rate ~name ~counter ~window_ms pass =
       ("passes", Obs.Json.Int !reps);
     ]
 
+(* Fleet engine rows: a small sharded workload under link faults, with
+   and without delivery batching — the ops/sec CI gate for E15.  The
+   full-scale recording path is [--fleet OPS] below. *)
+let fleet_bench_config ~batched =
+  {
+    Core.Fleet.default with
+    Core.Fleet.shards = 2;
+    ops = 4_000;
+    session_len = 4;
+    keys = 64;
+    faults =
+      { Core.Faults.none with Core.Faults.drop = 0.05; duplicate = 0.02 };
+    seed = 10L;
+    sample = 1;
+    batch_window = (if batched then 8 else 0);
+    batch_max = (if batched then 8 else 1);
+  }
+
 let throughput_rows ~window_ms () =
   let init = Core.Value.Int 0 in
   (* a disarmed flight recorder threaded through the same decide workload:
@@ -263,6 +281,12 @@ let throughput_rows ~window_ms () =
               (Core.Hist.events h);
             ignore (Core.Increment.outcome inc))
           (Lazy.force hot_decide_histories));
+    measure_rate ~name:"e15/fleet-quick-unbatched-ops-per-sec"
+      ~counter:"trace.responds" ~window_ms (fun m ->
+        ignore (Core.Fleet.run ~metrics:m (fleet_bench_config ~batched:false)));
+    measure_rate ~name:"e15/fleet-quick-batched-ops-per-sec"
+      ~counter:"trace.responds" ~window_ms (fun m ->
+        ignore (Core.Fleet.run ~metrics:m (fleet_bench_config ~batched:true)));
   ]
   @ List.concat_map
       (fun jobs ->
@@ -414,9 +438,131 @@ let jobs_opt () =
    measurement window — the CI perf gate. *)
 let quick_opt () = Array.exists (String.equal "--quick") Sys.argv
 
+(* [--fleet OPS]: the E15 recording path — one full-scale fleet run at
+   OPS total client operations (E15's config: 8 ABD shards, one-op
+   sessions, link faults + a crash/recovery pair), batched and
+   unbatched, printing ops/sec and the process max RSS; with --json the
+   two rows are what BENCH_pr10.json records at the 1M scale. *)
+let fleet_opt () =
+  let rec scan = function
+    | "--fleet" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Some n
+        | _ ->
+            prerr_endline "bench: --fleet expects a positive op count";
+            exit 2)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+(* VmHWM from /proc/self/status: the high-water RSS, the flat-memory
+   evidence the fleet rows carry (0 where /proc is unavailable). *)
+let max_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rss = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           try Scanf.sscanf line "VmHWM: %d kB" (fun k -> rss := k) with
+           | Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !rss
+
+let scale_label ops =
+  if ops mod 1_000_000 = 0 then Printf.sprintf "%dM" (ops / 1_000_000)
+  else if ops mod 1_000 = 0 then Printf.sprintf "%dk" (ops / 1_000)
+  else string_of_int ops
+
+let fleet_rows ~jobs ~ops =
+  let base =
+    {
+      Core.Fleet.default with
+      Core.Fleet.shards = 8;
+      ops;
+      slots = 4;
+      session_len = 1;
+      write_ratio = 0.2;
+      keys = 256;
+      faults =
+        {
+          Core.Faults.none with
+          Core.Faults.drop = 0.05;
+          duplicate = 0.02;
+          delay = 0.05;
+          delay_bound = 4;
+          crash_at = [ (400, 2) ];
+          recover_at = [ (900, 2) ];
+        };
+      persist = `Every;
+      seed = 15L;
+      sample = 2;
+    }
+  in
+  let row suffix cfg =
+    let m = Obs.Metrics.create () in
+    let t0 = Obs.Span.now_ms () in
+    let r = Core.Fleet.run ~jobs ~metrics:m cfg in
+    let dt_s = (Obs.Span.now_ms () -. t0) /. 1000. in
+    let per_sec = float_of_int r.Core.Fleet.total_ops /. dt_s in
+    let rss = max_rss_kb () in
+    let ok = r.Core.Fleet.completed && r.Core.Fleet.total_fails = 0 in
+    let name =
+      Printf.sprintf "e15/fleet-%s-%s-ops-per-sec" (scale_label ops) suffix
+    in
+    Printf.printf
+      "%-40s %12.0f ops/sec  %.2f attempts/op, %d sessions, %d segments \
+       (%d fail, %d unknown), max RSS %d kB, %s\n%!"
+      name per_sec
+      (Core.Fleet.attempts_per_op r)
+      r.Core.Fleet.total_sessions r.Core.Fleet.total_segments
+      r.Core.Fleet.total_fails r.Core.Fleet.total_unknowns rss
+      (if ok then "ok" else "FAILED");
+    if not ok then exit 1;
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.Str "bench");
+        ("name", Obs.Json.Str name);
+        ("per_sec", Obs.Json.Float per_sec);
+        ("counter", Obs.Json.Str "trace.responds");
+        ("passes", Obs.Json.Int 1);
+        ("ops", Obs.Json.Int r.Core.Fleet.total_ops);
+        ("sessions", Obs.Json.Int r.Core.Fleet.total_sessions);
+        ("attempts_per_op", Obs.Json.Float (Core.Fleet.attempts_per_op r));
+        ("coalesced", Obs.Json.Int r.Core.Fleet.total_coalesced);
+        ("segments", Obs.Json.Int r.Core.Fleet.total_segments);
+        ("seg_fails", Obs.Json.Int r.Core.Fleet.total_fails);
+        ("max_rss_kb", Obs.Json.Int rss);
+      ]
+  in
+  (* let-bound so the unbatched run goes first: VmHWM is monotone, so
+     row order is what makes the two RSS figures comparable *)
+  let unbatched = row "unbatched" base in
+  let batched =
+    row "batched" { base with Core.Fleet.batch_window = 8; batch_max = 8 }
+  in
+  [ unbatched; batched ]
+
 let () =
   let json = json_out () in
   let jobs = jobs_opt () in
+  (match fleet_opt () with
+  | None -> ()
+  | Some ops ->
+      Printf.printf "=== E15 fleet recording (%s ops, -j %d) ===\n"
+        (scale_label ops) jobs;
+      let rows = fleet_rows ~jobs ~ops in
+      (match json with
+      | None -> ()
+      | Some path ->
+          Obs.Export.to_file path rows;
+          Printf.printf "wrote %d JSONL records to %s\n" (List.length rows)
+            path);
+      exit 0);
   if quick_opt () then begin
     print_endline "=== checker hot-path throughput (--quick) ===";
     let rows = throughput_rows ~window_ms:500. () in

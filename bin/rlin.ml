@@ -5,7 +5,7 @@
      rlin experiments [--quick] [-j N] [--only E1,E5] [--json FILE]
                       [--drop P] [--dup P] [--delay P] [--crash n@s,...]
                       [--recover n@s,...]
-                                       run the E1-E14 battery
+                                       run the E1-E15 battery
      rlin game --mode MODE ...         run Algorithm 1 under a chosen regime
      rlin fig3 | rlin fig4             replay the paper's figures
      rlin abd ...                      run an ABD workload and check it
@@ -16,6 +16,8 @@
      rlin chaos replay PATH            replay the regression corpus verbatim
      rlin chaos shrink PATH            re-minimize corpus entries
      rlin chaos adv --mode MODE        chaos adversary vs the exact checker
+     rlin fleet ...                    sharded fleet workload: batched quorum
+                                       delivery, generational client sessions
      rlin consensus ...                run Corollary 9's A'
      rlin trace --source S --out FILE  dump a run's trace as JSONL
      rlin serve ...                    streaming linearizability checker
@@ -1767,6 +1769,194 @@ let check_cmd =
       const run $ count $ ops $ procs $ family $ tree $ seed_arg $ jobs_arg
       $ json)
 
+(* ----- fleet ----------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Register shards (independent ABD/MW-ABD groups).")
+  in
+  let n =
+    Arg.(
+      value & opt int 3
+      & info [ "n" ] ~docv:"K" ~doc:"Replica nodes per shard.")
+  in
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("abd", Core.Fleet.Sw); ("mwabd", Core.Fleet.Mw) ])
+          Core.Fleet.Sw
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:"Shard register: $(b,abd) (one writer) or $(b,mwabd).")
+  in
+  let slots =
+    Arg.(
+      value & opt int 4
+      & info [ "slots" ] ~docv:"S"
+          ~doc:
+            "Client fiber slots per shard — the fixed pool the \
+             generational sessions recycle through.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 100_000
+      & info [ "ops" ] ~docv:"M"
+          ~doc:"Total client operations across the fleet.")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~docv:"C"
+          ~doc:
+            "Simulated client sessions to drive through the slots \
+             (sets the session length to ~OPS/$(docv); \
+             $(b,--clients 1000000 --ops 1000000) is the \
+             one-op-per-client churn extreme).  Overrides \
+             $(b,--session-len).")
+  in
+  let session_len =
+    Arg.(
+      value & opt int 4
+      & info [ "session-len" ] ~docv:"L"
+          ~doc:"Operations per client session before its slot recycles.")
+  in
+  let mix =
+    Arg.(
+      value & opt float 0.2
+      & info [ "mix" ] ~docv:"P"
+          ~doc:"Write fraction of the op mix, in [0,1].")
+  in
+  let keys =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Key-space size (key -> shard by hash).")
+  in
+  let persist =
+    Arg.(
+      value
+      & opt (enum [ ("every", `Every); ("never", `Never) ]) `Every
+      & info [ "persist" ] ~docv:"POLICY"
+          ~doc:"Replica sync-point policy (see $(b,rlin chaos)).")
+  in
+  let batch_window =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-window" ] ~docv:"W"
+          ~doc:
+            "Per-destination delivery batching: coalesce same-destination \
+             messages found among the oldest $(docv) in-flight positions \
+             into one delivery attempt (0 disables).")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 1
+      & info [ "batch-max" ] ~docv:"B"
+          ~doc:"Max messages moved per delivery attempt (1 disables).")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"S"
+          ~doc:
+            "Stream-check the histories of the first $(docv) shards with \
+             the incremental linearizability checker (the rest drop their \
+             drained traces — memory stays flat either way).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet report as one JSONL record ('-' for stdout); \
+             carries no wall-clock, so reports diff clean across -j.")
+  in
+  let run shards n proto slots ops clients session_len mix keys faults
+      crash_items recoveries persist batch_window batch_max sample seed jobs
+      json =
+    let legacy, crash_at = split_crash_items crash_items in
+    if legacy <> [] then begin
+      Printf.eprintf "rlin: fleet --crash takes NODE@STEP entries\n";
+      exit 2
+    end;
+    let session_len =
+      match clients with
+      | None -> session_len
+      | Some c when c >= 1 -> max 1 ((ops + c - 1) / c)
+      | Some _ ->
+          Printf.eprintf "rlin: --clients must be >= 1\n";
+          exit 2
+    in
+    let plan =
+      {
+        (Option.value faults ~default:Core.Faults.none) with
+        Core.Faults.crash_at;
+        recover_at = recoveries;
+      }
+    in
+    let config =
+      {
+        Core.Fleet.shards;
+        n;
+        proto;
+        slots;
+        ops;
+        session_len;
+        write_ratio = mix;
+        keys;
+        faults = plan;
+        persist;
+        batch_window;
+        batch_max;
+        seed;
+        sample;
+        drain_every = Core.Fleet.default.Core.Fleet.drain_every;
+      }
+    in
+    (match Core.Fleet.validate config with
+    | () -> ()
+    | exception Invalid_argument msg ->
+        Printf.eprintf "rlin: %s\n" msg;
+        exit 2);
+    let t0 = Obs.Span.now_ms () in
+    let report = Core.Fleet.run ~jobs config in
+    let wall_ms = Obs.Span.now_ms () -. t0 in
+    Format.printf "%a@." Core.Fleet.pp report;
+    (* wall clock to stdout only: the report itself stays -j-diffable *)
+    Printf.printf "ops/sec: %.0f (%.0f ms wall, -j %d)\n"
+      (float_of_int report.Core.Fleet.total_ops /. (wall_ms /. 1000.))
+      wall_ms jobs;
+    Option.iter
+      (fun path -> write_jsonl path [ Core.Fleet.report_json report ])
+      json;
+    if report.Core.Fleet.completed && report.Core.Fleet.total_fails = 0 then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run the fleet-scale workload engine: a key-space of register \
+          shards (key -> shard by hash, each an independent ABD/MW-ABD \
+          group), millions of short-lived client sessions recycled \
+          through fixed fiber slots, optional per-destination message \
+          batching, and per-shard history sampling through the streaming \
+          linearizability checker.  Exits non-zero if any shard stalled \
+          or a sampled segment failed the check.")
+    Term.(
+      const run $ shards $ n $ proto $ slots $ ops $ clients $ session_len
+      $ mix $ keys $ faults_term
+      $ crash_arg
+          ~doc:
+            "Comma-separated NODE@STEP crash schedule applied to every \
+             shard's node set (crashed nodes must leave a majority; for \
+             $(b,abd) node 0 is the writer client and must survive)."
+      $ recover_arg ~what:"fleet" $ persist $ batch_window $ batch_max
+      $ sample $ seed_arg $ jobs_arg $ json)
+
 let () =
   let doc =
     "Reproduction of 'On Register Linearizability and Termination' (PODC 2021)."
@@ -1784,6 +1974,7 @@ let () =
             mwabd_cmd;
             check_cmd;
             chaos_cmd;
+            fleet_cmd;
             consensus_cmd;
             trace_cmd;
             serve_cmd;

@@ -100,6 +100,19 @@ let gen_config ?inject ~seed index =
     | Some Quorum_too_small | None ->
         ((if Rng.int rng 4 = 0 then `Never else `Every), false)
   in
+  (* the batching lattice: a quarter of clean searches turn on
+     per-destination delivery coalescing (Net.set_batching) — batching
+     preserves per-message fault draws, so a batched healthy run must
+     never trip a monitor.  The injected-bug searches stay unbatched:
+     their crash/step windows are tuned to the unbatched delivery rate. *)
+  let batch_window, batch_max =
+    match inject with
+    | Some Unsafe_recovery | Some Quorum_too_small -> (0, 1)
+    | None ->
+        if Rng.int rng 4 = 0 then
+          (pick rng [ 4; 8; 16 ], pick rng [ 2; 4; 8 ])
+        else (0, 1)
+  in
   let c =
     {
       Config.proto;
@@ -124,6 +137,8 @@ let gen_config ?inject ~seed index =
       quorum;
       persist;
       unsafe_recovery;
+      batch_window;
+      batch_max;
     }
   in
   Config.validate c;

@@ -57,8 +57,21 @@ let candidates (c : Config.t) =
           (fun s -> { c with Config.max_steps = Some s })
           (int_steps m ~floor:1)
   in
+  (* batching off first (the single biggest simplification: the repro
+     stops depending on coalescing at all), then the window/max down *)
+  let batching =
+    if c.Config.batch_window = 0 && c.Config.batch_max = 1 then []
+    else
+      { c with Config.batch_window = 0; batch_max = 1 }
+      :: List.map
+           (fun w -> { c with Config.batch_window = w })
+           (int_steps c.Config.batch_window ~floor:0)
+      @ List.map
+          (fun m -> { c with Config.batch_max = m })
+          (int_steps c.Config.batch_max ~floor:1)
+  in
   List.filter valid
-    (faults @ writes @ reads @ drop_readers @ drop_writers @ budget)
+    (faults @ batching @ writes @ reads @ drop_readers @ drop_writers @ budget)
 
 type outcome = {
   config : Config.t;  (** the minimal failing config *)

@@ -95,6 +95,10 @@ module Mwabd_scenario = Msgpass.Mwabd_scenario
 module Abd_runs = Msgpass.Runs
 module Run_config = Msgpass.Runs.Config
 
+(* ----- the fleet engine -------------------------------------------------------- *)
+
+module Fleet = Fleet
+
 (* ----- chaos checking --------------------------------------------------------- *)
 
 module Monitor = Check.Monitor

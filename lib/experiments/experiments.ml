@@ -1167,6 +1167,110 @@ let e14_recovery ?(jobs = 1) ~quick () =
           ("deterministic", if deterministic then 1. else 0.);
         ] ))
 
+(* ---------- E15 (fleet scale) -------------------------------------------------- *)
+
+let e15_fleet ?(jobs = 1) ~quick () =
+  (* The fleet engine at its design point: a sharded key-space of ABD
+     groups under link faults and a crash/recovery pair, driven by
+     one-op client sessions (maximum generational churn — at the full
+     profile that is a million short-lived clients recycled through a
+     few dozen fiber slots) with per-destination delivery batching.
+     The batched and unbatched runs of the same config must agree on
+     the verdict — every shard completes and no sampled segment fails
+     the streaming checker — while batching strictly reduces delivery
+     attempts; reports carry no wall clock and are byte-identical
+     across -j. *)
+  let ops = if quick then 24_000 else 1_000_000 in
+  let shards = if quick then 4 else 8 in
+  measured_report ~id:"E15"
+    ~claim:
+      "fleet scale: sharded ABD groups serve 1M+ one-op client sessions \
+       through a fixed slot pool under link faults and a crash/recovery \
+       pair; per-destination batching amortizes quorum messaging without \
+       changing any verdict, and sampled shard histories pass the \
+       streaming linearizability checker"
+    ~expected:
+      "all shards complete in both runs, sessions = ops (every op is its \
+       own client), slot recycling covers all but the first occupants, 0 \
+       streaming-checker failures, batched delivery attempts per op \
+       strictly below unbatched, reports byte-identical across -j"
+    (fun () ->
+      let faults =
+        {
+          Core.Faults.none with
+          Core.Faults.drop = 0.05;
+          duplicate = 0.02;
+          delay = 0.05;
+          delay_bound = 4;
+          crash_at = [ (400, 2) ];
+          recover_at = [ (900, 2) ];
+        }
+      in
+      let base =
+        {
+          Core.Fleet.default with
+          Core.Fleet.shards;
+          ops;
+          slots = 4;
+          session_len = 1;
+          write_ratio = 0.2;
+          keys = 256;
+          faults;
+          persist = `Every;
+          seed = 15L;
+          sample = 2;
+        }
+      in
+      let unbatched = Core.Fleet.run ~jobs base in
+      let bcfg = { base with Core.Fleet.batch_window = 8; batch_max = 8 } in
+      let batched = Core.Fleet.run ~jobs bcfg in
+      let again = Core.Fleet.run ~jobs:(if jobs = 1 then 2 else 1) bcfg in
+      let deterministic =
+        Core.Json.to_string (Core.Fleet.report_json batched)
+        = Core.Json.to_string (Core.Fleet.report_json again)
+      in
+      let recycles =
+        List.fold_left
+          (fun a s -> a + s.Core.Fleet.recycles)
+          0 batched.Core.Fleet.shards_r
+      in
+      let churn_ok =
+        batched.Core.Fleet.total_sessions = ops
+        && recycles >= ops - (shards * base.Core.Fleet.slots)
+      in
+      let verdicts_agree =
+        unbatched.Core.Fleet.completed && batched.Core.Fleet.completed
+        && unbatched.Core.Fleet.total_fails = 0
+        && batched.Core.Fleet.total_fails = 0
+      in
+      let amortized =
+        batched.Core.Fleet.total_attempts < unbatched.Core.Fleet.total_attempts
+      in
+      ( Printf.sprintf
+          "%d ops over %d shards: %d sessions (%d recycles), attempts/op \
+           %.2f unbatched vs %.2f batched (%d coalesced), %d sampled \
+           segments (%d fail, %d unknown); deterministic across -j: %b"
+          ops shards batched.Core.Fleet.total_sessions recycles
+          (Core.Fleet.attempts_per_op unbatched)
+          (Core.Fleet.attempts_per_op batched)
+          batched.Core.Fleet.total_coalesced batched.Core.Fleet.total_segments
+          batched.Core.Fleet.total_fails batched.Core.Fleet.total_unknowns
+          deterministic,
+        verdicts_agree && churn_ok && amortized
+        && batched.Core.Fleet.total_segments > 0
+        && deterministic,
+        [
+          ("ops", float_of_int ops);
+          ("sessions", float_of_int batched.Core.Fleet.total_sessions);
+          ("recycles", float_of_int recycles);
+          ("attempts_per_op_unbatched", Core.Fleet.attempts_per_op unbatched);
+          ("attempts_per_op_batched", Core.Fleet.attempts_per_op batched);
+          ("coalesced", float_of_int batched.Core.Fleet.total_coalesced);
+          ("segments", float_of_int batched.Core.Fleet.total_segments);
+          ("seg_fails", float_of_int batched.Core.Fleet.total_fails);
+          ("deterministic", if deterministic then 1. else 0.);
+        ] ))
+
 let catalogue ?faults () =
   let faulty f ?jobs ~quick () = f ?jobs ?faults ~quick () in
   [
@@ -1184,6 +1288,7 @@ let catalogue ?faults () =
     ("E12", e12_chaos);
     ("E13", e13_serve);
     ("E14", e14_recovery);
+    ("E15", e15_fleet);
   ]
 
 let ids = List.map fst (catalogue ())

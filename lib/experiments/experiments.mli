@@ -93,10 +93,20 @@ val e12_chaos : ?jobs:int -> quick:bool -> unit -> report
     link-fault probabilities, one write), and replay the corpus entries
     verbatim — with byte-identical reports at any [jobs]. *)
 
+val e15_fleet : ?jobs:int -> quick:bool -> unit -> report
+(** Fleet scale ({!Core.Fleet}): sharded ABD groups serve one-op client
+    sessions (1M+ at the full profile) through a fixed recycled slot
+    pool under link faults and a crash/recovery pair.  Passes iff the
+    batched and unbatched runs both complete with zero streaming-checker
+    failures, batching strictly reduces delivery attempts per op, the
+    session count equals the op count (every op is its own client), and
+    reports are byte-identical across [-j]. *)
+
 val ids : string list
-(** The battery's experiment ids, in order: ["E1"; …; "E14"].  (E13, the
-    streaming-serve agreement test, and E14, the crash–recovery sweep +
-    seeded unsafe-recovery bug hunt, run from the catalogue only.) *)
+(** The battery's experiment ids, in order: ["E1"; …; "E15"].  (E13, the
+    streaming-serve agreement test, E14, the crash–recovery sweep +
+    seeded unsafe-recovery bug hunt, and E15, the fleet-scale engine,
+    run from the catalogue only.) *)
 
 val all :
   ?jobs:int ->

@@ -115,7 +115,8 @@ let server t node () =
   done
 
 let create ?(retry_after = 25) ?quorum ?(persist = `Every)
-    ?(unsafe_recovery = false) ~sched ~name ~n ~writer ~init () =
+    ?(unsafe_recovery = false) ?(compact = false) ~sched ~name ~n ~writer ~init
+    () =
   if n < 2 then invalid_arg "Abd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Abd.create: n must be < 100";
   if writer < 0 || writer >= n then invalid_arg "Abd.create: writer out of range";
@@ -124,7 +125,7 @@ let create ?(retry_after = 25) ?quorum ?(persist = `Every)
     invalid_arg "Abd.create: quorum out of range";
   let m = Sched.metrics sched in
   let stable =
-    Simkit.Stable.create ~metrics:m
+    Simkit.Stable.create ~metrics:m ~auto_compact:compact
       ~policy:(match persist with `Every -> Simkit.Stable.Every | `Never -> Simkit.Stable.Explicit)
       ~n ()
   in

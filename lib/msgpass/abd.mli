@@ -55,6 +55,7 @@ val create :
   ?quorum:int ->
   ?persist:persist ->
   ?unsafe_recovery:bool ->
+  ?compact:bool ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -82,7 +83,14 @@ val create :
     with [`Never] persistence an unsafe recovery rejoins quorums with
     rolled-back state, breaking quorum intersection across the crash —
     the seeded bug the recovery-sanity monitor catches (counted as
-    [reg.abd.amnesia]). *)
+    [reg.abd.amnesia]).
+
+    [compact] (default [false]) turns on {!Simkit.Stable}'s automatic log
+    compaction: each persist prunes the durable prefix down to its newest
+    record, keeping per-node stable storage O(volatile tail) instead of
+    O(operations).  Recovery semantics are unchanged ([last_durable] is
+    always retained) — the fleet engine sets this so memory stays flat
+    across millions of operations. *)
 
 val name : t -> string
 val n : t -> int

@@ -110,7 +110,7 @@ let server t node () =
   done
 
 let create ?(retry_after = 25) ?quorum ?(persist = `Every)
-    ?(unsafe_recovery = false) ~sched ~name ~n ~init () =
+    ?(unsafe_recovery = false) ?(compact = false) ~sched ~name ~n ~init () =
   if n < 2 then invalid_arg "Mwabd.create: n must be >= 2";
   if n >= 100 then invalid_arg "Mwabd.create: n must be < 100";
   let quorum_ = match quorum with Some q -> q | None -> (n / 2) + 1 in
@@ -118,7 +118,7 @@ let create ?(retry_after = 25) ?quorum ?(persist = `Every)
     invalid_arg "Mwabd.create: quorum out of range";
   let m = Sched.metrics sched in
   let stable =
-    Simkit.Stable.create ~metrics:m
+    Simkit.Stable.create ~metrics:m ~auto_compact:compact
       ~policy:(match persist with `Every -> Simkit.Stable.Every | `Never -> Simkit.Stable.Explicit)
       ~n ()
   in

@@ -36,6 +36,7 @@ val create :
   ?quorum:int ->
   ?persist:persist ->
   ?unsafe_recovery:bool ->
+  ?compact:bool ->
   sched:Simkit.Sched.t ->
   name:string ->
   n:int ->
@@ -50,7 +51,8 @@ val create :
     [persist] (default [`Every]) and [unsafe_recovery] (default [false])
     are the crash–recovery knobs described in {!Abd.create}; the
     counters are [reg.mwabd.recoveries] / [reg.mwabd.state_transfer] /
-    [reg.mwabd.amnesia]. *)
+    [reg.mwabd.amnesia].  [compact] (default [false]) enables stable-log
+    auto-compaction as in {!Abd.create}. *)
 
 type msg
 

@@ -102,9 +102,17 @@ type 'a t = {
   mailboxes : (int, ('a * int * int * int) Queue.t) Hashtbl.t;
   mutable dead : int list; (* destinations whose mail is dead-lettered *)
   mutable faults : Simkit.Faults.t option;
+  (* per-destination batching (see set_batching): a delivery attempt for
+     destination d additionally coalesces up to [batch_max - 1] more
+     in-flight messages to d found in the oldest [batch_window] flight
+     positions.  Disabled (window 0 / max 1) by default. *)
+  mutable batch_window : int;
+  mutable batch_max : int;
   trc : Obs.Tracer.t;
   (* metric handles, resolved once at creation (hot-path discipline) *)
   sends_c : Obs.Metrics.Counter.t;
+  attempts_c : Obs.Metrics.Counter.t;
+  coalesced_c : Obs.Metrics.Counter.t;
   delivered_c : Obs.Metrics.Counter.t;
   dead_letters_c : Obs.Metrics.Counter.t;
   dropped_c : Obs.Metrics.Counter.t;
@@ -125,8 +133,12 @@ let create ~sched ~n =
     mailboxes = Hashtbl.create 16;
     dead = [];
     faults = None;
+    batch_window = 0;
+    batch_max = 1;
     trc = Simkit.Sched.tracer sched;
     sends_c = Obs.Metrics.counter_h reg "net.sends";
+    attempts_c = Obs.Metrics.counter_h reg "net.delivery_attempts";
+    coalesced_c = Obs.Metrics.counter_h reg "net.batch.coalesced";
     delivered_c = Obs.Metrics.counter_h reg "net.delivered";
     dead_letters_c = Obs.Metrics.counter_h reg "net.dead_letters";
     dropped_c = Obs.Metrics.counter_h reg "net.dropped";
@@ -152,6 +164,14 @@ let set_faults t f =
     t.faults <- Some f
 
 let faults t = t.faults
+
+let set_batching t ~window ~max =
+  if window < 0 then invalid_arg "Net.set_batching: window must be >= 0";
+  if max < 1 then invalid_arg "Net.set_batching: max must be >= 1";
+  t.batch_window <- window;
+  t.batch_max <- max
+
+let batching_active t = t.batch_window > 0 && t.batch_max > 1
 
 let mark_dead t ~pid =
   if not (List.mem pid t.dead) then begin
@@ -230,10 +250,10 @@ let mailbox_size t ~pid = Queue.length (mailbox t pid)
 
 (* The single point where an in-flight message reaches a mailbox: dead
    destinations and the fault policy are applied here, so every delivery
-   path (deliver_nth/_one/_now/_from) behaves identically. *)
-let deliver_nth t i =
-  if i < 0 || i >= Dq.length t.flight then invalid_arg "Net.deliver_nth";
-  let it = Dq.remove t.flight i in
+   path (deliver_nth/_one/_now/_from, batched or not) behaves
+   identically.  The item is already off the flight list; a deferral,
+   duplication or partition hold pushes it (back) onto the tail. *)
+let deliver_item t it =
   let m = it.m in
   (* every fate of a delivery attempt is recorded against the send event
      [it.ev] — the happens-before edge the exporters draw *)
@@ -281,7 +301,47 @@ let deliver_nth t i =
                 { m; deferrals = it.deferrals; ev = it.ev; inc = it.inc }
           | Simkit.Faults.Deliver -> enqueue ()
         end
-  end;
+  end
+
+(* One delivery attempt: deliver the i-th oldest in-flight message and —
+   when batching is on — coalesce same-destination messages found among
+   the oldest [batch_window] flight positions into the same attempt, up
+   to [batch_max] messages total, processed oldest-first.  Every
+   coalesced message still runs the full per-message fate logic (dead
+   destination, partition hold, its own fault draw), so batching changes
+   how many messages one attempt moves, never the per-message fault
+   discipline.  The whole batch is unhooked from the flight list before
+   any fate runs: a deferral or duplication re-push can never be
+   re-scanned within the attempt that produced it. *)
+let deliver_nth t i =
+  if i < 0 || i >= Dq.length t.flight then invalid_arg "Net.deliver_nth";
+  Obs.Metrics.incr_h t.attempts_c;
+  let it = Dq.remove t.flight i in
+  let batch =
+    if not (batching_active t) then []
+    else begin
+      let dst = it.m.dst in
+      let limit = Stdlib.min (Dq.length t.flight) t.batch_window in
+      let idxs = ref [] (* descending *) and found = ref 0 in
+      let j = ref 0 in
+      while !found < t.batch_max - 1 && !j < limit do
+        if (Dq.get t.flight !j).m.dst = dst then begin
+          idxs := !j :: !idxs;
+          incr found
+        end;
+        incr j
+      done;
+      (* [idxs] is descending: rev_map removes youngest-first (keeping
+         the remaining indices valid) and yields the items oldest-first *)
+      List.rev_map (fun k -> Dq.remove t.flight k) !idxs
+    end
+  in
+  deliver_item t it;
+  List.iter
+    (fun extra ->
+      Obs.Metrics.incr_h t.coalesced_c;
+      deliver_item t extra)
+    batch;
   note_in_flight t
 
 let deliver_one t ~rng =

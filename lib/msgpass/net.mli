@@ -46,6 +46,33 @@ val set_faults : 'a t -> Simkit.Faults.t -> unit
 
 val faults : 'a t -> Simkit.Faults.t option
 
+val set_batching : 'a t -> window:int -> max:int -> unit
+(** Per-destination message batching: when a delivery attempt selects an
+    in-flight message for destination [d], up to [max - 1] further
+    messages to [d] found among the oldest [window] flight positions are
+    coalesced into the {e same} attempt, processed oldest-first — one
+    attempt then moves a whole batch, which is what amortizes quorum
+    round-trips at fleet scale (a server scheduled once drains [max]
+    requests instead of one).
+
+    What batching does {e not} change: every coalesced message still runs
+    the full per-message fate logic — dead-destination check, partition
+    hold, and its own fault draw ({!Simkit.Faults.draw}), in flight-list
+    age order — so the fault-draw-per-message discipline and the "i-th
+    oldest, relative order kept" index semantics of the un-coalesced
+    paths are preserved exactly.  With [window = 0] or [max = 1]
+    (the default) behaviour is identical to an unbatched network.
+
+    Counters: [net.delivery_attempts] counts attempts (one per
+    {!deliver_one}/{!deliver_now}/{!deliver_from}/[deliver_nth] call);
+    [net.batch.coalesced] counts the extra messages batching moved.
+    [net.delivered / net.delivery_attempts] is the amortization factor
+    the fleet benches report.
+    @raise Invalid_argument if [window < 0] or [max < 1]. *)
+
+val batching_active : 'a t -> bool
+(** Whether {!set_batching} enabled coalescing ([window > 0 && max > 1]). *)
+
 val mark_dead : 'a t -> pid:int -> unit
 (** Declare [pid] dead: its queued mail is discarded now and every later
     delivery addressed to it is dropped, both counted as

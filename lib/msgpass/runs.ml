@@ -232,6 +232,10 @@ module Config = struct
     quorum : int option;
     persist : [ `Every | `Never ];
     unsafe_recovery : bool;
+    (* per-destination delivery batching (Net.set_batching); window 0 /
+       max 1 = disabled, the byte-identical pre-batching behaviour *)
+    batch_window : int;
+    batch_max : int;
   }
 
   let default =
@@ -249,6 +253,8 @@ module Config = struct
       quorum = None;
       persist = `Every;
       unsafe_recovery = false;
+      batch_window = 0;
+      batch_max = 1;
     }
 
   let auto_max_steps c =
@@ -283,6 +289,8 @@ module Config = struct
     (match c.quorum with
     | Some q when q < 1 || q > c.n -> bad "quorum out of range"
     | _ -> ());
+    if c.batch_window < 0 then bad "batch_window must be >= 0";
+    if c.batch_max < 1 then bad "batch_max must be >= 1";
     match c.max_steps with
     | Some m when m < 1 -> bad "max_steps must be >= 1"
     | _ -> ()
@@ -290,8 +298,8 @@ module Config = struct
   let json c =
     let int_list xs = Obs.Json.List (List.map (fun i -> Obs.Json.Int i) xs) in
     Obs.Json.Obj
-      [
-        ("kind", Obs.Json.Str "chaos_config");
+      ([
+         ("kind", Obs.Json.Str "chaos_config");
         ( "proto",
           Obs.Json.Str (match c.proto with Sw -> "abd" | Mw -> "mwabd") );
         ("n", Obs.Json.Int c.n);
@@ -319,6 +327,16 @@ module Config = struct
             (match c.persist with `Every -> "every" | `Never -> "never") );
         ("unsafe_recovery", Obs.Json.Bool c.unsafe_recovery);
       ]
+      (* only when enabled: configs recorded before batching existed —
+         and unbatched configs today — serialize exactly as before, so
+         the committed corpus keeps replaying verbatim *)
+      @
+      if c.batch_window > 0 || c.batch_max > 1 then
+        [
+          ("batch_window", Obs.Json.Int c.batch_window);
+          ("batch_max", Obs.Json.Int c.batch_max);
+        ]
+      else [])
 
   let of_json j =
     let ( let* ) = Result.bind in
@@ -386,6 +404,18 @@ module Config = struct
       | Some (Obs.Json.Bool b) -> Ok b
       | Some _ -> Error "Runs.Config.of_json: bad \"unsafe_recovery\""
     in
+    (* absent in pre-batching entries (and in unbatched ones, which omit
+       the keys): default to disabled *)
+    let opt_int_default name d =
+      match Obs.Json.member name j with
+      | None | Some Obs.Json.Null -> Ok d
+      | Some v -> (
+          match Obs.Json.to_int_opt v with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "Runs.Config.of_json: bad %S" name))
+    in
+    let* batch_window = opt_int_default "batch_window" 0 in
+    let* batch_max = opt_int_default "batch_max" 1 in
     let c =
       {
         proto;
@@ -401,6 +431,8 @@ module Config = struct
         quorum;
         persist;
         unsafe_recovery;
+        batch_window;
+        batch_max;
       }
     in
     match validate c with
@@ -422,6 +454,8 @@ let execute_config ?metrics ?tracer (c : Config.t) =
      client fibers, drive to quiescence under the configured policy *)
   let drive net ~obj ~crash ~recover ~write ~read =
     Option.iter (Net.set_faults net) fpolicy;
+    Net.set_batching net ~window:c.Config.batch_window
+      ~max:c.Config.batch_max;
     List.iter
       (fun w ->
         Sched.spawn sched ~pid:w (fun () ->

@@ -107,6 +107,13 @@ module Config : sig
     unsafe_recovery : bool;
         (** skip the state-transfer recovery handshake — the test-only
             seeded bug ({!Abd.create}); safe only with [`Every] *)
+    batch_window : int;
+    batch_max : int;
+        (** per-destination delivery batching ({!Net.set_batching});
+            [0]/[1] (the defaults) disable it and reproduce the
+            pre-batching byte-identical behaviour.  Unbatched configs
+            omit the fields from {!json}, so pre-batching corpus entries
+            replay verbatim. *)
   }
 
   val default : t

@@ -1,5 +1,10 @@
 (* Sample retention cap: quantiles are exact up to this many samples per
-   histogram; count/sum/min/max stay exact forever. *)
+   histogram; count/sum/min/max stay exact forever.  Million-sample runs
+   (the fleet workloads) keep the first [reservoir_cap] samples as their
+   quantile basis — [summary.retained] states that basis explicitly, and
+   [delta] emits a [".sampled"] row whenever it is smaller than the
+   window's sample count, so reporting at scale never silently pretends
+   its percentiles cover every sample. *)
 let reservoir_cap = 4096
 
 type hist = {
@@ -114,6 +119,7 @@ let observe_h (h : Hist.t) v =
   h.sum <- h.sum +. v;
   if v < h.min_v then h.min_v <- v;
   if v > h.max_v then h.max_v <- v;
+  assert (h.filled <= reservoir_cap);
   if h.filled < reservoir_cap then begin
     if h.filled = Float.Array.length h.samples then begin
       let bigger =
@@ -191,6 +197,7 @@ type summary = {
   min : float;
   max : float;
   mean : float;
+  retained : int;
   p50 : float;
   p90 : float;
   p95 : float;
@@ -215,6 +222,7 @@ let summarize (h : hist) =
         min = h.min_v;
         max = h.max_v;
         mean = h.sum /. float_of_int h.count;
+        retained = h.filled;
         p50 = quantile 0.5;
         p90 = quantile 0.9;
         p95 = quantile 0.95;
@@ -280,14 +288,19 @@ let delta ~before ~after =
           (* Quantiles are read from the [after] summary: exact when the
              histogram is new in this window (the common case — each
              experiment names its own), approximate (whole-reservoir)
-             when samples predate the window. *)
-          [
-            (n ^ ".n", float_of_int dc);
-            (n ^ ".mean", (s.sum -. sum0) /. float_of_int dc);
-            (n ^ ".p50", s.p50);
-            (n ^ ".p95", s.p95);
-            (n ^ ".p99", s.p99);
-          ])
+             when samples predate the window.  Past the reservoir cap the
+             basis shrinks below the sample count; the [".sampled"] row
+             states how many samples the percentiles actually cover, so
+             million-sample fleet reports declare their sampling basis. *)
+          (n ^ ".n", float_of_int dc)
+          :: (n ^ ".mean", (s.sum -. sum0) /. float_of_int dc)
+          :: (n ^ ".p50", s.p50)
+          :: (n ^ ".p95", s.p95)
+          :: (n ^ ".p99", s.p99)
+          ::
+          (if s.retained < s.count then
+             [ (n ^ ".sampled", float_of_int s.retained) ]
+           else []))
       after.histograms
   in
   List.sort by_name (counters @ gauges @ hists)
@@ -312,8 +325,11 @@ let pp fmt t =
       "n" "mean" "p50" "p95" "p99" "max";
     List.iter
       (fun (n, (h : summary)) ->
-        Format.fprintf fmt "%-34s %8d %10.2f %10.2f %10.2f %10.2f %10.2f@,"
-          n h.count h.mean h.p50 h.p95 h.p99 h.max)
+        Format.fprintf fmt "%-34s %8d %10.2f %10.2f %10.2f %10.2f %10.2f%s@,"
+          n h.count h.mean h.p50 h.p95 h.p99 h.max
+          (if h.retained < h.count then
+             Printf.sprintf "  (quantiles over first %d)" h.retained
+           else ""))
       s.histograms
   end;
   Format.fprintf fmt "@]"

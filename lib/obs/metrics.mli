@@ -14,6 +14,12 @@
 type t
 (** A registry. *)
 
+val reservoir_cap : int
+(** Histogram sample-retention cap (4096): quantiles are computed over at
+    most this many samples per histogram, while count/sum/min/max/mean
+    stay exact at any scale.  {!summary.retained} and the [".sampled"]
+    {!delta} row state the basis whenever a histogram outgrows it. *)
+
 val create : unit -> t
 
 val global : t
@@ -106,18 +112,24 @@ val counter : t -> string -> int
 val gauge : t -> string -> float option
 
 type summary = {
-  count : int;
+  count : int;  (** samples seen — exact forever, never truncated *)
   sum : float;
   min : float;
   max : float;
   mean : float;
+  retained : int;
+      (** samples retained in the reservoir — the quantile basis.  Equal
+          to [count] up to {!reservoir_cap}; strictly smaller past it
+          (million-sample fleet runs), where [p50/p90/p95/p99] cover only
+          the first [retained] samples. *)
   p50 : float;
   p90 : float;
   p95 : float;
   p99 : float;
-      (** Quantiles are exact over the first 4096 samples; beyond that,
-          count/sum/min/max/mean stay exact and quantiles are computed on
-          the retained prefix. *)
+      (** Quantiles are exact over the first {!reservoir_cap} samples;
+          beyond that, count/sum/min/max/mean stay exact and quantiles
+          are computed on the retained prefix ([retained] states the
+          basis). *)
 }
 
 val summary : t -> string -> summary option
@@ -139,8 +151,9 @@ val delta : before:snapshot -> after:snapshot -> (string * float) list
     each histogram the sample-count increment as [name ^ ".n"], the mean
     over the new samples as [name ^ ".mean"], and the [after]-reservoir
     quantiles as [name ^ ".p50"/".p95"/".p99"] (exact for the window when
-    the histogram is new in it, whole-reservoir otherwise). Sorted by
-    name. *)
+    the histogram is new in it, whole-reservoir otherwise).  When the
+    histogram outgrew {!reservoir_cap}, a [name ^ ".sampled"] row states
+    how many samples the quantiles cover.  Sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
 (** A human-readable table of the whole registry. *)

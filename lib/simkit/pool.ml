@@ -1,14 +1,23 @@
-(* A chunk-free work-sharing domain pool: tasks are indices 0..n-1 pulled
-   from a shared atomic cursor, so domains that finish early steal the
-   remaining work automatically.  No dependencies beyond the stdlib
-   (Domain / Atomic / Mutex); [jobs <= 1] degenerates to a plain
-   sequential loop on the calling domain. *)
+(* A work-sharing domain pool: tasks are indices 0..n-1 claimed from a
+   shared atomic cursor, so domains that finish early steal the remaining
+   work automatically.  No dependencies beyond the stdlib (Domain /
+   Atomic / Mutex); [jobs <= 1] degenerates to a plain sequential loop on
+   the calling domain. *)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Outcome of task [i]; [None] means not executed (only possible after a
    sibling task raised and cancelled the run). *)
 type 'a cell = 'a option
+
+(* How many indices one fetch_and_add claims.  Whole-simulation tasks
+   (milliseconds each) amortize a single atomic trivially, but fleet-
+   scale batteries fan out millions of tiny tasks — there the cursor
+   line bounces between every domain on every task.  Claiming a short
+   run per CAS divides that traffic by [chunk] while bounding the load
+   imbalance a straggler can cause at the tail to [chunk - 1] tasks. *)
+let chunk_for ~jobs n =
+  if n <= jobs * 8 then 1 else Stdlib.min 64 (n / (jobs * 8))
 
 let map ~jobs n f =
   if n < 0 then invalid_arg "Pool.map: negative task count";
@@ -18,17 +27,26 @@ let map ~jobs n f =
     let results : ('a, exn) result cell array = Array.make n None in
     let next = Atomic.make 0 in
     let cancelled = Atomic.make false in
+    let chunk = chunk_for ~jobs n in
     let worker () =
       let continue_ = ref true in
       while !continue_ do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get cancelled then continue_ := false
-        else
-          match f i with
-          | v -> results.(i) <- Some (Ok v)
-          | exception e ->
-              results.(i) <- Some (Error e);
-              Atomic.set cancelled true
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get cancelled then continue_ := false
+        else begin
+          (* run the claimed chunk; a cancellation (ours or a sibling's)
+             stops new tasks, matching the one-index-per-CAS behaviour *)
+          let stop = Stdlib.min n (start + chunk) in
+          let i = ref start in
+          while !i < stop && not (Atomic.get cancelled) do
+            (match f !i with
+            | v -> results.(!i) <- Some (Ok v)
+            | exception e ->
+                results.(!i) <- Some (Error e);
+                Atomic.set cancelled true);
+            incr i
+          done
+        end
       done
     in
     let spawned = Stdlib.min jobs n - 1 in

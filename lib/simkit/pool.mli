@@ -1,11 +1,13 @@
 (** A small work-sharing domain pool for embarrassingly-parallel run
     batteries (Monte-Carlo adversary games, random-run checkers).
 
-    Tasks are identified by their index [0..n-1] and pulled from a shared
-    cursor, so load balances automatically however uneven the per-task
-    cost.  Nothing here is clever about affinity or chunking: the tasks
-    this repo runs are whole simulated executions (milliseconds each), so
-    a single atomic fetch per task is noise.
+    Tasks are identified by their index [0..n-1] and claimed from a
+    shared cursor, so load balances automatically however uneven the
+    per-task cost.  When tasks vastly outnumber domains (fleet-scale
+    batteries fanning out millions of tiny tasks) each claim takes a
+    short {e chunk} of consecutive indices per atomic fetch instead of
+    one, so the cursor cache line stops bouncing on every task; with few
+    tasks the chunk degenerates to 1 and behaviour is unchanged.
 
     Determinism contract: a task must derive all its randomness from its
     index (per-run seeds) and must not touch shared mutable state — in

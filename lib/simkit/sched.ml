@@ -13,6 +13,7 @@ type t = {
   steps_c : Obs.Metrics.Counter.t;
   crashes_c : Obs.Metrics.Counter.t;
   restarts_c : Obs.Metrics.Counter.t;
+  recycles_c : Obs.Metrics.Counter.t;
   coins_c : Obs.Metrics.Counter.t;
   runs_c : Obs.Metrics.Counter.t;
   watchdog_c : Obs.Metrics.Counter.t;
@@ -35,6 +36,7 @@ let create ?(seed = 1L) ?(metrics = Obs.Metrics.global)
     steps_c = Obs.Metrics.counter_h metrics "sched.steps";
     crashes_c = Obs.Metrics.counter_h metrics "sched.crashes";
     restarts_c = Obs.Metrics.counter_h metrics "sched.restarts";
+    recycles_c = Obs.Metrics.counter_h metrics "sched.recycles";
     coins_c = Obs.Metrics.counter_h metrics "sched.coins";
     runs_c = Obs.Metrics.counter_h metrics "sched.runs";
     watchdog_c = Obs.Metrics.counter_h metrics "sched.watchdog.fired";
@@ -124,6 +126,27 @@ let restart t ~pid f =
          ~sim:t.steps_ ~cat:"sched" "recover");
   Trace.note t.tr ~tag:"recover" ~text:(Printf.sprintf "p%d i%d" pid inc);
   inc
+
+(* Generational slot reuse: replace a finished fiber with fresh code at
+   the same pid.  Unlike [spawn] this grows no table (Hashtbl.replace on
+   an existing key), and unlike [restart] it bumps no incarnation — the
+   slot's previous occupant terminated normally, so there is no pre-crash
+   ghost for the network to reject.  This is what lets a fleet run
+   millions of short-lived client sessions through a fixed set of fiber
+   slots with flat scheduler memory. *)
+let recycle t ~pid f =
+  (match Fiber.status (find t pid) with
+  | Fiber.Finished -> ()
+  | Fiber.Runnable | Fiber.Failed _ ->
+      invalid_arg (Printf.sprintf "Sched.recycle: pid %d has not finished" pid));
+  if crashed t ~pid then
+    invalid_arg (Printf.sprintf "Sched.recycle: pid %d has crashed" pid);
+  Hashtbl.replace t.fibers pid (Fiber.spawn ~pid f);
+  Obs.Metrics.incr_h t.recycles_c;
+  if Obs.Tracer.armed t.tracer_ then
+    ignore
+      (Obs.Tracer.emit t.tracer_ ~track:pid ~parent:(-1) ~sim:t.steps_
+         ~cat:"sched" "recycle")
 
 let coin t ~proc =
   let v = Rng.coin t.rng_ in

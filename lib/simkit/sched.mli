@@ -15,7 +15,8 @@ val create :
   ?seed:int64 -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t -> unit -> t
 (** [metrics] (default {!Obs.Metrics.global}) receives the scheduler's
     counters — [sched.steps], [sched.coins], [sched.crashes],
-    [sched.restarts], [sched.spawns], [sched.runs] — and the per-{!run}
+    [sched.restarts], [sched.recycles], [sched.spawns], [sched.runs] —
+    and the per-{!run}
     step histogram
     [sched.run.steps], plus everything its {!Trace.t} records.
 
@@ -76,6 +77,17 @@ val restart : t -> pid:int -> (unit -> unit) -> int
     the fiber, fires the [sched.restarts] counter and emits a ["recover"]
     flight-recorder event.
     @raise Invalid_argument if [pid] is unknown or has not crashed. *)
+
+val recycle : t -> pid:int -> (unit -> unit) -> unit
+(** Generational slot reuse: replace the {e finished} fiber at [pid] with
+    fresh code.  Grows no scheduler structure (the pid keeps its slot)
+    and bumps no incarnation (the previous occupant terminated normally —
+    there is no pre-crash ghost to reject), so a fleet can run millions
+    of short-lived client sessions through a fixed set of fiber slots
+    with flat memory.  Fires [sched.recycles] and emits a ["recycle"]
+    flight-recorder event.
+    @raise Invalid_argument if [pid] is unknown, still runnable, failed,
+    or crashed (crashed slots go through {!restart}). *)
 
 val incarnation : t -> pid:int -> int
 (** How many times [pid] has been {!restart}ed (0 for a first-incarnation

@@ -10,13 +10,16 @@ type 'a node_log = {
 type 'a t = {
   logs : 'a node_log array;
   policy : policy;
+  auto_compact : bool;
   rng : Rng.t;
   appends_c : Obs.Metrics.Counter.t;
   persists_c : Obs.Metrics.Counter.t;
   lost_c : Obs.Metrics.Counter.t;
+  compacted_c : Obs.Metrics.Counter.t;
 }
 
-let create ?(metrics = Obs.Metrics.global) ?(policy = Every) ?rng ~n () =
+let create ?(metrics = Obs.Metrics.global) ?(policy = Every)
+    ?(auto_compact = false) ?rng ~n () =
   if n <= 0 then invalid_arg "Stable.create: n must be > 0";
   (match policy with
   | Prob p when not (p >= 0. && p <= 1.) ->
@@ -27,10 +30,12 @@ let create ?(metrics = Obs.Metrics.global) ?(policy = Every) ?rng ~n () =
       Array.init n (fun _ ->
           { records = []; len_ = 0; durable_ = 0; lost_ = 0 });
     policy;
+    auto_compact;
     rng = (match rng with Some r -> r | None -> Rng.create 0x57AB1EL);
     appends_c = Obs.Metrics.counter_h metrics "stable.appends";
     persists_c = Obs.Metrics.counter_h metrics "stable.persists";
     lost_c = Obs.Metrics.counter_h metrics "stable.lost";
+    compacted_c = Obs.Metrics.counter_h metrics "stable.compacted";
   }
 
 let node_log t node =
@@ -38,12 +43,34 @@ let node_log t node =
     invalid_arg (Printf.sprintf "Stable: node %d out of range" node);
   t.logs.(node)
 
+(* Checkpoint semantics: the newest durable record supersedes every older
+   durable one — recovery only ever reads {!last_durable} — so the
+   superseded prefix can be dropped without changing what any crash or
+   recovery observes.  The volatile tail is untouched (a crash must still
+   chop exactly it).  Returns the number of records dropped. *)
+let compact t ~node =
+  let l = node_log t node in
+  if l.durable_ <= 1 then 0
+  else begin
+    let keep = l.len_ - l.durable_ + 1 in
+    let dropped = l.durable_ - 1 in
+    l.records <- List.filteri (fun i _ -> i < keep) l.records;
+    l.len_ <- keep;
+    l.durable_ <- 1;
+    Obs.Metrics.incr_h ~by:dropped t.compacted_c;
+    dropped
+  end
+
 let persist t ~node =
   let l = node_log t node in
   let newly = l.len_ - l.durable_ in
   if newly > 0 then begin
     l.durable_ <- l.len_;
-    Obs.Metrics.incr_h ~by:newly t.persists_c
+    Obs.Metrics.incr_h ~by:newly t.persists_c;
+    (* bounded-log mode: every sync point compacts, so a node's log holds
+       at most one durable record plus the volatile tail — flat memory
+       across million-write fleet runs *)
+    if t.auto_compact then ignore (compact t ~node : int)
   end
 
 let append t ~node v =

@@ -31,14 +31,32 @@ type policy = Every | Explicit | Prob of float
 type 'a t
 
 val create :
-  ?metrics:Obs.Metrics.t -> ?policy:policy -> ?rng:Rng.t -> n:int -> unit -> 'a t
+  ?metrics:Obs.Metrics.t ->
+  ?policy:policy ->
+  ?auto_compact:bool ->
+  ?rng:Rng.t ->
+  n:int ->
+  unit ->
+  'a t
 (** An empty store for nodes [0..n-1].  [policy] defaults to [Every].
+    [auto_compact] (default [false]) runs {!compact} after every sync
+    point, bounding each node's log to one durable record plus the
+    volatile tail — the flat-memory mode million-write fleet runs need.
     [rng] is consulted only by [Prob] (default: a fresh RNG seeded
     [0x57AB1EL]).  [metrics] (default {!Obs.Metrics.global}) receives
-    [stable.appends], [stable.persists] (records made durable) and
-    [stable.lost] (records discarded by crashes).
+    [stable.appends], [stable.persists] (records made durable),
+    [stable.lost] (records discarded by crashes) and [stable.compacted]
+    (superseded durable records dropped by compaction).
     @raise Invalid_argument if [n <= 0] or a [Prob] probability is
     outside [0,1]. *)
+
+val compact : 'a t -> node:int -> int
+(** Drop every durable record of [node] except the newest — recovery only
+    ever reads {!last_durable}, so the superseded prefix changes nothing
+    a crash or recovery can observe.  The volatile tail is untouched.
+    Returns how many records were dropped (counted in
+    [stable.compacted]).  After compaction {!durable_len} is at most 1
+    and {!log} starts at the surviving checkpoint. *)
 
 val append : 'a t -> node:int -> 'a -> unit
 (** Append one record to [node]'s volatile tail (then maybe persist, per

@@ -55,7 +55,11 @@ let respond t ~op_id ~result =
   let time = next_time t in
   Obs.Metrics.incr_h t.responds_c;
   (match Hashtbl.find_opt t.invoked_at op_id with
-  | Some t0 -> Obs.Metrics.observe_h t.latency_h (float_of_int (time - t0))
+  | Some t0 ->
+      Obs.Metrics.observe_h t.latency_h (float_of_int (time - t0));
+      (* the op is closed: retiring its entry keeps the table bounded by
+         the number of *pending* ops, not the ops ever invoked *)
+      Hashtbl.remove t.invoked_at op_id
   | None -> ());
   push t (Ev { History.Event.time; event = History.Event.Respond { op_id; result } })
 
@@ -76,6 +80,17 @@ let read_ts t ~op_id ~proc ~ts =
 
 let note t ~tag ~text = push t (Note { time = next_time t; tag; text })
 let entries t = List.rev t.rev_entries
+
+(* Streaming consumption: hand the accumulated entries over and clear the
+   buffer, keeping the clock and op-id counter monotone so later entries
+   continue the same timeline.  A long-running fleet drains between
+   client-pool generations and feeds the events straight into the
+   streaming checker — trace memory is then bounded by the drain
+   interval, not the run length. *)
+let drain t =
+  let es = List.rev t.rev_entries in
+  t.rev_entries <- [];
+  es
 
 let history t =
   entries t

@@ -60,6 +60,16 @@ val note : t -> tag:string -> text:string -> unit
 val entries : t -> entry list
 (** In time order. *)
 
+val drain : t -> entry list
+(** The accumulated entries in time order, removing them from the trace.
+    The clock and the op-id counter are untouched, so entries recorded
+    after a drain continue the same timeline (distinct times, distinct
+    op ids).  Long-running workloads (the fleet's million-op runs) drain
+    periodically and feed the events into the streaming checker, keeping
+    trace memory bounded by the drain interval instead of the run
+    length.  {!history}/{!lin_time}/{!coins} afterwards see only what
+    was recorded since the last drain. *)
+
 val history : t -> History.Hist.t
 (** The history (the [Ev] entries only). *)
 

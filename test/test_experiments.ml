@@ -7,7 +7,7 @@ let suite =
   [
     ( "experiments.battery",
       [
-        tcs "E1-E14: claims reproduce and every report carries metrics"
+        tcs "E1-E15: claims reproduce and every report carries metrics"
           (fun () ->
             let reports = Experiments.all ~quick:true () in
             List.iter

@@ -13,4 +13,4 @@ let () =
    @ Test_consensus.suite
    @ Test_multicore.suite @ Test_obs.suite @ Test_pool.suite
    @ Test_check.suite @ Test_parcheck.suite @ Test_tracer.suite
-   @ Test_serve.suite @ Test_experiments.suite)
+   @ Test_serve.suite @ Test_fleet.suite @ Test_experiments.suite)

@@ -68,7 +68,25 @@ let test_exception_propagation () =
       None
     with Boom i -> Some i
   in
-  Alcotest.(check (option int)) "lowest-index failure wins" (Some 3) raised
+  Alcotest.(check (option int)) "lowest-index failure wins" (Some 3) raised;
+  (* large n forces chunked claiming (n > jobs * 8, so each CAS claims a
+     run of indices): the lowest-index failure must still win even when
+     the failing indices land mid-chunk on different domains *)
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          ignore
+            (Pool.map ~jobs 400 (fun i ->
+                 if i mod 25 = 11 then raise (Boom i)));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d: chunked claiming keeps lowest-index failure"
+           jobs)
+        (Some 11) raised)
+    [ 2; 4 ]
 
 (* ----- map_runs: per-run registries, merged in run order -------------------- *)
 
@@ -161,7 +179,7 @@ let test_only_selection () =
   Alcotest.check_raises "unknown id rejected"
     (Invalid_argument
        "Experiments: unknown id \"E99\" (know E1, E2, E3, E4, E5, E6, E7, \
-        E8, E9, E10, E11, E12, E13, E14)") (fun () ->
+        E8, E9, E10, E11, E12, E13, E14, E15)") (fun () ->
       ignore (Experiments.all ~only:[ "E99" ] ~quick:true ()))
 
 let suite =

@@ -214,6 +214,32 @@ let sched_tests =
             ignore (Sched.restart s ~pid:1 (fun () -> ())));
         Alcotest.check_raises "unknown" (Invalid_argument "Sched: unknown pid 9")
           (fun () -> ignore (Sched.restart s ~pid:9 (fun () -> ()))));
+    tc "recycle reuses a finished slot without bumping the incarnation"
+      (fun () ->
+        let m = Obs.Metrics.create () in
+        let s = Sched.create ~metrics:m () in
+        let log = ref [] in
+        Sched.spawn s ~pid:1 (fun () -> log := "first" :: !log);
+        ignore (Sched.step s ~pid:1);
+        Sched.recycle s ~pid:1 (fun () -> log := "second" :: !log);
+        Alcotest.(check (list int)) "live again" [ 1 ] (Sched.live_pids s);
+        check_int "no incarnation bump" 0 (Sched.incarnation s ~pid:1);
+        ignore (Sched.step s ~pid:1);
+        Alcotest.(check (list string)) "both occupants ran"
+          [ "second"; "first" ] !log;
+        check_int "counted" 1 (Obs.Metrics.counter m "sched.recycles"));
+    tc "recycle demands a finished, never-crashed pid" (fun () ->
+        let s = Sched.create () in
+        Sched.spawn s ~pid:1 (fun () -> Fiber.yield ());
+        Alcotest.check_raises "still runnable"
+          (Invalid_argument "Sched.recycle: pid 1 has not finished") (fun () ->
+            Sched.recycle s ~pid:1 (fun () -> ()));
+        Sched.spawn s ~pid:2 (fun () -> ());
+        ignore (Sched.step s ~pid:2);
+        Sched.crash s ~pid:2;
+        Alcotest.check_raises "crashed"
+          (Invalid_argument "Sched.recycle: pid 2 has crashed") (fun () ->
+            Sched.recycle s ~pid:2 (fun () -> ())));
     tc "coin recorded in trace" (fun () ->
         let s = Sched.create ~seed:13L () in
         Sched.spawn s ~pid:1 (fun () -> ignore (Sched.coin s ~proc:1));
